@@ -1,0 +1,329 @@
+package hcompress
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/codec"
+	"hcompress/internal/core"
+	"hcompress/internal/manager"
+	"hcompress/internal/monitor"
+	"hcompress/internal/predictor"
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+	"hcompress/internal/store"
+	"hcompress/internal/tier"
+)
+
+// ErrClosed is returned by operations on a closed Client.
+var ErrClosed = errors.New("hcompress: client is closed")
+
+// Task is one I/O request: the paper's "data buffer, operation tuple".
+// The operation is selected by the Client method (Compress writes,
+// Decompress reads).
+type Task struct {
+	// Key names the task; Decompress retrieves by the same key.
+	Key string
+	// Data is the uncompressed payload.
+	Data []byte
+	// DataType optionally overrides type detection ("int", "float",
+	// "text", "binary") — the self-described fast path.
+	DataType string
+	// Distribution optionally overrides distribution detection
+	// ("uniform", "normal", "exponential", "gamma").
+	Distribution string
+}
+
+// SubTaskReport describes one placed sub-task.
+type SubTaskReport struct {
+	Tier          string
+	Codec         string
+	OriginalBytes int64
+	StoredBytes   int64
+}
+
+// Report summarizes one executed task.
+type Report struct {
+	Key            string
+	OriginalBytes  int64
+	StoredBytes    int64
+	Ratio          float64 // original over stored (>= "1" modulo headers)
+	VirtualSeconds float64 // modeled task duration (codec + tiered I/O)
+	CodecSeconds   float64 // compression or decompression time
+	IOSeconds      float64 // modeled storage time
+	DataType       string  // what the Input Analyzer saw
+	Distribution   string
+	SubTasks       []SubTaskReport
+	// Data carries the reassembled payload on Decompress.
+	Data []byte
+}
+
+// Client is the HCompress library handle: the public face of the IA, CCP,
+// SM, HCDP engine, and Compression Manager pipeline. It is safe for
+// concurrent use.
+type Client struct {
+	mu     sync.Mutex
+	closed bool
+
+	hier  tier.Hierarchy
+	sd    *seed.Seed
+	pred  *predictor.CCP
+	mon   *monitor.SystemMonitor
+	eng   *core.Engine
+	mgr   *manager.Manager
+	st    *store.Store
+	clock float64 // virtual time
+
+	seedPath string
+	saveSeed bool
+}
+
+// New initializes HCompress — the work the paper performs when
+// intercepting MPI_Init: load the seed, build the component stack, and
+// prepare the codec pool.
+func New(cfg Config) (*Client, error) {
+	h, err := cfg.hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	var sd *seed.Seed
+	if cfg.SeedPath != "" {
+		sd, err = seed.Load(cfg.SeedPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sd = seed.Builtin(h)
+	}
+	if cfg.FeedbackInterval > 0 {
+		sd.FeedbackInterval = cfg.FeedbackInterval
+	}
+	st, err := store.New(h, true)
+	if err != nil {
+		return nil, err
+	}
+	pred := predictor.New(sd)
+	mon := monitor.New(st, cfg.MonitorIntervalSec)
+	eng, err := core.New(pred, mon, core.Config{
+		Weights:            cfg.Priorities.toWeights(),
+		DisableCompression: cfg.DisableCompression,
+		Codecs:             cfg.Codecs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		hier:     h,
+		sd:       sd,
+		pred:     pred,
+		mon:      mon,
+		eng:      eng,
+		mgr:      manager.New(st, pred, manager.RealOracle{}),
+		st:       st,
+		seedPath: cfg.SeedPath,
+		saveSeed: cfg.SaveSeedOnClose && cfg.SeedPath != "",
+	}, nil
+}
+
+func (c *Client) attrFor(t Task) analyzer.Result {
+	var hint analyzer.Hint
+	if dt, ok := stats.TypeByName(t.DataType); ok && t.DataType != "" {
+		hint.Type = &dt
+	}
+	if d, ok := stats.DistByName(t.Distribution); ok && t.Distribution != "" {
+		hint.Dist = &d
+	}
+	return analyzer.AnalyzeWithHint(t.Data, &hint)
+}
+
+// Compress analyzes the task, plans a compression + placement schema with
+// the HCDP engine, and executes it against the tiered store.
+func (c *Client) Compress(t Task) (*Report, error) {
+	if t.Key == "" {
+		return nil, errors.New("hcompress: task key required")
+	}
+	if len(t.Data) == 0 {
+		return nil, errors.New("hcompress: empty task data")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	attr := c.attrFor(t)
+	size := int64(len(t.Data))
+	schema, err := c.eng.Plan(c.clock, attr, size)
+	if err != nil {
+		return nil, fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
+	}
+	res, err := c.mgr.ExecuteWrite(c.clock, t.Key, t.Data, size, attr, schema)
+	if err != nil {
+		// The monitor's view may have been stale; refresh and replan once.
+		c.mon.ForceRefresh()
+		schema, err2 := c.eng.Plan(c.clock, attr, size)
+		if err2 != nil {
+			return nil, fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
+		}
+		res, err = c.mgr.ExecuteWrite(c.clock, t.Key, t.Data, size, attr, schema)
+		if err != nil {
+			return nil, fmt.Errorf("hcompress: executing %q: %w", t.Key, err)
+		}
+	}
+	start := c.clock
+	c.clock = res.End
+	return c.report(t.Key, size, attr, res, start), nil
+}
+
+// Decompress reads back the task stored under key, decoding each
+// sub-task's metadata header to select the decompression library.
+func (c *Client) Decompress(key string) (*Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	size, ok := c.mgr.TaskSize(key)
+	if !ok {
+		return nil, fmt.Errorf("hcompress: unknown task %q", key)
+	}
+	res, err := c.mgr.ExecuteRead(c.clock, key)
+	if err != nil {
+		return nil, err
+	}
+	start := c.clock
+	c.clock = res.End
+	rep := c.report(key, size, analyzer.Result{}, res, start)
+	rep.Data = res.Data
+	rep.DataType = ""
+	rep.Distribution = ""
+	return rep, nil
+}
+
+func (c *Client) report(key string, size int64, attr analyzer.Result, res manager.Result, start float64) *Report {
+	rep := &Report{
+		Key:            key,
+		OriginalBytes:  size,
+		StoredBytes:    res.Stored,
+		VirtualSeconds: res.End - start,
+		CodecSeconds:   res.CodecTime,
+		IOSeconds:      res.IOTime,
+		DataType:       attr.Type.String(),
+		Distribution:   attr.Dist.String(),
+	}
+	if res.Stored > 0 {
+		rep.Ratio = float64(size) / float64(res.Stored)
+	}
+	for _, sr := range res.SubResults {
+		name := "?"
+		if cdc, err := codec.ByID(sr.Codec); err == nil {
+			name = cdc.Name()
+		}
+		rep.SubTasks = append(rep.SubTasks, SubTaskReport{
+			Tier:          c.hier.Tiers[sr.Tier].Name,
+			Codec:         name,
+			OriginalBytes: sr.OrigLen,
+			StoredBytes:   sr.Stored,
+		})
+	}
+	return rep
+}
+
+// Delete removes a stored task and frees its tier capacity.
+func (c *Client) Delete(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.mgr.Delete(key)
+}
+
+// SetPriorities changes the cost weighting at runtime (§IV-F2).
+func (c *Client) SetPriorities(p Priorities) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng.SetWeights(p.toWeights())
+}
+
+// TierStatusReport is the System Monitor's public view of one tier.
+type TierStatusReport struct {
+	Name           string
+	CapacityBytes  int64
+	UsedBytes      int64
+	RemainingBytes int64
+	QueueLength    int
+}
+
+// Status reports the hierarchy's occupancy.
+func (c *Client) Status() []TierStatusReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []TierStatusReport
+	for _, s := range c.st.Status(c.clock) {
+		out = append(out, TierStatusReport{
+			Name:           s.Name,
+			CapacityBytes:  s.Capacity,
+			UsedBytes:      s.Used,
+			RemainingBytes: s.Remaining,
+			QueueLength:    s.QueueLen,
+		})
+	}
+	return out
+}
+
+// Stats exposes runtime counters for observability.
+type Stats struct {
+	// ModelAccuracy is the CCP's running prediction accuracy in [0, 1]
+	// (the paper's "accuracy (R2)").
+	ModelAccuracy float64
+	// FeedbackQueued and FeedbackAbsorbed count feedback-loop events.
+	FeedbackQueued   int
+	FeedbackAbsorbed int
+	// MemoHits / MemoMisses describe the HCDP engine's DP cache.
+	MemoHits   int64
+	MemoMisses int64
+	// VirtualSeconds is the client's modeled elapsed time.
+	VirtualSeconds float64
+	// Tasks is the number of live stored tasks.
+	Tasks int
+}
+
+// Stats snapshots runtime counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, a := c.pred.Stats()
+	h, m := c.eng.MemoStats()
+	return Stats{
+		ModelAccuracy:    c.pred.R2(),
+		FeedbackQueued:   q,
+		FeedbackAbsorbed: a,
+		MemoHits:         h,
+		MemoMisses:       m,
+		VirtualSeconds:   c.clock,
+		Tasks:            c.mgr.Tasks(),
+	}
+}
+
+// Close finalizes the client — the MPI_Finalize hook in the paper: flush
+// the feedback loop, optionally persist the evolved model back to the
+// JSON seed, and release in-memory structures.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.pred.Flush()
+	if c.saveSeed {
+		c.sd.ModelCoef = c.pred.SnapshotCoef()
+		if err := c.sd.Save(c.seedPath); err != nil {
+			return err
+		}
+	}
+	c.st.Reset()
+	return nil
+}

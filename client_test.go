@@ -1,0 +1,294 @@
+package hcompress
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+)
+
+func newClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	// A scarce RAM tier ahead of slow media creates the capacity pressure
+	// under which compression pays (on fast, empty RAM the engine rightly
+	// chooses "none" — see TestPlanSkipsCompressionOnFastEmptyRAM).
+	c := newClient(t, Config{Tiers: []TierSpec{
+		{Name: "ram", CapacityBytes: 64 << 10, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
+		{Name: "pfs", CapacityBytes: 64 << 30, LatencySec: 5e-3, BandwidthBps: 100e6, Lanes: 4},
+	}})
+	data := []byte(strings.Repeat("hierarchical compression for tiered storage. ", 10000))
+	rep, err := c.Compress(Task{Key: "k", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OriginalBytes != int64(len(data)) {
+		t.Errorf("original %d", rep.OriginalBytes)
+	}
+	if rep.StoredBytes <= 0 || rep.StoredBytes >= rep.OriginalBytes {
+		t.Errorf("text should compress: stored %d of %d", rep.StoredBytes, rep.OriginalBytes)
+	}
+	if rep.Ratio <= 1 {
+		t.Errorf("ratio %v", rep.Ratio)
+	}
+	if len(rep.SubTasks) == 0 {
+		t.Error("no sub-tasks reported")
+	}
+	if rep.DataType != "text" {
+		t.Errorf("detected type %q", rep.DataType)
+	}
+	back, err := c.Decompress("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Data, data) {
+		t.Fatal("round-trip mismatch")
+	}
+	if back.VirtualSeconds <= 0 {
+		t.Error("read must cost virtual time")
+	}
+}
+
+func TestRoundTripAllDataClasses(t *testing.T) {
+	c := newClient(t, Config{})
+	for _, dt := range stats.AllTypes() {
+		for _, d := range stats.AllDists() {
+			key := dt.String() + "-" + d.String()
+			data := stats.GenBuffer(dt, d, 1<<20, int64(dt)*10+int64(d))
+			if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			rep, err := c.Decompress(key)
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			if !bytes.Equal(rep.Data, data) {
+				t.Fatalf("%s: mismatch", key)
+			}
+		}
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	c := newClient(t, Config{})
+	if _, err := c.Compress(Task{Data: []byte("x")}); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := c.Compress(Task{Key: "k"}); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := c.Decompress("missing"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestHints(t *testing.T) {
+	c := newClient(t, Config{})
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 5)
+	rep, err := c.Compress(Task{Key: "k", Data: data, DataType: "float", Distribution: "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataType != "float" || rep.Distribution != "gamma" {
+		t.Errorf("hints ignored: %s/%s", rep.DataType, rep.Distribution)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newClient(t, Config{})
+	data := []byte(strings.Repeat("z", 1<<20))
+	c.Compress(Task{Key: "k", Data: data})
+	used := func() int64 {
+		var total int64
+		for _, s := range c.Status() {
+			total += s.UsedBytes
+		}
+		return total
+	}
+	if used() == 0 {
+		t.Fatal("nothing stored")
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if used() != 0 {
+		t.Error("capacity leaked")
+	}
+}
+
+func TestStatusAndStats(t *testing.T) {
+	c := newClient(t, Config{})
+	data := []byte(strings.Repeat("status ", 200000))
+	c.Compress(Task{Key: "k", Data: data})
+	st := c.Status()
+	if len(st) != 4 {
+		t.Fatalf("tiers %d", len(st))
+	}
+	var used int64
+	for _, s := range st {
+		used += s.UsedBytes
+	}
+	if used == 0 {
+		t.Error("no usage reported")
+	}
+	s := c.Stats()
+	if s.VirtualSeconds <= 0 || s.Tasks != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	c := newClient(t, Config{})
+	c.Close()
+	if _, err := c.Compress(Task{Key: "k", Data: []byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	if _, err := c.Decompress("k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestCustomTiers(t *testing.T) {
+	cfg := Config{Tiers: []TierSpec{
+		{Name: "fast", CapacityBytes: 1 << 20, LatencySec: 1e-6, BandwidthBps: 1e9, Lanes: 1},
+		{Name: "slow", CapacityBytes: 1 << 30, LatencySec: 1e-3, BandwidthBps: 1e7, Lanes: 1},
+	}}
+	c := newClient(t, cfg)
+	data := stats.GenBuffer(stats.TypeText, stats.Uniform, 4<<20, 1)
+	rep, err := c.Compress(Task{Key: "k", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.SubTasks {
+		if st.Tier != "fast" && st.Tier != "slow" {
+			t.Errorf("unknown tier %q", st.Tier)
+		}
+	}
+	back, _ := c.Decompress("k")
+	if !bytes.Equal(back.Data, data) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{Tiers: []TierSpec{{Name: "x"}}}); err == nil {
+		t.Error("invalid tier accepted")
+	}
+	if _, err := New(Config{Codecs: []string{"zstd"}}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := New(Config{SeedPath: "/nonexistent.json"}); err == nil {
+		t.Error("missing seed accepted")
+	}
+}
+
+func TestDisableCompression(t *testing.T) {
+	c := newClient(t, Config{DisableCompression: true})
+	data := []byte(strings.Repeat("compressible! ", 100000))
+	rep, err := c.Compress(Task{Key: "k", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.SubTasks {
+		if st.Codec != "none" {
+			t.Errorf("MTNC mode compressed with %s", st.Codec)
+		}
+	}
+}
+
+func TestRestrictedCodecs(t *testing.T) {
+	c := newClient(t, Config{Codecs: []string{"snappy"}})
+	data := []byte(strings.Repeat("snappy only ", 100000))
+	rep, err := c.Compress(Task{Key: "k", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.SubTasks {
+		if st.Codec != "none" && st.Codec != "snappy" {
+			t.Errorf("codec %s outside pool", st.Codec)
+		}
+	}
+}
+
+func TestSetPrioritiesRuntime(t *testing.T) {
+	c := newClient(t, Config{})
+	data := []byte(strings.Repeat("priority switch ", 50000))
+	if _, err := c.Compress(Task{Key: "a", Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPriorities(PriorityArchival)
+	if _, err := c.Compress(Task{Key: "b", Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	// Both must round-trip regardless of priorities.
+	for _, k := range []string{"a", "b"} {
+		rep, err := c.Decompress(k)
+		if err != nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestSeedPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seed.json")
+	h, err := Config{}.hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Builtin(h).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{SeedPath: path, SaveSeedOnClose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("persist ", 100000))
+	c.Compress(Task{Key: "k", Data: data})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := seed.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ModelCoef) == 0 {
+		t.Error("evolved model not persisted")
+	}
+}
+
+func TestManySmallTasks(t *testing.T) {
+	c := newClient(t, Config{})
+	data := stats.GenBuffer(stats.TypeInt, stats.Normal, 64<<10, 9)
+	for i := 0; i < 50; i++ {
+		key := "task-" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+		if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Tasks != 50 {
+		t.Errorf("tasks %d", s.Tasks)
+	}
+	if s.MemoHits == 0 {
+		t.Error("repeated identical tasks should hit the DP memo")
+	}
+}

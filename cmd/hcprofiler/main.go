@@ -1,0 +1,83 @@
+// Command hcprofiler is the HCompress Profiler (HP) from §IV-A of the
+// paper: it benchmarks every compression library against a variety of
+// input data (all type x distribution combinations), discovers the storage
+// hierarchy's performance signature, and writes the JSON seed that
+// bootstraps the library's predictive models.
+//
+// Usage:
+//
+//	hcprofiler -o seed.json
+//	hcprofiler -o seed.json -bufsize 1048576 -repeats 3
+//	hcprofiler -o seed.json -codecs lz4,snappy,zlib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+	"hcompress/internal/tier"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "hcompress_seed.json", "output seed path")
+		bufSize = flag.Int("bufsize", 256<<10, "probe buffer size in bytes")
+		repeats = flag.Int("repeats", 1, "timing repeats per combination")
+		codecs  = flag.String("codecs", "", "comma-separated codec subset (default: all)")
+		ramGB   = flag.Int64("ram-gb", 64, "system signature: RAM tier capacity")
+		nvmeGB  = flag.Int64("nvme-gb", 192, "system signature: NVMe tier capacity")
+		bbGB    = flag.Int64("bb-gb", 2048, "system signature: burst buffer capacity")
+		pfsGB   = flag.Int64("pfs-gb", 1<<20, "system signature: PFS capacity")
+		quiet   = flag.Bool("q", false, "suppress the summary table")
+	)
+	flag.Parse()
+
+	hier := tier.Ares(*ramGB*tier.GB, *nvmeGB*tier.GB, *bbGB*tier.GB, *pfsGB*tier.GB)
+	opts := seed.ProfileOptions{BufSize: *bufSize, Repeats: *repeats}
+	if *codecs != "" {
+		opts.Codecs = strings.Split(*codecs, ",")
+	}
+	fmt.Fprintf(os.Stderr, "profiling %d-byte probes, %d repeat(s)...\n", opts.BufSize, *repeats)
+	s, err := seed.Generate(hier, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcprofiler:", err)
+		os.Exit(1)
+	}
+	if err := s.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "hcprofiler:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d cost entries to %s\n", len(s.Costs), *out)
+	if *quiet {
+		return
+	}
+
+	// Summary: per codec, averaged over distributions, one line per type.
+	fmt.Printf("%-9s %-7s %12s %14s %8s\n", "codec", "type", "comp MB/s", "decomp MB/s", "ratio")
+	names := s.CodecNames()
+	sort.Strings(names)
+	for _, name := range names {
+		for _, dt := range stats.AllTypes() {
+			var c seed.CodecCost
+			n := 0
+			for _, d := range stats.AllDists() {
+				if v, ok := s.Costs[seed.Key(dt, d, name)]; ok {
+					c.CompressMBps += v.CompressMBps
+					c.DecompressMBps += v.DecompressMBps
+					c.Ratio += v.Ratio
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			fmt.Printf("%-9s %-7s %12.1f %14.1f %8.2f\n",
+				name, dt, c.CompressMBps/float64(n), c.DecompressMBps/float64(n), c.Ratio/float64(n))
+		}
+	}
+}

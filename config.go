@@ -1,0 +1,117 @@
+package hcompress
+
+import (
+	"fmt"
+
+	"hcompress/internal/seed"
+	"hcompress/internal/tier"
+)
+
+// TierSpec describes one storage tier, fastest-first. It mirrors the
+// information the paper says "is provided by the user" (bandwidth, device
+// location, interface).
+type TierSpec struct {
+	// Name identifies the tier (e.g. "ram", "nvme", "burstbuffer", "pfs").
+	Name string
+	// CapacityBytes is the usable capacity of the tier.
+	CapacityBytes int64
+	// LatencySec is the per-operation access latency in seconds.
+	LatencySec float64
+	// BandwidthBps is the aggregate tier bandwidth in bytes/second.
+	BandwidthBps float64
+	// Lanes is the tier's hardware concurrency (devices x channels).
+	Lanes int
+}
+
+// Priorities are the application's compression priorities (Table II of the
+// paper): the relative weight of compression speed, decompression speed,
+// and compression ratio in the placement cost function. They need not sum
+// to one; they are normalized internally.
+type Priorities struct {
+	CompressionSpeed   float64
+	DecompressionSpeed float64
+	Ratio              float64
+}
+
+// Priority presets from Table II.
+var (
+	// PriorityAsync suits asynchronous I/O: only the compression stall
+	// is on the critical path.
+	PriorityAsync = Priorities{CompressionSpeed: 1}
+	// PriorityArchival suits archival I/O: ratio is everything.
+	PriorityArchival = Priorities{Ratio: 1}
+	// PriorityReadAfterWrite suits producer/consumer workflows.
+	PriorityReadAfterWrite = Priorities{CompressionSpeed: 0.3, DecompressionSpeed: 0.3, Ratio: 0.4}
+	// PriorityEqual weighs all three metrics evenly (the evaluation
+	// default in the paper).
+	PriorityEqual = Priorities{CompressionSpeed: 1, DecompressionSpeed: 1, Ratio: 1}
+)
+
+func (p Priorities) toWeights() seed.Weights {
+	return seed.Weights{
+		Compression:   p.CompressionSpeed,
+		Decompression: p.DecompressionSpeed,
+		Ratio:         p.Ratio,
+	}.Normalize()
+}
+
+// Config configures a Client. The zero value is usable: a laptop-scale
+// four-tier hierarchy, equal priorities, and the builtin cost seed.
+type Config struct {
+	// Tiers is the storage hierarchy, fastest-first. Default: a scaled
+	// Ares-like hierarchy (256 MiB RAM / 1 GiB NVMe / 4 GiB BB / 64 GiB
+	// PFS) suitable for in-process use.
+	Tiers []TierSpec
+	// Priorities select the compression cost weighting. Zero value means
+	// equal weights.
+	Priorities Priorities
+	// SeedPath optionally names a profiler-generated JSON seed to
+	// bootstrap the cost models. Empty means the builtin seed.
+	SeedPath string
+	// SaveSeedOnClose writes the evolved model back to SeedPath at Close
+	// (the paper's "store the latest model back to the JSON seed").
+	SaveSeedOnClose bool
+	// Codecs restricts the library pool to the named codecs (default:
+	// all twelve).
+	Codecs []string
+	// MonitorIntervalSec is the System Monitor refresh period in virtual
+	// seconds (default 0: always fresh).
+	MonitorIntervalSec float64
+	// FeedbackInterval overrides how many operations elapse between
+	// feedback-loop model updates (default: the seed's value).
+	FeedbackInterval int
+	// DisableCompression turns HCompress into a pure multi-tier buffer
+	// (the paper's MTNC baseline).
+	DisableCompression bool
+}
+
+// DefaultTiers returns the default laptop-scale hierarchy.
+func DefaultTiers() []TierSpec {
+	return []TierSpec{
+		{Name: "ram", CapacityBytes: 256 << 20, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
+		{Name: "nvme", CapacityBytes: 1 << 30, LatencySec: 30e-6, BandwidthBps: 2e9, Lanes: 2},
+		{Name: "burstbuffer", CapacityBytes: 4 << 30, LatencySec: 400e-6, BandwidthBps: 1e9, Lanes: 2},
+		{Name: "pfs", CapacityBytes: 64 << 30, LatencySec: 5e-3, BandwidthBps: 500e6, Lanes: 4},
+	}
+}
+
+func (c Config) hierarchy() (tier.Hierarchy, error) {
+	specs := c.Tiers
+	if len(specs) == 0 {
+		specs = DefaultTiers()
+	}
+	var h tier.Hierarchy
+	for _, s := range specs {
+		h.Tiers = append(h.Tiers, tier.Spec{
+			Name:      s.Name,
+			Capacity:  s.CapacityBytes,
+			Latency:   s.LatencySec,
+			Bandwidth: s.BandwidthBps,
+			Lanes:     s.Lanes,
+		})
+	}
+	if err := h.Validate(); err != nil {
+		return tier.Hierarchy{}, fmt.Errorf("hcompress: %w", err)
+	}
+	return h, nil
+}

@@ -1,0 +1,87 @@
+package hcompress_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"hcompress"
+)
+
+// Example demonstrates the basic compress/decompress cycle through a
+// two-tier hierarchy.
+func Example() {
+	client, err := hcompress.New(hcompress.Config{
+		Tiers: []hcompress.TierSpec{
+			{Name: "ram", CapacityBytes: 1 << 20, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
+			{Name: "disk", CapacityBytes: 1 << 30, LatencySec: 5e-3, BandwidthBps: 80e6, Lanes: 1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	data := []byte(strings.Repeat("tiered storage ", 100000))
+	rep, err := client.Compress(hcompress.Task{Key: "demo", Data: data})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compressed:", rep.StoredBytes < rep.OriginalBytes)
+	fmt.Println("type:", rep.DataType)
+
+	back, err := client.Decompress("demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("intact:", bytes.Equal(back.Data, data))
+	// Output:
+	// compressed: true
+	// type: text
+	// intact: true
+}
+
+// ExampleClient_SetPriorities shows runtime priority switching (§IV-F2 of
+// the paper): the same client serves an archival phase after a
+// latency-sensitive phase.
+func ExampleClient_SetPriorities() {
+	client, err := hcompress.New(hcompress.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	data := []byte(strings.Repeat("checkpoint data ", 50000))
+	client.SetPriorities(hcompress.PriorityAsync) // hot path: fast codecs
+	if _, err := client.Compress(hcompress.Task{Key: "hot", Data: data}); err != nil {
+		log.Fatal(err)
+	}
+	client.SetPriorities(hcompress.PriorityArchival) // cold path: max ratio
+	if _, err := client.Compress(hcompress.Task{Key: "cold", Data: data}); err != nil {
+		log.Fatal(err)
+	}
+	hot, _ := client.Decompress("hot")
+	cold, _ := client.Decompress("cold")
+	fmt.Println("both intact:", bytes.Equal(hot.Data, data) && bytes.Equal(cold.Data, data))
+	// Output:
+	// both intact: true
+}
+
+// ExampleClient_Status shows the System Monitor's view of the hierarchy.
+func ExampleClient_Status() {
+	client, err := hcompress.New(hcompress.Config{Tiers: []hcompress.TierSpec{
+		{Name: "fast", CapacityBytes: 1 << 30, LatencySec: 1e-6, BandwidthBps: 1e9, Lanes: 2},
+		{Name: "slow", CapacityBytes: 1 << 34, LatencySec: 1e-3, BandwidthBps: 1e8, Lanes: 2},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	for _, ts := range client.Status() {
+		fmt.Printf("%s: %d bytes used\n", ts.Name, ts.UsedBytes)
+	}
+	// Output:
+	// fast: 0 bytes used
+	// slow: 0 bytes used
+}

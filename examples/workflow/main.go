@@ -1,0 +1,101 @@
+// Producer/consumer workflow example: the paper's §V-C2 pattern. A VPIC
+// producer writes time-step checkpoints, then a BD-CATS-style consumer
+// reads them all back for clustering. With read-after-write priorities,
+// HCompress balances compression, decompression, and ratio.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"hcompress"
+	"hcompress/internal/h5lite"
+	"hcompress/internal/workload"
+)
+
+const (
+	timesteps = 4
+	particles = 1 << 15
+)
+
+func main() {
+	client, err := hcompress.New(hcompress.Config{
+		Tiers: []hcompress.TierSpec{
+			{Name: "ram", CapacityBytes: 2 << 20, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
+			{Name: "nvme", CapacityBytes: 6 << 20, LatencySec: 30e-6, BandwidthBps: 2e9, Lanes: 2},
+			{Name: "pfs", CapacityBytes: 2 << 30, LatencySec: 5e-3, BandwidthBps: 100e6, Lanes: 4},
+		},
+		Priorities: hcompress.PriorityReadAfterWrite,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// --- producer: VPIC writes checkpoints ---
+	cfg := workload.PaperVPIC(1, timesteps)
+	for step := 0; step < timesteps; step++ {
+		buf, err := cfg.GenStepBuffer(0, step, particles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := client.Compress(hcompress.Task{
+			Key: key(step), Data: buf, DataType: "float", Distribution: "gamma",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("produced step %d: ratio %.2f across %d sub-tasks\n",
+			step, rep.Ratio, len(rep.SubTasks))
+	}
+
+	// --- consumer: BD-CATS reads every step and clusters energies ---
+	var all []float32
+	for step := 0; step < timesteps; step++ {
+		rep, err := client.Decompress(key(step))
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := h5lite.Decode(rep.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, ok := f.Lookup("energy")
+		if !ok {
+			log.Fatal("energy dataset missing")
+		}
+		for i := 0; i+4 <= len(ds.Data); i += 4 {
+			all = append(all, math.Float32frombits(binary.LittleEndian.Uint32(ds.Data[i:])))
+		}
+	}
+
+	// A toy 1-D clustering pass (the role BD-CATS plays): bucket particle
+	// energies and report the dominant clusters.
+	const buckets = 8
+	var minE, maxE float32 = all[0], all[0]
+	for _, v := range all {
+		if v < minE {
+			minE = v
+		}
+		if v > maxE {
+			maxE = v
+		}
+	}
+	counts := make([]int, buckets)
+	width := (maxE - minE) / buckets
+	for _, v := range all {
+		b := int((v - minE) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	fmt.Printf("consumed %d particles over %d steps; energy histogram:\n", len(all), timesteps)
+	for b, c := range counts {
+		fmt.Printf("  [%8.1f, %8.1f): %6d\n", minE+float32(b)*width, minE+float32(b+1)*width, c)
+	}
+}
+
+func key(step int) string { return fmt.Sprintf("vpic-step-%d", step) }

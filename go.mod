@@ -1,0 +1,3 @@
+module hcompress
+
+go 1.24

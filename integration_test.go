@@ -1,0 +1,235 @@
+package hcompress
+
+// Integration tests exercising cross-component flows: the full
+// IA -> CCP -> HCDP -> CM -> SHI pipeline under churn, priority switches
+// mid-stream, capacity exhaustion and recovery, and header-driven
+// decompression of data written under different policies.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcompress/internal/stats"
+	"hcompress/internal/workload"
+)
+
+func tinyTiers() []TierSpec {
+	return []TierSpec{
+		{Name: "ram", CapacityBytes: 1 << 20, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
+		{Name: "nvme", CapacityBytes: 4 << 20, LatencySec: 30e-6, BandwidthBps: 2e9, Lanes: 2},
+		{Name: "pfs", CapacityBytes: 1 << 30, LatencySec: 5e-3, BandwidthBps: 100e6, Lanes: 4},
+	}
+}
+
+func TestIntegrationChurn(t *testing.T) {
+	// Write/read/delete churn across data classes with tiny tiers: every
+	// byte must survive, capacity must never leak.
+	c := newClient(t, Config{Tiers: tinyTiers()})
+	rng := rand.New(rand.NewSource(42))
+	live := map[string][]byte{}
+	for i := 0; i < 120; i++ {
+		switch {
+		case len(live) < 3 || rng.Intn(3) > 0:
+			key := fmt.Sprintf("churn-%d", i)
+			dt := stats.AllTypes()[rng.Intn(4)]
+			d := stats.AllDists()[rng.Intn(4)]
+			data := stats.GenBuffer(dt, d, rng.Intn(1<<20)+1024, int64(i))
+			if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+			live[key] = data
+		default:
+			for key, want := range live {
+				rep, err := c.Decompress(key)
+				if err != nil {
+					t.Fatalf("op %d read %s: %v", i, key, err)
+				}
+				if !bytes.Equal(rep.Data, want) {
+					t.Fatalf("op %d: %s corrupted", i, key)
+				}
+				if rng.Intn(2) == 0 {
+					if err := c.Delete(key); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, key)
+				}
+				break
+			}
+		}
+	}
+	// Verify every survivor, then drain.
+	for key, want := range live {
+		rep, err := c.Decompress(key)
+		if err != nil || !bytes.Equal(rep.Data, want) {
+			t.Fatalf("final verify %s: %v", key, err)
+		}
+		if err := c.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ts := range c.Status() {
+		if ts.UsedBytes != 0 {
+			t.Errorf("tier %s leaked %d bytes", ts.Name, ts.UsedBytes)
+		}
+	}
+}
+
+func TestIntegrationPrioritySwitchPreservesOldData(t *testing.T) {
+	// Data written under one priority must decompress after the priority
+	// changes: the sub-task headers, not the engine state, drive reads.
+	c := newClient(t, Config{Tiers: tinyTiers()})
+	data := stats.GenBuffer(stats.TypeText, stats.Normal, 2<<20, 7)
+	if _, err := c.Compress(Task{Key: "before", Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPriorities(PriorityArchival)
+	if _, err := c.Compress(Task{Key: "after", Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPriorities(PriorityAsync)
+	for _, key := range []string{"before", "after"} {
+		rep, err := c.Decompress(key)
+		if err != nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("%s: %v", key, err)
+		}
+	}
+}
+
+func TestIntegrationCapacityExhaustionRecovers(t *testing.T) {
+	// Fill the hierarchy until writes fail, then delete and confirm the
+	// client recovers.
+	c := newClient(t, Config{Tiers: []TierSpec{
+		{Name: "only", CapacityBytes: 4 << 20, LatencySec: 1e-6, BandwidthBps: 1e9, Lanes: 1},
+	}})
+	data := stats.GenBuffer(stats.TypeBinary, stats.Uniform, 1<<20, 3) // incompressible
+	var keys []string
+	var failed bool
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("fill-%d", i)
+		if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+			failed = true
+			break
+		}
+		keys = append(keys, key)
+	}
+	if !failed {
+		t.Fatal("hierarchy never filled")
+	}
+	if len(keys) == 0 {
+		t.Fatal("nothing written before exhaustion")
+	}
+	for _, k := range keys {
+		if err := c.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Compress(Task{Key: "recovered", Data: data}); err != nil {
+		t.Fatalf("client did not recover after deletes: %v", err)
+	}
+}
+
+func TestIntegrationVPICContainerFlow(t *testing.T) {
+	// The vpic example's flow as a test: h5lite containers through the
+	// public API with self-described hints, read back and re-parsed.
+	c := newClient(t, Config{
+		Tiers:      tinyTiers(),
+		Priorities: Priorities{CompressionSpeed: 0.5, Ratio: 0.5},
+	})
+	cfg := workload.PaperVPIC(1, 3)
+	for step := 0; step < 3; step++ {
+		buf, err := cfg.GenStepBuffer(0, step, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Compress(Task{
+			Key: fmt.Sprintf("ckpt-%d", step), Data: buf,
+			DataType: "float", Distribution: "gamma",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DataType != "float" {
+			t.Errorf("hint not honored: %s", rep.DataType)
+		}
+		back, err := c.Decompress(fmt.Sprintf("ckpt-%d", step))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back.Data, buf) {
+			t.Fatalf("step %d corrupted", step)
+		}
+	}
+}
+
+func TestIntegrationQuickRoundTrip(t *testing.T) {
+	// Property: any non-empty byte slice survives the full pipeline.
+	c := newClient(t, Config{Tiers: tinyTiers()})
+	n := 0
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		n++
+		key := fmt.Sprintf("q-%d", n)
+		if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		rep, err := c.Decompress(key)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		ok := bytes.Equal(rep.Data, data)
+		c.Delete(key)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrationVirtualTimeMonotonic(t *testing.T) {
+	c := newClient(t, Config{Tiers: tinyTiers()})
+	data := stats.GenBuffer(stats.TypeInt, stats.Gamma, 256<<10, 1)
+	prev := 0.0
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("t-%d", i)
+		if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+		now := c.Stats().VirtualSeconds
+		if now <= prev {
+			t.Fatalf("virtual clock not monotonic: %v -> %v", prev, now)
+		}
+		prev = now
+		c.Delete(key)
+	}
+}
+
+func TestIntegrationFeedbackImprovesAccuracy(t *testing.T) {
+	// After a stream of similar tasks, the CCP should be reporting high
+	// accuracy on its own predictions.
+	c := newClient(t, Config{Tiers: tinyTiers(), FeedbackInterval: 8})
+	data := stats.GenBuffer(stats.TypeText, stats.Uniform, 512<<10, 5)
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("fb-%d", i)
+		if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decompress(key); err != nil {
+			t.Fatal(err)
+		}
+		c.Delete(key)
+	}
+	s := c.Stats()
+	if s.FeedbackAbsorbed == 0 {
+		t.Fatal("no feedback absorbed")
+	}
+	if s.ModelAccuracy < 0.5 {
+		t.Errorf("model accuracy %.2f after consistent workload", s.ModelAccuracy)
+	}
+}

@@ -1,0 +1,207 @@
+// Package analyzer implements HCompress's Input Analyzer (IA): fast,
+// sampling-based inference of a buffer's data type, content distribution,
+// and container format (§IV-C). The IA never scans whole buffers — it
+// sub-samples, mirroring the paper's claim that analysis is "extremely
+// fast and accurate" because most inputs are either self-described or
+// statistically obvious.
+package analyzer
+
+import (
+	"encoding/binary"
+	"math"
+
+	"hcompress/internal/stats"
+)
+
+// Format is the container format the IA recognizes.
+type Format int
+
+const (
+	FormatRaw Format = iota
+	FormatH5Lite
+	FormatCSV
+	FormatJSON
+)
+
+var formatNames = [...]string{"raw", "h5lite", "csv", "json"}
+
+func (f Format) String() string {
+	if f < 0 || int(f) >= len(formatNames) {
+		return "unknown"
+	}
+	return formatNames[f]
+}
+
+// H5LiteMagic is the 4-byte superblock signature of the h5lite container
+// (see internal/h5lite); the IA uses it for the self-described fast path.
+var H5LiteMagic = [4]byte{'H', '5', 'L', 'T'}
+
+// Result is the IA's verdict on one buffer.
+type Result struct {
+	Type   stats.DataType
+	Dist   stats.Dist
+	Format Format
+	Size   int
+}
+
+// Hint carries externally known attributes (e.g. parsed from a
+// self-describing container) that short-circuit detection.
+type Hint struct {
+	Type *stats.DataType
+	Dist *stats.Dist
+}
+
+const (
+	sampleBytes   = 8192 // bytes inspected for type detection
+	distSamples   = 2048 // numeric samples for distribution classification
+	printableFrac = 0.92
+)
+
+// Analyze inspects buf and infers its attributes.
+func Analyze(buf []byte) Result {
+	return AnalyzeWithHint(buf, nil)
+}
+
+// AnalyzeWithHint is Analyze with a self-described fast path: any
+// attribute present in hint is trusted, skipping detection (the paper's
+// "metadata parsing of self-described portable data representations").
+func AnalyzeWithHint(buf []byte, hint *Hint) Result {
+	r := Result{Size: len(buf), Format: detectFormat(buf)}
+	if hint != nil && hint.Type != nil {
+		r.Type = *hint.Type
+	} else {
+		r.Type = detectType(buf)
+	}
+	if hint != nil && hint.Dist != nil {
+		r.Dist = *hint.Dist
+		return r
+	}
+	r.Dist = stats.ClassifyDist(stats.SampleFloats(buf, r.Type, distSamples))
+	return r
+}
+
+func detectFormat(buf []byte) Format {
+	if len(buf) >= 4 && buf[0] == H5LiteMagic[0] && buf[1] == H5LiteMagic[1] &&
+		buf[2] == H5LiteMagic[2] && buf[3] == H5LiteMagic[3] {
+		return FormatH5Lite
+	}
+	// Leading-whitespace-tolerant JSON sniff.
+	for _, b := range buf[:minInt(len(buf), 64)] {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{', '[':
+			if looksTextual(buf) {
+				return FormatJSON
+			}
+			return FormatRaw
+		default:
+			goto notJSON
+		}
+	}
+notJSON:
+	if looksTextual(buf) && looksCSV(buf) {
+		return FormatCSV
+	}
+	return FormatRaw
+}
+
+// detectType classifies element type from a sub-sample: text, then float32,
+// then int32, else opaque binary.
+func detectType(buf []byte) stats.DataType {
+	if len(buf) == 0 {
+		return stats.TypeBinary
+	}
+	if looksTextual(buf) {
+		return stats.TypeText
+	}
+	n := minInt(len(buf), sampleBytes)
+	sample := buf[:n&^3]
+	if len(sample) < 4 {
+		return stats.TypeBinary
+	}
+	floatish, intish := 0, 0
+	total := 0
+	for i := 0; i+4 <= len(sample); i += 4 {
+		v := binary.LittleEndian.Uint32(sample[i:])
+		total++
+		f := math.Float32frombits(v)
+		// Plausible measurement floats: finite, not denormal-tiny, and of
+		// moderate magnitude.
+		if !math.IsNaN(float64(f)) && !math.IsInf(float64(f), 0) {
+			a := math.Abs(float64(f))
+			if a == 0 || (a > 1e-20 && a < 1e20) {
+				floatish++
+			}
+		}
+		// Plausible int32 measurements cluster near zero relative to the
+		// full 32-bit range.
+		if iv := int32(v); iv > -(1<<26) && iv < 1<<26 {
+			intish++
+		}
+	}
+	if total == 0 {
+		return stats.TypeBinary
+	}
+	ff := float64(floatish) / float64(total)
+	fi := float64(intish) / float64(total)
+	switch {
+	case fi >= 0.95 && fi >= ff:
+		return stats.TypeInt
+	case ff >= 0.95:
+		return stats.TypeFloat
+	case fi >= 0.80 || ff >= 0.80:
+		if fi >= ff {
+			return stats.TypeInt
+		}
+		return stats.TypeFloat
+	default:
+		return stats.TypeBinary
+	}
+}
+
+func looksTextual(buf []byte) bool {
+	n := minInt(len(buf), sampleBytes)
+	if n == 0 {
+		return false
+	}
+	printable := 0
+	stride := maxInt(1, n/1024)
+	seen := 0
+	for i := 0; i < n; i += stride {
+		b := buf[i]
+		if (b >= 0x20 && b < 0x7F) || b == '\n' || b == '\r' || b == '\t' {
+			printable++
+		}
+		seen++
+	}
+	return float64(printable) >= printableFrac*float64(seen)
+}
+
+func looksCSV(buf []byte) bool {
+	n := minInt(len(buf), sampleBytes)
+	commas, newlines := 0, 0
+	for i := 0; i < n; i++ {
+		switch buf[i] {
+		case ',':
+			commas++
+		case '\n':
+			newlines++
+		}
+	}
+	return newlines >= 2 && commas >= 2*newlines
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package analyzer
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcompress/internal/stats"
+)
+
+func TestDetectTextType(t *testing.T) {
+	buf := stats.GenBuffer(stats.TypeText, stats.Uniform, 1<<16, 1)
+	r := Analyze(buf)
+	if r.Type != stats.TypeText {
+		t.Errorf("text buffer detected as %v", r.Type)
+	}
+	if r.Size != 1<<16 {
+		t.Errorf("size %d", r.Size)
+	}
+}
+
+func TestDetectFloatType(t *testing.T) {
+	for _, d := range stats.AllDists() {
+		buf := stats.GenBuffer(stats.TypeFloat, d, 1<<16, int64(d)+10)
+		r := Analyze(buf)
+		if r.Type != stats.TypeFloat {
+			t.Errorf("float/%v detected as %v", d, r.Type)
+		}
+	}
+}
+
+func TestDetectIntType(t *testing.T) {
+	for _, d := range stats.AllDists() {
+		buf := stats.GenBuffer(stats.TypeInt, d, 1<<16, int64(d)+20)
+		r := Analyze(buf)
+		if r.Type != stats.TypeInt {
+			t.Errorf("int/%v detected as %v", d, r.Type)
+		}
+	}
+}
+
+func TestDetectBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]byte, 1<<16)
+	rng.Read(buf)
+	r := Analyze(buf)
+	if r.Type == stats.TypeText {
+		t.Errorf("random bytes detected as text")
+	}
+	if r.Format != FormatRaw {
+		t.Errorf("random bytes format %v", r.Format)
+	}
+}
+
+func TestDetectDistribution(t *testing.T) {
+	ok := 0
+	total := 0
+	for _, d := range stats.AllDists() {
+		for trial := 0; trial < 5; trial++ {
+			buf := stats.GenBuffer(stats.TypeFloat, d, 1<<17, int64(d)*100+int64(trial))
+			total++
+			if Analyze(buf).Dist == d {
+				ok++
+			}
+		}
+	}
+	if ok*10 < total*6 {
+		t.Errorf("distribution detection %d/%d", ok, total)
+	}
+}
+
+func TestDetectCSV(t *testing.T) {
+	csv := []byte("a,b,c\n1,2,3\n4,5,6\n7,8,9\n")
+	r := Analyze(csv)
+	if r.Format != FormatCSV {
+		t.Errorf("csv detected as %v", r.Format)
+	}
+	if r.Type != stats.TypeText {
+		t.Errorf("csv type %v", r.Type)
+	}
+}
+
+func TestDetectJSON(t *testing.T) {
+	j := []byte(`  {"particles": [1, 2, 3], "timestep": 5, "name": "vpic"}`)
+	if got := Analyze(j).Format; got != FormatJSON {
+		t.Errorf("json detected as %v", got)
+	}
+	arr := []byte(`[1,2,3,4,5,6,7,8,9,10,11,12]`)
+	if got := Analyze(arr).Format; got != FormatJSON {
+		t.Errorf("json array detected as %v", got)
+	}
+}
+
+func TestDetectH5Lite(t *testing.T) {
+	buf := append([]byte("H5LT"), make([]byte, 100)...)
+	if got := Analyze(buf).Format; got != FormatH5Lite {
+		t.Errorf("h5lite magic detected as %v", got)
+	}
+}
+
+func TestHintShortCircuits(t *testing.T) {
+	// A hint must be trusted even when detection would disagree.
+	buf := stats.GenBuffer(stats.TypeText, stats.Uniform, 4096, 3)
+	ty := stats.TypeFloat
+	di := stats.Gamma
+	r := AnalyzeWithHint(buf, &Hint{Type: &ty, Dist: &di})
+	if r.Type != stats.TypeFloat || r.Dist != stats.Gamma {
+		t.Errorf("hint ignored: %+v", r)
+	}
+	// Partial hint: type given, dist detected.
+	r2 := AnalyzeWithHint(buf, &Hint{Type: &ty})
+	if r2.Type != stats.TypeFloat {
+		t.Errorf("partial hint ignored")
+	}
+}
+
+func TestEmptyAndTinyBuffers(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 7} {
+		buf := make([]byte, n)
+		r := Analyze(buf) // must not panic
+		if r.Size != n {
+			t.Errorf("n=%d: size %d", n, r.Size)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	names := map[Format]string{
+		FormatRaw: "raw", FormatH5Lite: "h5lite", FormatCSV: "csv", FormatJSON: "json",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d -> %q want %q", f, f.String(), want)
+		}
+	}
+	if Format(99).String() != "unknown" {
+		t.Error("out-of-range format name")
+	}
+}
+
+func BenchmarkAnalyze1MB(b *testing.B) {
+	buf := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 4)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(buf)
+	}
+}

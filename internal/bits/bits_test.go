@@ -1,0 +1,150 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0x1234, 16)
+	w.WriteBit(1)
+	out := w.Bytes()
+
+	r := NewReader(out)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("got %b want 101", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("got %x want ff", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0x1234 {
+		t.Fatalf("got %x want 1234", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Fatalf("got %d want 1", v)
+	}
+}
+
+func TestRoundTripRandomWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type item struct {
+		v uint64
+		n uint
+	}
+	var items []item
+	w := NewWriter(nil)
+	for i := 0; i < 10000; i++ {
+		n := uint(rng.Intn(57) + 1)
+		v := rng.Uint64() & (1<<n - 1)
+		items = append(items, item{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, it := range items {
+		v, err := r.ReadBits(it.n)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if v != it.v {
+			t.Fatalf("item %d: got %x want %x (n=%d)", i, v, it.v, it.n)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(1, 1)
+	w.Align()
+	w.WriteBits(0xCD, 8)
+	out := w.Bytes()
+	if len(out) != 2 {
+		t.Fatalf("len=%d want 2", len(out))
+	}
+	r := NewReader(out)
+	if _, err := r.ReadBits(1); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	if v, _ := r.ReadBits(8); v != 0xCD {
+		t.Fatalf("got %x want cd", v)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(0x2A, 8)
+	r := NewReader(w.Bytes())
+	if p := r.Peek(8); p != 0x2A {
+		t.Fatalf("peek got %x", p)
+	}
+	if v, _ := r.ReadBits(8); v != 0x2A {
+		t.Fatalf("read got %x", v)
+	}
+}
+
+func TestHave(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if got := r.Have(); got != 24 {
+		t.Fatalf("Have=%d want 24", got)
+	}
+	r.ReadBits(5)
+	if got := r.Have(); got != 19 {
+		t.Fatalf("Have=%d want 19", got)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		w := NewWriter(nil)
+		for _, b := range data {
+			w.WriteBits(uint64(b), 8)
+		}
+		r := NewReader(w.Bytes())
+		for _, b := range data {
+			v, err := r.ReadBits(8)
+			if err != nil || byte(v) != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset(nil)
+	w.WriteBits(0x7, 3)
+	out := w.Bytes()
+	if len(out) != 1 || out[0] != 0x07 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(make([]byte, 0, 1<<20))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset(w.buf[:0])
+		for j := 0; j < 100000; j++ {
+			w.WriteBits(uint64(j), 13)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcompress/internal/bits"
+)
+
+// brotliCodec is the pool's medium-speed / medium-ratio codec: LZSS over a
+// 128 KiB window with depth-bounded hash chains and one-step-lazy matching,
+// entropy-coded with two canonical Huffman tables (literal+length alphabet
+// and distance alphabet), DEFLATE-style slot+extra-bits integer coding.
+// It stands in for Brotli's "light" qualities in the paper's Fig. 1.
+//
+// Block format (blocks of brBlockSize):
+//
+//	u32 LE rawLen, u32 LE compLen; compLen == rawLen means stored raw.
+//	Payload: nibble-packed code lengths for the 280-symbol literal/length
+//	alphabet (140 bytes) and the 36-symbol distance alphabet (18 bytes),
+//	then the LSB-first bitstream. Symbols 0..255 are literals; 256+slot
+//	begins a match (slot extra bits, then a distance slot + extra bits).
+type brotliCodec struct{}
+
+func (brotliCodec) Name() string { return "brotli" }
+func (brotliCodec) ID() ID       { return Brotli }
+
+const (
+	brBlockSize  = 1 << 18
+	brWindow     = 1 << 17
+	brHashLog    = 16
+	brChainDepth = 16
+	brMinMatch   = 4
+	brNumLenSlot = 24
+	brNumDstSlot = 36
+	brAlphabet   = 256 + brNumLenSlot
+	brMaxCodeLen = 12
+)
+
+// Slot coding: slot s spans size 1<<(s>>1) values, so extra-bit counts run
+// 0,0,1,1,2,2,... Match lengths start at brMinMatch, distances at 1.
+func slotFor(v, base int) (slot, extra, ebits int) {
+	v -= base
+	slot = 0
+	for size := 1; v >= size; slot++ {
+		v -= size
+		size = 1 << ((slot + 1) >> 1)
+	}
+	return slot, v, slot >> 1
+}
+
+func slotBase(slot, base int) int {
+	for s := 0; s < slot; s++ {
+		base += 1 << (s >> 1)
+	}
+	return base
+}
+
+func (brotliCodec) Compress(dst, src []byte) ([]byte, error) {
+	for len(src) > 0 {
+		n := len(src)
+		if n > brBlockSize {
+			n = brBlockSize
+		}
+		dst = brCompressBlock(dst, src[:n])
+		src = src[n:]
+	}
+	return dst, nil
+}
+
+// brToken encodes a literal (value < 256) or a match:
+// bit 63 set, length in bits 32..46, distance in bits 0..31.
+type brToken uint64
+
+func brMatchToken(length, dist int) brToken {
+	return brToken(1<<63 | uint64(length)<<32 | uint64(dist))
+}
+
+func brCompressBlock(dst, src []byte) []byte {
+	tokens := brParse(src)
+
+	var litFreq [brAlphabet]int
+	var dstFreq [brNumDstSlot]int
+	for _, t := range tokens {
+		if t < 256 {
+			litFreq[t]++
+			continue
+		}
+		length := int(t>>32) & 0x7FFF
+		dist := int(uint32(t))
+		ls, _, _ := slotFor(length, brMinMatch)
+		ds, _, _ := slotFor(dist, 1)
+		litFreq[256+ls]++
+		dstFreq[ds]++
+	}
+	litLens := buildCodeLengths(litFreq[:], brMaxCodeLen)
+	dstLens := buildCodeLengths(dstFreq[:], brMaxCodeLen)
+	litCodes := canonicalCodes(litLens)
+	dstCodes := canonicalCodes(dstLens)
+
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(src)))
+	payloadStart := len(dst)
+
+	for i := 0; i < brAlphabet; i += 2 {
+		dst = append(dst, litLens[i]|litLens[i+1]<<4)
+	}
+	for i := 0; i < brNumDstSlot; i += 2 {
+		dst = append(dst, dstLens[i]|dstLens[i+1]<<4)
+	}
+	w := bits.NewWriter(dst)
+	for _, t := range tokens {
+		if t < 256 {
+			w.WriteBits(uint64(litCodes[t]), uint(litLens[t]))
+			continue
+		}
+		length := int(t>>32) & 0x7FFF
+		dist := int(uint32(t))
+		ls, le, leb := slotFor(length, brMinMatch)
+		w.WriteBits(uint64(litCodes[256+ls]), uint(litLens[256+ls]))
+		w.WriteBits(uint64(le), uint(leb))
+		ds, de, deb := slotFor(dist, 1)
+		w.WriteBits(uint64(dstCodes[ds]), uint(dstLens[ds]))
+		w.WriteBits(uint64(de), uint(deb))
+	}
+	dst = w.Bytes()
+
+	if len(dst)-payloadStart >= len(src) {
+		dst = append(dst[:payloadStart], src...)
+		binary.LittleEndian.PutUint32(dst[hdr+4:], uint32(len(src)))
+		return dst
+	}
+	binary.LittleEndian.PutUint32(dst[hdr+4:], uint32(len(dst)-payloadStart))
+	return dst
+}
+
+// brParse tokenizes src with hash chains and one-step lazy matching.
+func brParse(src []byte) []brToken {
+	tokens := make([]brToken, 0, len(src)/3+8)
+	if len(src) < 12 {
+		for _, b := range src {
+			tokens = append(tokens, brToken(b))
+		}
+		return tokens
+	}
+	head := make([]int32, 1<<brHashLog)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+	hash := func(v uint32) uint32 { return (v * 2654435761) >> (32 - brHashLog) }
+	insert := func(i int) {
+		h := hash(binary.LittleEndian.Uint32(src[i:]))
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+	find := func(i int) (length, dist int) {
+		v := binary.LittleEndian.Uint32(src[i:])
+		cand := head[hash(v)]
+		maxMatch := len(src) - 4 - i
+		if maxMatch > 8190 {
+			maxMatch = 8190
+		}
+		for depth := 0; depth < brChainDepth && cand >= 0 && i-int(cand) <= brWindow; depth++ {
+			c := int(cand)
+			cand = prev[c]
+			if binary.LittleEndian.Uint32(src[c:]) != v {
+				continue
+			}
+			mlen := 4
+			for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
+				mlen++
+			}
+			if mlen > length {
+				length, dist = mlen, i-c
+			}
+		}
+		return length, dist
+	}
+
+	i := 0
+	limit := len(src) - 8
+	for i < limit {
+		length, dist := find(i)
+		insert(i)
+		if length < brMinMatch {
+			tokens = append(tokens, brToken(src[i]))
+			i++
+			continue
+		}
+		// Lazy: a longer match one byte later wins.
+		if i+1 < limit {
+			l2, d2 := find(i + 1)
+			if l2 > length+1 {
+				tokens = append(tokens, brToken(src[i]))
+				i++
+				insert(i)
+				length, dist = l2, d2
+			}
+		}
+		tokens = append(tokens, brMatchToken(length, dist))
+		end := i + length
+		if end > limit {
+			end = limit
+		}
+		for j := i + 1; j < end; j += 3 {
+			insert(j)
+		}
+		i += length
+	}
+	for ; i < len(src); i++ {
+		tokens = append(tokens, brToken(src[i]))
+	}
+	return tokens
+}
+
+func (brotliCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	base := len(dst)
+	for len(src) > 0 {
+		if len(src) < 8 {
+			return nil, fmt.Errorf("%w: brotli truncated block header", ErrCorrupt)
+		}
+		rawLen := int(binary.LittleEndian.Uint32(src))
+		compLen := int(binary.LittleEndian.Uint32(src[4:]))
+		src = src[8:]
+		if compLen > len(src) || rawLen > brBlockSize {
+			return nil, fmt.Errorf("%w: brotli block lengths", ErrCorrupt)
+		}
+		var err error
+		dst, err = brDecompressBlock(dst, src[:compLen], rawLen, base)
+		if err != nil {
+			return nil, err
+		}
+		src = src[compLen:]
+	}
+	if len(dst)-base != srcLen {
+		return nil, fmt.Errorf("%w: brotli produced %d bytes, want %d", ErrCorrupt, len(dst)-base, srcLen)
+	}
+	return dst, nil
+}
+
+func brDecompressBlock(dst, payload []byte, rawLen, base int) ([]byte, error) {
+	if len(payload) == rawLen {
+		return append(dst, payload...), nil
+	}
+	const hdrLen = brAlphabet/2 + brNumDstSlot/2
+	if len(payload) < hdrLen {
+		return nil, fmt.Errorf("%w: brotli payload too short", ErrCorrupt)
+	}
+	var litLens [brAlphabet]uint8
+	for i := 0; i < brAlphabet/2; i++ {
+		litLens[2*i] = payload[i] & 0x0F
+		litLens[2*i+1] = payload[i] >> 4
+	}
+	var dstLens [brNumDstSlot]uint8
+	off := brAlphabet / 2
+	for i := 0; i < brNumDstSlot/2; i++ {
+		dstLens[2*i] = payload[off+i] & 0x0F
+		dstLens[2*i+1] = payload[off+i] >> 4
+	}
+	litTable, err := buildDecodeTable(litLens[:], brMaxCodeLen)
+	if err != nil {
+		return nil, err
+	}
+	dstTable, err := buildDecodeTable(dstLens[:], brMaxCodeLen)
+	if err != nil {
+		return nil, err
+	}
+	r := bits.NewReader(payload[hdrLen:])
+	produced := 0
+	for produced < rawLen {
+		e := litTable[r.Peek(brMaxCodeLen)]
+		l := uint(e & 0x0F)
+		if l == 0 || r.Have() < int(l) {
+			return nil, fmt.Errorf("%w: brotli invalid literal code", ErrCorrupt)
+		}
+		r.Skip(l)
+		sym := int(e >> 4)
+		if sym < 256 {
+			dst = append(dst, byte(sym))
+			produced++
+			continue
+		}
+		slot := sym - 256
+		extra, err := r.ReadBits(uint(slot >> 1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: brotli truncated length extra", ErrCorrupt)
+		}
+		length := slotBase(slot, brMinMatch) + int(extra)
+
+		de := dstTable[r.Peek(brMaxCodeLen)]
+		dl := uint(de & 0x0F)
+		if dl == 0 || r.Have() < int(dl) {
+			return nil, fmt.Errorf("%w: brotli invalid distance code", ErrCorrupt)
+		}
+		r.Skip(dl)
+		dslot := int(de >> 4)
+		dextra, err := r.ReadBits(uint(dslot >> 1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: brotli truncated distance extra", ErrCorrupt)
+		}
+		dist := slotBase(dslot, 1) + int(dextra)
+
+		dst, err = lzCopyMatch(dst, base, dist, length, "brotli")
+		if err != nil {
+			return nil, err
+		}
+		produced += length
+	}
+	if produced != rawLen {
+		return nil, fmt.Errorf("%w: brotli block overproduced", ErrCorrupt)
+	}
+	return dst, nil
+}

@@ -1,0 +1,282 @@
+package codec
+
+// Burrows-Wheeler machinery shared by the bzip2 and bsc codecs: a
+// Manber-Myers suffix array (prefix doubling with radix sort, O(n log n)),
+// the forward and inverse BWT with an implicit sentinel, move-to-front
+// coding, and zero-run-length coding of the MTF output.
+
+// suffixArray returns the suffix array of src: sa[j] is the start of the
+// j-th smallest suffix, with shorter suffixes ordering before longer ones
+// at equal prefixes (implicit smallest sentinel).
+func suffixArray(src []byte) []int32 {
+	n := len(src)
+	sa := make([]int32, n)
+	if n == 0 {
+		return sa
+	}
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	cnt := make([]int32, n+257)
+
+	// Initial sort by first byte (counting sort).
+	for i := range cnt[:257] {
+		cnt[i] = 0
+	}
+	for _, b := range src {
+		cnt[int(b)+1]++
+	}
+	for i := 1; i <= 256; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := 0; i < n; i++ {
+		sa[cnt[src[i]]] = int32(i)
+		cnt[src[i]]++
+	}
+	rank[sa[0]] = 0
+	for j := 1; j < n; j++ {
+		rank[sa[j]] = rank[sa[j-1]]
+		if src[sa[j]] != src[sa[j-1]] {
+			rank[sa[j]]++
+		}
+	}
+
+	key2 := func(i int32, k int) int32 {
+		if int(i)+k < n {
+			return rank[int(i)+k] + 1 // 0 reserved for "past end" (sentinel)
+		}
+		return 0
+	}
+	for k := 1; ; k <<= 1 {
+		if int(rank[sa[n-1]]) == n-1 {
+			break // all ranks distinct
+		}
+		// Radix sort by (rank[i], key2) — stable two-pass counting sort.
+		// Pass 1: by secondary key.
+		lim := n + 1
+		for i := 0; i <= lim; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[key2(int32(i), k)+1]++
+		}
+		for i := 1; i <= lim; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for j := 0; j < n; j++ { // iterate suffixes in index order; stability irrelevant for pass 1
+			i := int32(j)
+			tmp[cnt[key2(i, k)]] = i
+			cnt[key2(i, k)]++
+		}
+		// Pass 2: by primary key, stable over pass 1 order.
+		for i := 0; i <= lim; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[i]+1]++
+		}
+		for i := 1; i < lim; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for _, i := range tmp {
+			sa[cnt[rank[i]]] = i
+			cnt[rank[i]]++
+		}
+		// Re-rank.
+		prevRank := rank[sa[0]]
+		prevKey2 := key2(sa[0], k)
+		tmp[sa[0]] = 0
+		for j := 1; j < n; j++ {
+			r, k2 := rank[sa[j]], key2(sa[j], k)
+			tmp[sa[j]] = tmp[sa[j-1]]
+			if r != prevRank || k2 != prevKey2 {
+				tmp[sa[j]]++
+			}
+			prevRank, prevKey2 = r, k2
+		}
+		rank, tmp = tmp, rank
+	}
+	return sa
+}
+
+// bwtForward computes the Burrows-Wheeler transform of src with an
+// implicit sentinel. It returns the n-byte transform and ptr, the row
+// index (in the (n+1)-row conceptual matrix) at which the sentinel
+// character was elided.
+func bwtForward(src []byte) (bwt []byte, ptr int) {
+	n := len(src)
+	if n == 0 {
+		return nil, 0
+	}
+	sa := suffixArray(src)
+	bwt = make([]byte, 0, n)
+	// Row 0 is the empty (sentinel) suffix; its L-column char is the last
+	// byte of the text.
+	bwt = append(bwt, src[n-1])
+	for j, pos := range sa {
+		if pos == 0 {
+			ptr = j + 1 // +1 for the implicit row 0
+			continue
+		}
+		bwt = append(bwt, src[pos-1])
+	}
+	return bwt, ptr
+}
+
+// bwtInverse reconstructs the original text from its transform and ptr.
+func bwtInverse(bwt []byte, ptr int) ([]byte, error) {
+	n := len(bwt)
+	if n == 0 {
+		return nil, nil
+	}
+	if ptr <= 0 || ptr > n {
+		return nil, ErrCorrupt
+	}
+	// C[c]: number of characters strictly smaller than c in the L column,
+	// counting the sentinel (smallest) once.
+	var count [256]int
+	for _, b := range bwt {
+		count[b]++
+	}
+	var c [256]int
+	sum := 1 // the sentinel
+	for v := 0; v < 256; v++ {
+		c[v] = sum
+		sum += count[v]
+	}
+	// lf[i]: the row whose suffix is (suffix of row i) prepended with L[i].
+	lf := make([]int32, n+1)
+	var occ [256]int
+	for i := 0; i <= n; i++ {
+		if i == ptr {
+			lf[i] = 0 // sentinel maps to row 0
+			continue
+		}
+		j := i
+		if i > ptr {
+			j = i - 1
+		}
+		b := bwt[j]
+		lf[i] = int32(c[b] + occ[b])
+		occ[b]++
+	}
+	out := make([]byte, n)
+	row := 0 // row 0 = empty suffix; L[0] is the last text byte
+	for k := n - 1; k >= 0; k-- {
+		j := row
+		if row == ptr {
+			return nil, ErrCorrupt // sentinel reached early
+		}
+		if row > ptr {
+			j = row - 1
+		}
+		out[k] = bwt[j]
+		row = int(lf[row])
+	}
+	return out, nil
+}
+
+// mtfEncode applies move-to-front coding in place semantics (allocates the
+// output).
+func mtfEncode(src []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for k, b := range src {
+		var idx int
+		for order[idx] != b {
+			idx++
+		}
+		out[k] = byte(idx)
+		copy(order[1:idx+1], order[:idx])
+		order[0] = b
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(src []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for k, idx := range src {
+		b := order[idx]
+		out[k] = b
+		copy(order[1:int(idx)+1], order[:idx])
+		order[0] = b
+	}
+	return out
+}
+
+// rle0Encode run-length-codes zeros in an MTF stream: a zero byte is
+// followed by a varint-style continuation of (runLength-1); other bytes
+// pass through. MTF output of BWT text is zero-dominated, so this is where
+// most of the bzip2-family ratio comes from.
+func rle0Encode(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+16)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		if b != 0 {
+			out = append(out, b)
+			i++
+			continue
+		}
+		run := 1
+		for i+run < len(src) && src[i+run] == 0 {
+			run++
+		}
+		out = append(out, 0)
+		v := run - 1
+		for v >= 0x80 {
+			out = append(out, byte(v)|0x80)
+			v >>= 7
+		}
+		out = append(out, byte(v))
+		i += run
+	}
+	return out
+}
+
+// rle0Decode inverts rle0Encode. wantLen bounds the output as a corruption
+// guard.
+func rle0Decode(src []byte, wantLen int) ([]byte, error) {
+	out := make([]byte, 0, wantLen)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		i++
+		if b != 0 {
+			out = append(out, b)
+			continue
+		}
+		run := 0
+		shift := 0
+		for {
+			if i >= len(src) || shift > 28 {
+				return nil, ErrCorrupt
+			}
+			v := src[i]
+			i++
+			run |= int(v&0x7F) << shift
+			if v&0x80 == 0 {
+				break
+			}
+			shift += 7
+		}
+		run++
+		if len(out)+run > wantLen {
+			return nil, ErrCorrupt
+		}
+		for k := 0; k < run; k++ {
+			out = append(out, 0)
+		}
+	}
+	if len(out) != wantLen {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

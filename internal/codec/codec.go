@@ -1,0 +1,172 @@
+// Package codec implements HCompress's Compression Library Pool (CLP):
+// a suite of twelve compression codecs behind one interface, spanning the
+// speed-versus-ratio spectrum the HCDP engine selects from.
+//
+// The names mirror the libraries listed in the paper (bzip2, zlib, huffman,
+// brotli, bsc, lzma, lz4, lzo, pithy, snappy, quicklz) plus the mandatory
+// "none" choice (c = 0 in the optimization). Every codec except zlib is
+// implemented from scratch in this package; zlib wraps the standard
+// library's DEFLATE. See DESIGN.md §2 for the fidelity argument.
+//
+// All codecs are safe for concurrent use: compression state lives on the
+// stack or in per-call buffers.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ID identifies a codec in sub-task headers. IDs are stable on-disk values;
+// never renumber them.
+type ID uint8
+
+// Codec identifiers. None is the "no compression" choice that the HCDP
+// engine must always be allowed to pick.
+const (
+	None ID = iota
+	RLE
+	Huffman
+	LZ4
+	LZO
+	Pithy
+	Snappy
+	QuickLZ
+	Brotli
+	Zlib
+	Bzip2
+	BSC
+	LZMA
+	numIDs
+)
+
+// ErrCorrupt is returned when a compressed payload fails validation.
+var ErrCorrupt = errors.New("codec: corrupt compressed data")
+
+// ErrUnknownCodec is returned when a header references an unregistered ID.
+var ErrUnknownCodec = errors.New("codec: unknown codec id")
+
+// Codec is the Compression Library Interface: a uniform facade over one
+// compression algorithm.
+type Codec interface {
+	// Name returns the paper-facing library name (e.g. "snappy").
+	Name() string
+	// ID returns the stable header identifier.
+	ID() ID
+	// Compress appends the compressed form of src to dst and returns the
+	// extended slice. Implementations must be deterministic.
+	Compress(dst, src []byte) ([]byte, error)
+	// Decompress appends the decompressed form of src to dst. srcLen is
+	// the original (uncompressed) length recorded in the sub-task header;
+	// implementations use it to size buffers and to validate output.
+	Decompress(dst, src []byte, srcLen int) ([]byte, error)
+}
+
+var registry [numIDs]Codec
+
+func register(c Codec) {
+	if registry[c.ID()] != nil {
+		panic(fmt.Sprintf("codec: duplicate registration for id %d", c.ID()))
+	}
+	registry[c.ID()] = c
+}
+
+func init() {
+	register(noneCodec{})
+	register(rleCodec{})
+	register(huffmanCodec{})
+	register(lz4Codec{})
+	register(lzoCodec{})
+	register(pithyCodec{})
+	register(snappyCodec{})
+	register(quicklzCodec{})
+	register(brotliCodec{})
+	register(zlibCodec{})
+	register(bzip2Codec{})
+	register(bscCodec{})
+	register(lzmaCodec{})
+}
+
+// ByID returns the codec registered under id, or ErrUnknownCodec.
+// This is the Compression Library Factory from the paper: O(1) dispatch
+// from the constant stored in sub-task metadata to an implementation.
+func ByID(id ID) (Codec, error) {
+	if int(id) >= len(registry) || registry[id] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCodec, id)
+	}
+	return registry[id], nil
+}
+
+// ByName returns the codec with the given library name.
+func ByName(name string) (Codec, error) {
+	for _, c := range registry {
+		if c != nil && c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownCodec, name)
+}
+
+// All returns every registered codec ordered by ID (None first).
+func All() []Codec {
+	out := make([]Codec, 0, len(registry))
+	for _, c := range registry {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Names returns the registered library names sorted alphabetically,
+// excluding "none".
+func Names() []string {
+	var out []string
+	for _, c := range registry {
+		if c != nil && c.ID() != None {
+			out = append(out, c.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RoundTrip compresses then decompresses src with c and reports the
+// compressed size. It is a convenience for the profiler and for tests.
+func RoundTrip(c Codec, src []byte) (compressedLen int, err error) {
+	comp, err := c.Compress(nil, src)
+	if err != nil {
+		return 0, err
+	}
+	dec, err := c.Decompress(nil, comp, len(src))
+	if err != nil {
+		return 0, err
+	}
+	if len(dec) != len(src) {
+		return 0, fmt.Errorf("codec %s: round-trip length %d != %d", c.Name(), len(dec), len(src))
+	}
+	for i := range dec {
+		if dec[i] != src[i] {
+			return 0, fmt.Errorf("codec %s: round-trip mismatch at byte %d", c.Name(), i)
+		}
+	}
+	return len(comp), nil
+}
+
+// noneCodec is the identity transform: choice c = 0 in the HCDP engine.
+type noneCodec struct{}
+
+func (noneCodec) Name() string { return "none" }
+func (noneCodec) ID() ID       { return None }
+
+func (noneCodec) Compress(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
+}
+
+func (noneCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	if len(src) != srcLen {
+		return nil, fmt.Errorf("%w: none payload %d != %d", ErrCorrupt, len(src), srcLen)
+	}
+	return append(dst, src...), nil
+}

@@ -1,0 +1,298 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hcompress/internal/bits"
+)
+
+// huffmanCodec is an order-0 canonical Huffman coder: the pure
+// entropy-coding point in the pool. Fast on both ends, but blind to any
+// repetition structure, so its ratio ceiling is the byte entropy.
+//
+// Block format (blocks of huffBlockSize):
+//
+//	u32 LE  rawLen   (uncompressed block length)
+//	u32 LE  compLen  (length of the payload that follows)
+//	if compLen == rawLen the block is stored raw (entropy expansion guard);
+//	otherwise: 128 bytes of nibble-packed code lengths (256 x 4 bits),
+//	then the LSB-first bitstream of codes.
+type huffmanCodec struct{}
+
+func (huffmanCodec) Name() string { return "huffman" }
+func (huffmanCodec) ID() ID       { return Huffman }
+
+const (
+	huffBlockSize = 1 << 17
+	huffMaxLen    = 12
+)
+
+func (huffmanCodec) Compress(dst, src []byte) ([]byte, error) {
+	for len(src) > 0 {
+		n := len(src)
+		if n > huffBlockSize {
+			n = huffBlockSize
+		}
+		dst = huffCompressBlock(dst, src[:n])
+		src = src[n:]
+	}
+	return dst, nil
+}
+
+func huffCompressBlock(dst, src []byte) []byte {
+	var freq [256]int
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := buildCodeLengths(freq[:], huffMaxLen)
+	codes := canonicalCodes(lengths)
+
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // rawLen, compLen placeholders
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(src)))
+
+	payloadStart := len(dst)
+	// Nibble-packed code lengths.
+	for i := 0; i < 256; i += 2 {
+		dst = append(dst, lengths[i]|lengths[i+1]<<4)
+	}
+	w := bits.NewWriter(dst)
+	for _, b := range src {
+		w.WriteBits(uint64(codes[b]), uint(lengths[b]))
+	}
+	dst = w.Bytes()
+
+	if len(dst)-payloadStart >= len(src) {
+		// Entropy coding expanded the block: store raw.
+		dst = append(dst[:payloadStart], src...)
+		binary.LittleEndian.PutUint32(dst[hdr+4:], uint32(len(src)))
+		return dst
+	}
+	binary.LittleEndian.PutUint32(dst[hdr+4:], uint32(len(dst)-payloadStart))
+	return dst
+}
+
+func (huffmanCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	base := len(dst)
+	for len(src) > 0 {
+		if len(src) < 8 {
+			return nil, fmt.Errorf("%w: huffman truncated block header", ErrCorrupt)
+		}
+		rawLen := int(binary.LittleEndian.Uint32(src))
+		compLen := int(binary.LittleEndian.Uint32(src[4:]))
+		src = src[8:]
+		if compLen > len(src) || rawLen > huffBlockSize {
+			return nil, fmt.Errorf("%w: huffman block lengths", ErrCorrupt)
+		}
+		var err error
+		dst, err = huffDecompressBlock(dst, src[:compLen], rawLen)
+		if err != nil {
+			return nil, err
+		}
+		src = src[compLen:]
+	}
+	if len(dst)-base != srcLen {
+		return nil, fmt.Errorf("%w: huffman produced %d bytes, want %d", ErrCorrupt, len(dst)-base, srcLen)
+	}
+	return dst, nil
+}
+
+func huffDecompressBlock(dst, payload []byte, rawLen int) ([]byte, error) {
+	if len(payload) == rawLen {
+		return append(dst, payload...), nil // stored raw
+	}
+	if len(payload) < 128 {
+		return nil, fmt.Errorf("%w: huffman payload too short", ErrCorrupt)
+	}
+	var lengths [256]uint8
+	for i := 0; i < 128; i++ {
+		lengths[2*i] = payload[i] & 0x0F
+		lengths[2*i+1] = payload[i] >> 4
+	}
+	table, err := buildDecodeTable(lengths[:], huffMaxLen)
+	if err != nil {
+		return nil, err
+	}
+	r := bits.NewReader(payload[128:])
+	for i := 0; i < rawLen; i++ {
+		e := table[r.Peek(huffMaxLen)]
+		l := uint(e & 0x0F)
+		if l == 0 || r.Have() < int(l) {
+			return nil, fmt.Errorf("%w: huffman invalid code", ErrCorrupt)
+		}
+		r.Skip(l)
+		dst = append(dst, byte(e>>4))
+	}
+	return dst, nil
+}
+
+// buildCodeLengths computes length-limited Huffman code lengths for the
+// given symbol frequencies. Lengths never exceed maxLen; symbols with zero
+// frequency get length 0. The construction builds optimal Huffman depths,
+// clamps them to maxLen, repairs the Kraft sum, and assigns shorter codes
+// to more frequent symbols.
+func buildCodeLengths(freq []int, maxLen int) []uint8 {
+	type sym struct {
+		s int
+		f int
+	}
+	used := make([]sym, 0, len(freq))
+	for s, f := range freq {
+		if f > 0 {
+			used = append(used, sym{s, f})
+		}
+	}
+	lengths := make([]uint8, len(freq))
+	switch len(used) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[used[0].s] = 1
+		return lengths
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i].f < used[j].f })
+
+	// Two-queue Huffman merge over the sorted leaves: O(n).
+	type node struct {
+		f     int
+		left  int // index into nodes, -1 for leaf
+		right int
+		depth int
+	}
+	nodes := make([]node, 0, 2*len(used))
+	for _, u := range used {
+		nodes = append(nodes, node{f: u.f, left: -1, right: -1})
+	}
+	leafQ, innerQ := 0, len(used)
+	innerEnd := len(used)
+	pop := func() int {
+		if leafQ < len(used) && (innerQ >= innerEnd || nodes[leafQ].f <= nodes[innerQ].f) {
+			leafQ++
+			return leafQ - 1
+		}
+		innerQ++
+		return innerQ - 1
+	}
+	for leafQ < len(used) || innerEnd-innerQ > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{f: nodes[a].f + nodes[b].f, left: a, right: b})
+		innerEnd = len(nodes)
+	}
+	// BFS to assign depths.
+	root := len(nodes) - 1
+	stack := []int{root}
+	nodes[root].depth = 0
+	var numAtLen [64]int
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[i]
+		if n.left < 0 {
+			d := n.depth
+			if d == 0 {
+				d = 1
+			}
+			numAtLen[d]++
+			continue
+		}
+		nodes[n.left].depth = n.depth + 1
+		nodes[n.right].depth = n.depth + 1
+		stack = append(stack, n.left, n.right)
+	}
+	// Clamp depths beyond maxLen into maxLen, then repair the Kraft sum.
+	counts := make([]int, maxLen+1)
+	for d := 1; d < len(numAtLen); d++ {
+		if d <= maxLen {
+			counts[d] += numAtLen[d]
+		} else {
+			counts[maxLen] += numAtLen[d]
+		}
+	}
+	total := 0
+	for d := 1; d <= maxLen; d++ {
+		total += counts[d] << (maxLen - d)
+	}
+	for total > 1<<maxLen {
+		counts[maxLen]--
+		for d := maxLen - 1; d > 0; d-- {
+			if counts[d] > 0 {
+				counts[d]--
+				counts[d+1] += 2
+				break
+			}
+		}
+		total--
+	}
+	// Assign: most frequent symbol gets the shortest length.
+	idx := len(used) - 1
+	for d := 1; d <= maxLen; d++ {
+		for k := 0; k < counts[d]; k++ {
+			lengths[used[idx].s] = uint8(d)
+			idx--
+		}
+	}
+	return lengths
+}
+
+// canonicalCodes derives LSB-first (bit-reversed) canonical codes from
+// code lengths, DEFLATE-style.
+func canonicalCodes(lengths []uint8) []uint32 {
+	maxLen := 0
+	var blCount [64]int
+	for _, l := range lengths {
+		blCount[l]++
+		if int(l) > maxLen {
+			maxLen = int(l)
+		}
+	}
+	var nextCode [64]uint32
+	code := uint32(0)
+	blCount[0] = 0
+	for l := 1; l <= maxLen; l++ {
+		code = (code + uint32(blCount[l-1])) << 1
+		nextCode[l] = code
+	}
+	codes := make([]uint32, len(lengths))
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[s] = reverseBits(nextCode[l], int(l))
+		nextCode[l]++
+	}
+	return codes
+}
+
+func reverseBits(v uint32, n int) uint32 {
+	var r uint32
+	for i := 0; i < n; i++ {
+		r = r<<1 | v&1
+		v >>= 1
+	}
+	return r
+}
+
+// buildDecodeTable builds a single-level decode table of 1<<maxLen entries.
+// Each entry packs symbol<<4 | codeLength; zero-length entries mark invalid
+// codes.
+func buildDecodeTable(lengths []uint8, maxLen int) ([]uint32, error) {
+	table := make([]uint32, 1<<maxLen)
+	codes := canonicalCodes(lengths)
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxLen {
+			return nil, fmt.Errorf("%w: code length %d > %d", ErrCorrupt, l, maxLen)
+		}
+		entry := uint32(s)<<4 | uint32(l)
+		step := 1 << l
+		for i := int(codes[s]); i < len(table); i += step {
+			table[i] = entry
+		}
+	}
+	return table, nil
+}

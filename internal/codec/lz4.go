@@ -1,0 +1,192 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// lz4Codec implements the LZ4 block format: token-based sequences of
+// literals plus (offset, length) matches within a 64 KiB window, found by
+// a single-probe hash table. It is the canonical fast/low-ratio LZ in the
+// pool.
+//
+// Each sequence: token (hi nibble = literal length, lo nibble = match
+// length - 4, 15 means "extended with 255-run bytes"), literals, 2-byte LE
+// offset, match length extension. The final sequence carries literals only.
+type lz4Codec struct{}
+
+func (lz4Codec) Name() string { return "lz4" }
+func (lz4Codec) ID() ID       { return LZ4 }
+
+const (
+	lz4HashLog  = 16
+	lz4MinMatch = 4
+	// Matches may not begin within the last lz4MFLimit bytes of input;
+	// this mirrors the reference implementation's end-of-block rules.
+	lz4MFLimit = 12
+)
+
+func lz4Hash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lz4HashLog)
+}
+
+func (lz4Codec) Compress(dst, src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return dst, nil
+	}
+	var table [1 << lz4HashLog]int32
+	for i := range table {
+		table[i] = -1
+	}
+	anchor := 0
+	i := 0
+	limit := len(src) - lz4MFLimit
+	for i < limit {
+		v := binary.LittleEndian.Uint32(src[i:])
+		h := lz4Hash(v)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand < 0 || i-int(cand) > 65535 || binary.LittleEndian.Uint32(src[cand:]) != v {
+			i++
+			continue
+		}
+		// Extend the match forward.
+		mlen := lz4MinMatch
+		maxMatch := len(src) - 5 - i // keep last 5 bytes literal
+		for mlen < maxMatch && src[int(cand)+mlen] == src[i+mlen] {
+			mlen++
+		}
+		if mlen < lz4MinMatch {
+			i++
+			continue
+		}
+		dst = lz4EmitSequence(dst, src[anchor:i], i-int(cand), mlen)
+		i += mlen
+		anchor = i
+	}
+	// Trailing literals.
+	dst = lz4EmitSequence(dst, src[anchor:], 0, 0)
+	return dst, nil
+}
+
+// lz4EmitSequence writes one sequence. A zero match length means "final
+// literal-only sequence".
+func lz4EmitSequence(dst, lits []byte, offset, mlen int) []byte {
+	litLen := len(lits)
+	tok := byte(0)
+	if litLen >= 15 {
+		tok = 0xF0
+	} else {
+		tok = byte(litLen) << 4
+	}
+	ml := 0
+	if mlen > 0 {
+		ml = mlen - lz4MinMatch
+		if ml >= 15 {
+			tok |= 0x0F
+		} else {
+			tok |= byte(ml)
+		}
+	}
+	dst = append(dst, tok)
+	if litLen >= 15 {
+		dst = lz4ExtLen(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	if mlen == 0 {
+		return dst
+	}
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = lz4ExtLen(dst, ml-15)
+	}
+	return dst
+}
+
+func lz4ExtLen(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+func (lz4Codec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	for i < len(src) {
+		tok := src[i]
+		i++
+		litLen := int(tok >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = lz4ReadExtLen(src, i, litLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if i+litLen > len(src) {
+			return nil, fmt.Errorf("%w: lz4 literals overrun input", ErrCorrupt)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+		if i == len(src) {
+			break // final literal-only sequence
+		}
+		if i+2 > len(src) {
+			return nil, fmt.Errorf("%w: lz4 truncated offset", ErrCorrupt)
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		mlen := int(tok & 0x0F)
+		if mlen == 15 {
+			var err error
+			mlen, i, err = lz4ReadExtLen(src, i, mlen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		mlen += lz4MinMatch
+		var err error
+		dst, err = lzCopyMatch(dst, base, offset, mlen, "lz4")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(dst)-base != srcLen {
+		return nil, fmt.Errorf("%w: lz4 produced %d bytes, want %d", ErrCorrupt, len(dst)-base, srcLen)
+	}
+	return dst, nil
+}
+
+func lz4ReadExtLen(src []byte, i, n int) (int, int, error) {
+	for {
+		if i >= len(src) {
+			return 0, 0, fmt.Errorf("%w: lz4 truncated length", ErrCorrupt)
+		}
+		b := src[i]
+		i++
+		n += int(b)
+		if b != 255 {
+			return n, i, nil
+		}
+	}
+}
+
+// lzCopyMatch appends mlen bytes starting offset bytes back from the end of
+// dst, handling the overlapping-copy case shared by every LZ codec here.
+// base is the index in dst where this payload began (matches may not reach
+// before it).
+func lzCopyMatch(dst []byte, base, offset, mlen int, name string) ([]byte, error) {
+	if offset <= 0 || offset > len(dst)-base {
+		return nil, fmt.Errorf("%w: %s match offset %d out of window", ErrCorrupt, name, offset)
+	}
+	pos := len(dst) - offset
+	if offset >= mlen {
+		return append(dst, dst[pos:pos+mlen]...), nil
+	}
+	for k := 0; k < mlen; k++ {
+		dst = append(dst, dst[pos+k])
+	}
+	return dst, nil
+}

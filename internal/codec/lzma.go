@@ -1,0 +1,201 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// lzmaCodec is a from-scratch mini-LZMA: LZ77 over a 1 MiB window with
+// deep hash chains and lazy matching, entropy-coded by the adaptive binary
+// range coder with context modeling (literal trees keyed by the previous
+// byte's high bits, slot-coded distances). It occupies the paper's
+// "best ratio, slowest" corner together with bsc.
+//
+// Stream layout: range-coded sequence of
+//
+//	isMatch bit (context: last op) ->
+//	  0: literal (8-bit tree, ctx = prev byte >> 5)
+//	  1: length (8-bit tree, value = len - lzmaMinMatch, max 255) then
+//	     distance slot (6-bit tree) + direct extra bits
+//
+// The decoder stops after producing srcLen bytes, so no end marker is
+// needed.
+type lzmaCodec struct{}
+
+func (lzmaCodec) Name() string { return "lzma" }
+func (lzmaCodec) ID() ID       { return LZMA }
+
+const (
+	lzmaWindow     = 1 << 20
+	lzmaHashLog    = 17
+	lzmaChainDepth = 48
+	lzmaMinMatch   = 4
+	lzmaMaxMatch   = lzmaMinMatch + 255
+	lzmaNumSlots   = 42 // covers distances beyond the 1 MiB window
+	lzmaLitCtx     = 8
+)
+
+type lzmaProbs struct {
+	isMatch [2]uint16
+	lit     []uint16 // lzmaLitCtx contexts x 256-entry trees
+	length  []uint16 // one 256-entry tree
+	slot    []uint16 // one 64-entry tree
+}
+
+func newLZMAProbs() *lzmaProbs {
+	p := &lzmaProbs{
+		lit:    newProbs(lzmaLitCtx * 256),
+		length: newProbs(256),
+		slot:   newProbs(64),
+	}
+	p.isMatch[0] = rcProbInit
+	p.isMatch[1] = rcProbInit
+	return p
+}
+
+func (lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(src)))
+	if len(src) == 0 {
+		return dst, nil
+	}
+
+	e := newRCEncoder(dst)
+	p := newLZMAProbs()
+
+	head := make([]int32, 1<<lzmaHashLog)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+	hash := func(v uint32) uint32 { return (v * 2654435761) >> (32 - lzmaHashLog) }
+	insert := func(i int) {
+		if i+4 > len(src) {
+			return
+		}
+		h := hash(binary.LittleEndian.Uint32(src[i:]))
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+	find := func(i int) (length, dist int) {
+		if i+4 > len(src) {
+			return 0, 0
+		}
+		v := binary.LittleEndian.Uint32(src[i:])
+		cand := head[hash(v)]
+		maxMatch := len(src) - i
+		if maxMatch > lzmaMaxMatch-lzmaMinMatch+lzmaMinMatch {
+			maxMatch = lzmaMaxMatch
+		}
+		for depth := 0; depth < lzmaChainDepth && cand >= 0 && i-int(cand) <= lzmaWindow; depth++ {
+			c := int(cand)
+			cand = prev[c]
+			if binary.LittleEndian.Uint32(src[c:]) != v {
+				continue
+			}
+			mlen := 4
+			for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
+				mlen++
+			}
+			if mlen > length {
+				length, dist = mlen, i-c
+			}
+		}
+		return length, dist
+	}
+
+	emitLiteral := func(i int, state int) int {
+		e.encodeBit(&p.isMatch[state], 0)
+		ctx := 0
+		if i > 0 {
+			ctx = int(src[i-1] >> 5)
+		}
+		e.encodeTree(p.lit[ctx*256:(ctx+1)*256], uint32(src[i]), 8)
+		return 0
+	}
+
+	state := 0 // 0 = after literal, 1 = after match
+	i := 0
+	for i < len(src) {
+		length, dist := find(i)
+		if length >= lzmaMinMatch && i+1 < len(src) {
+			// Lazy one-step lookahead.
+			l2, _ := find(i + 1)
+			if l2 > length+1 {
+				insert(i)
+				state = emitLiteral(i, state)
+				i++
+				continue
+			}
+			_ = dist
+		}
+		if length < lzmaMinMatch {
+			insert(i)
+			state = emitLiteral(i, state)
+			i++
+			continue
+		}
+		e.encodeBit(&p.isMatch[state], 1)
+		e.encodeTree(p.length, uint32(length-lzmaMinMatch), 8)
+		slot, extra, ebits := slotFor(dist, 1)
+		e.encodeTree(p.slot, uint32(slot), 6)
+		if ebits > 0 {
+			e.encodeDirect(uint32(extra), uint(ebits))
+		}
+		end := i + length
+		for j := i; j < end && j < len(src); j += 2 {
+			insert(j)
+		}
+		i = end
+		state = 1
+	}
+	return e.flush(), nil
+}
+
+func (lzmaCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("%w: lzma truncated header", ErrCorrupt)
+	}
+	rawLen := int(binary.LittleEndian.Uint32(src))
+	if rawLen != srcLen {
+		return nil, fmt.Errorf("%w: lzma header %d != %d", ErrCorrupt, rawLen, srcLen)
+	}
+	src = src[4:]
+	if rawLen == 0 {
+		return dst, nil
+	}
+	d := newRCDecoder(src)
+	p := newLZMAProbs()
+	base := len(dst)
+	state := 0
+	for len(dst)-base < rawLen {
+		if d.decodeBit(&p.isMatch[state]) == 0 {
+			ctx := 0
+			if len(dst) > base {
+				ctx = int(dst[len(dst)-1] >> 5)
+			}
+			dst = append(dst, byte(d.decodeTree(p.lit[ctx*256:(ctx+1)*256], 8)))
+			state = 0
+			continue
+		}
+		length := int(d.decodeTree(p.length, 8)) + lzmaMinMatch
+		slot := int(d.decodeTree(p.slot, 6))
+		ebits := slot >> 1
+		extra := 0
+		if ebits > 0 {
+			extra = int(d.decodeDirect(uint(ebits)))
+		}
+		dist := slotBase(slot, 1) + extra
+		var err error
+		dst, err = lzCopyMatch(dst, base, dist, length, "lzma")
+		if err != nil {
+			return nil, err
+		}
+		state = 1
+	}
+	if d.overran() || len(dst)-base != rawLen {
+		return nil, fmt.Errorf("%w: lzma stream", ErrCorrupt)
+	}
+	return dst, nil
+}

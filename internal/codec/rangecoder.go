@@ -1,0 +1,177 @@
+package codec
+
+// Binary adaptive range coder (LZMA-style, 11-bit probabilities, shift-5
+// adaptation), shared by the bsc and lzma codecs.
+
+const (
+	rcTopBits   = 24
+	rcTop       = 1 << rcTopBits
+	rcProbBits  = 11
+	rcProbInit  = 1 << (rcProbBits - 1) // p = 0.5
+	rcProbMax   = 1 << rcProbBits
+	rcMoveShift = 5
+)
+
+type rcEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRCEncoder(dst []byte) *rcEncoder {
+	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: dst}
+}
+
+func (e *rcEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+carry)
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// encodeBit codes bit with the adaptive probability *p (of the bit being 0).
+func (e *rcEncoder) encodeBit(p *uint16, bit int) {
+	bound := (e.rng >> rcProbBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (rcProbMax - *p) >> rcMoveShift
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> rcMoveShift
+	}
+	for e.rng < rcTop {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// encodeDirect codes n equiprobable bits of v (MSB first).
+func (e *rcEncoder) encodeDirect(v uint32, n uint) {
+	for ; n > 0; n-- {
+		e.rng >>= 1
+		if (v>>(n-1))&1 == 1 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < rcTop {
+			e.shiftLow()
+			e.rng <<= 8
+		}
+	}
+}
+
+// encodeTree codes the nbits-wide value v through a binary probability tree
+// (probs must have at least 1<<nbits entries; index 0 is unused).
+func (e *rcEncoder) encodeTree(probs []uint16, v uint32, nbits uint) {
+	m := uint32(1)
+	for i := nbits; i > 0; i-- {
+		bit := int(v>>(i-1)) & 1
+		e.encodeBit(&probs[m], bit)
+		m = m<<1 | uint32(bit)
+	}
+}
+
+func (e *rcEncoder) flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+type rcDecoder struct {
+	rng  uint32
+	code uint32
+	src  []byte
+	pos  int
+}
+
+func newRCDecoder(src []byte) *rcDecoder {
+	d := &rcDecoder{rng: 0xFFFFFFFF, src: src}
+	for i := 0; i < 5; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rcDecoder) next() byte {
+	if d.pos < len(d.src) {
+		b := d.src[d.pos]
+		d.pos++
+		return b
+	}
+	// Reading past the end yields zeros; corrupt streams are caught by
+	// the callers' length checks.
+	d.pos++
+	return 0
+}
+
+func (d *rcDecoder) decodeBit(p *uint16) int {
+	bound := (d.rng >> rcProbBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (rcProbMax - *p) >> rcMoveShift
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> rcMoveShift
+		bit = 1
+	}
+	for d.rng < rcTop {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+	return bit
+}
+
+func (d *rcDecoder) decodeDirect(n uint) uint32 {
+	var res uint32
+	for ; n > 0; n-- {
+		d.rng >>= 1
+		res <<= 1
+		if d.code >= d.rng {
+			d.code -= d.rng
+			res |= 1
+		}
+		for d.rng < rcTop {
+			d.code = d.code<<8 | uint32(d.next())
+			d.rng <<= 8
+		}
+	}
+	return res
+}
+
+func (d *rcDecoder) decodeTree(probs []uint16, nbits uint) uint32 {
+	m := uint32(1)
+	for i := uint(0); i < nbits; i++ {
+		m = m<<1 | uint32(d.decodeBit(&probs[m]))
+	}
+	return m - 1<<nbits
+}
+
+// overran reports whether the decoder consumed more bytes than the input
+// held (a corruption indicator).
+func (d *rcDecoder) overran() bool {
+	return d.pos > len(d.src)+5 // allow the flush tail
+}
+
+func newProbs(n int) []uint16 {
+	p := make([]uint16, n)
+	for i := range p {
+		p[i] = rcProbInit
+	}
+	return p
+}

@@ -1,0 +1,68 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// zlibCodec wraps the standard library's DEFLATE at maximum compression.
+// It is the only codec in the pool not implemented from scratch (DEFLATE
+// is in the Go standard library, which the reproduction is allowed to use)
+// and plays the paper's "heavy, general-purpose" role: high ratio, slow
+// compression, moderately fast decompression.
+type zlibCodec struct{}
+
+func (zlibCodec) Name() string { return "zlib" }
+func (zlibCodec) ID() ID       { return Zlib }
+
+// Writers are expensive to construct (large internal state), so pool them.
+var zlibWriterPool = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestCompression)
+		if err != nil {
+			panic(err)
+		}
+		return w
+	},
+}
+
+func (zlibCodec) Compress(dst, src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(src)/2 + 64)
+	w := zlibWriterPool.Get().(*flate.Writer)
+	w.Reset(&buf)
+	if _, err := w.Write(src); err != nil {
+		zlibWriterPool.Put(w)
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		zlibWriterPool.Put(w)
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
+	zlibWriterPool.Put(w)
+	return append(dst, buf.Bytes()...), nil
+}
+
+func (zlibCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	base := len(dst)
+	if cap(dst)-len(dst) < srcLen {
+		grown := make([]byte, len(dst), len(dst)+srcLen)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+srcLen]
+	if _, err := io.ReadFull(r, dst[base:]); err != nil {
+		return nil, fmt.Errorf("%w: zlib: %v", ErrCorrupt, err)
+	}
+	// The stream must end exactly here.
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: zlib trailing data", ErrCorrupt)
+	}
+	return dst, nil
+}

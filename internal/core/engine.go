@@ -1,0 +1,448 @@
+// Package core implements the paper's primary contribution: the
+// Hierarchical Compression and Data Placement (HCDP) engine of §IV-F.
+//
+// For each incoming I/O task the engine jointly selects, per 4096-byte
+// aligned sub-task, a target tier and a compression library, minimizing
+// the weighted cost of equations 3-4:
+//
+//	t(i,l)   = I/O time of task i on tier l, uncompressed
+//	t(i,l,c) = wc*tc + t(i,l) - wr * t(i,l)*(rc-1)/rc + wd*td
+//
+// through the Match/Place recursion of equations 1-2, subject to the
+// constraints of Table I:
+//
+//  1. Size(p) mod 4096 = 0          (alignment, memoization reuse)
+//  2. Length(P) <= Concurrency(L)   (lane bound)
+//  3. Length(P) <= Length(L)        (at most one sub-task per tier)
+//  4. rc >= 1                       (compression must not expand)
+//  5. Size(p) <= Size(l)            (sub-task fits its tier)
+//
+// The DP is memoized on (remaining size, tier); because sizes are
+// alignment-quantized and the engine additionally reuses its memo table
+// across tasks while the System Monitor snapshot is stable, the amortized
+// planning cost is practically O(1) — the property Fig. 4(a) measures.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/codec"
+	"hcompress/internal/monitor"
+	"hcompress/internal/predictor"
+	"hcompress/internal/seed"
+	"hcompress/internal/store"
+)
+
+// Align is the sub-task alignment from constraint 1: the RAM page size and
+// the block size of modern NVMe devices.
+const Align = 4096
+
+// ErrNoSpace is returned when a task cannot be placed anywhere in the
+// hierarchy even uncompressed.
+var ErrNoSpace = errors.New("hcdp: no tier can hold the task")
+
+// SubTask is one (byte range, tier, codec) assignment within a schema.
+type SubTask struct {
+	Offset int64    // offset of this piece within the original task
+	Length int64    // original (uncompressed) length of the piece
+	Tier   int      // destination tier index (0 = highest)
+	Codec  codec.ID // selected compression library (None allowed)
+	// PredSize is the engine's estimate of the compressed size that will
+	// occupy the tier (alignment-rounded).
+	PredSize int64
+	// PredTime is the modeled duration of this sub-task (equation 3/4).
+	PredTime float64
+}
+
+// Schema is the engine's output: an ordered set of sub-tasks covering the
+// task exactly (§IV-A: "a schema consists of P sub-tasks").
+type Schema struct {
+	SubTasks []SubTask
+	// PredTime is the total modeled task duration.
+	PredTime float64
+}
+
+// Validate checks the Table I constraints against a hierarchy of nTiers
+// tiers with the given total lane concurrency.
+func (s Schema) Validate(taskSize int64, nTiers, concurrency int) error {
+	if len(s.SubTasks) > nTiers {
+		return fmt.Errorf("hcdp: %d sub-tasks exceed %d tiers (constraint 3)", len(s.SubTasks), nTiers)
+	}
+	if len(s.SubTasks) > concurrency {
+		return fmt.Errorf("hcdp: %d sub-tasks exceed concurrency %d (constraint 2)", len(s.SubTasks), concurrency)
+	}
+	var covered int64
+	lastTier := -1
+	for k, st := range s.SubTasks {
+		if st.Offset != covered {
+			return fmt.Errorf("hcdp: sub-task %d offset %d, want %d", k, st.Offset, covered)
+		}
+		if st.Length <= 0 {
+			return fmt.Errorf("hcdp: sub-task %d has non-positive length", k)
+		}
+		if k < len(s.SubTasks)-1 && st.Length%Align != 0 {
+			return fmt.Errorf("hcdp: non-final sub-task %d length %d unaligned (constraint 1)", k, st.Length)
+		}
+		if st.Tier <= lastTier && k > 0 {
+			return fmt.Errorf("hcdp: sub-task tiers not strictly descending")
+		}
+		lastTier = st.Tier
+		covered += st.Length
+	}
+	if covered != taskSize {
+		return fmt.Errorf("hcdp: schema covers %d bytes, task is %d", covered, taskSize)
+	}
+	return nil
+}
+
+// Config tunes the engine; zero value gives the paper's defaults.
+type Config struct {
+	// Weights are the application's compression priorities (Table II).
+	Weights seed.Weights
+	// DisableMemo turns off DP memoization (ablation).
+	DisableMemo bool
+	// DisableCapacityAware turns off the displacement term (ablation):
+	// the opportunity cost of occupying fast-tier space. The paper's
+	// objective seeks the global minimum "when most of the data fits in
+	// higher tiers"; a purely per-task cost cannot see that placing large
+	// uncompressed payloads high displaces future data to slow media, so
+	// the engine charges each placement the service-time difference its
+	// footprint will eventually cost at the bottom of the hierarchy,
+	// weighted by the ratio priority. This is what makes the engine
+	// "apply heavier compression on RAM than on NVMe SSD".
+	DisableCapacityAware bool
+	// DisableCompression restricts the engine to placement only
+	// (the MTNC baseline uses this).
+	DisableCompression bool
+	// LoadAware adds the tier's queue backlog to the modeled I/O time.
+	LoadAware bool
+	// Codecs restricts selection to these library names (default: all
+	// registered codecs).
+	Codecs []string
+}
+
+// Engine is the HCDP engine. It is not safe for concurrent use; each
+// client (rank) owns one engine, mirroring the paper's per-process design.
+type Engine struct {
+	pred  *predictor.CCP
+	mon   *monitor.SystemMonitor
+	cfg   Config
+	w     seed.Weights
+	pool  []codec.Codec // candidate codecs, None excluded
+	price []float64     // per-tier displacement price (sec/byte), see Config
+
+	memo        map[memoKey]planVal
+	memoStamp   []int64 // bucketed remaining-capacity fingerprint
+	memoHits    int64
+	memoMisses  int64
+	plansServed int64
+}
+
+type memoKey struct {
+	size int64
+	tier int
+}
+
+type planVal struct {
+	time     float64
+	codec    codec.ID
+	predSize int64
+	useLen   int64 // bytes of the remaining task placed on this tier
+	skip     bool  // tier skipped entirely
+}
+
+// New creates an engine over a predictor and system monitor.
+func New(pred *predictor.CCP, mon *monitor.SystemMonitor, cfg Config) (*Engine, error) {
+	e := &Engine{pred: pred, mon: mon, cfg: cfg, w: cfg.Weights.Normalize()}
+	if cfg.DisableCompression {
+		// Placement-only mode: no codec candidates.
+	} else if len(cfg.Codecs) == 0 {
+		for _, c := range codec.All() {
+			if c.ID() != codec.None {
+				e.pool = append(e.pool, c)
+			}
+		}
+	} else {
+		for _, name := range cfg.Codecs {
+			c, err := codec.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			if c.ID() != codec.None {
+				e.pool = append(e.pool, c)
+			}
+		}
+	}
+	e.memo = make(map[memoKey]planVal)
+
+	// Displacement prices are a property of the hierarchy alone: the
+	// per-byte service-time gap between each tier and the bottom tier.
+	hier := mon.Store().Hierarchy()
+	e.price = make([]float64, hier.Len())
+	last := hier.Tiers[hier.Len()-1]
+	lastPerByte := 1 / (last.Bandwidth / float64(maxInt(1, last.Lanes)))
+	for i, spec := range hier.Tiers {
+		perByte := 1 / (spec.Bandwidth / float64(maxInt(1, spec.Lanes)))
+		p := lastPerByte - perByte
+		if p < 0 || cfg.DisableCapacityAware {
+			p = 0
+		}
+		e.price[i] = p
+	}
+	return e, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetWeights changes the priority weights at runtime (§IV-F2: "more
+// advanced users can leverage the HCompress API to dynamically change
+// these weights at runtime").
+func (e *Engine) SetWeights(w seed.Weights) {
+	e.w = w.Normalize()
+	e.invalidateMemo()
+}
+
+// Weights returns the active (normalized) weights.
+func (e *Engine) Weights() seed.Weights { return e.w }
+
+// MemoStats reports DP cache behaviour (hits, misses).
+func (e *Engine) MemoStats() (hits, misses int64) { return e.memoHits, e.memoMisses }
+
+// alignUp rounds n up to the alignment quantum.
+func alignUp(n int64) int64 {
+	if n <= 0 {
+		return Align
+	}
+	return (n + Align - 1) / Align * Align
+}
+
+func alignDown(n int64) int64 { return n / Align * Align }
+
+// Plan produces the compression + placement schema for a task of the given
+// size and analyzed attributes at virtual time now.
+func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, error) {
+	if size <= 0 {
+		return Schema{}, fmt.Errorf("hcdp: non-positive task size %d", size)
+	}
+	statuses := e.mon.Status(now)
+	if len(statuses) == 0 {
+		return Schema{}, errors.New("hcdp: empty hierarchy")
+	}
+	e.refreshMemoStamp(statuses)
+	e.plansServed++
+
+	// The DP plans in aligned size quanta; the true size is restored on
+	// the final sub-task.
+	asize := alignUp(size)
+	_, err := e.match(asize, 0, attr, statuses)
+	if err != nil {
+		return Schema{}, err
+	}
+	// Reconstruct the schema by replaying memoized decisions.
+	var schema Schema
+	remaining := asize
+	var offset int64
+	l := 0
+	for remaining > 0 {
+		if l >= len(statuses) {
+			return Schema{}, fmt.Errorf("hcdp: internal: reconstruction ran past hierarchy")
+		}
+		v, ok := e.memo[memoKey{remaining, l}]
+		if !ok {
+			return Schema{}, fmt.Errorf("hcdp: internal: missing memo entry (size=%d l=%d)", remaining, l)
+		}
+		if v.skip {
+			l++
+			continue
+		}
+		length := v.useLen
+		origLen := length
+		if offset+length >= asize { // final piece: restore true size
+			origLen = size - offset
+		}
+		schema.SubTasks = append(schema.SubTasks, SubTask{
+			Offset:   offset,
+			Length:   origLen,
+			Tier:     l,
+			Codec:    v.codec,
+			PredSize: v.predSize,
+			PredTime: v.time,
+		})
+		schema.PredTime += v.time
+		offset += origLen
+		remaining -= length
+		l++
+	}
+	return schema, nil
+}
+
+// match implements Match(i, l, c) / Place(i, l, c) jointly: the best cost
+// of storing size bytes using tiers l.. (each at most once). It memoizes
+// on (size, l) and records the winning decision for reconstruction.
+func (e *Engine) match(size int64, l int, attr analyzer.Result, statuses []store.TierStatus) (float64, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	if l >= len(statuses) {
+		return math.Inf(1), ErrNoSpace
+	}
+	key := memoKey{size, l}
+	if !e.cfg.DisableMemo {
+		if v, ok := e.memo[key]; ok {
+			e.memoHits++
+			return v.time, nil
+		}
+	}
+	e.memoMisses++
+
+	best := planVal{time: math.Inf(1)}
+
+	// Choice A: skip this tier entirely — Match(i, l+1, c).
+	if sub, err := e.match(size, l+1, attr, statuses); err == nil && sub < best.time {
+		best = planVal{time: sub, skip: true}
+	}
+
+	remaining := alignDown(statuses[l].Remaining)
+
+	// Choice B: "no compression" placement (c = 0), whole or split.
+	e.consider(&best, size, l, codec.None, 1, e.uncompressedTime(size, l, statuses), remaining, attr, statuses)
+
+	// Choice C: each codec, whole or split — Place(i, l, c) with the
+	// cost function of equation 4.
+	for _, c := range e.pool {
+		cost, ok := e.pred.Predict(attr.Type, attr.Dist, c.Name())
+		if !ok {
+			continue
+		}
+		rc := cost.Ratio
+		if rc < 1 {
+			continue // constraint 4
+		}
+		e.consider(&best, size, l, c.ID(), rc, e.compressedTime(size, l, cost, statuses), remaining, attr, statuses)
+	}
+
+	if math.IsInf(best.time, 1) {
+		return best.time, ErrNoSpace
+	}
+	if !e.cfg.DisableMemo {
+		e.memo[key] = best
+	} else {
+		// Reconstruction still needs the decision trail.
+		e.memo[key] = best
+	}
+	return best.time, nil
+}
+
+// consider evaluates placing (part of) size bytes on tier l with the given
+// codec/ratio, whose full-task time is fullTime, updating best in place.
+func (e *Engine) consider(best *planVal, size int64, l int, id codec.ID, rc, fullTime float64, remaining int64, attr analyzer.Result, statuses []store.TierStatus) {
+	compSize := alignUp(int64(math.Ceil(float64(size) / rc)))
+	// Displacement: occupying compSize bytes here will eventually push
+	// that much future data down to the slowest tier (weighted by the
+	// ratio priority, which expresses how much the caller values space).
+	fullTime += e.w.Ratio * float64(compSize) * e.price[l]
+	if compSize <= remaining {
+		// Whole task fits here (constraint 5 satisfied).
+		if fullTime < best.time {
+			*best = planVal{time: fullTime, codec: id, predSize: compSize, useLen: size}
+		}
+		return
+	}
+	// Split: the part that fits stays, the rest recurses to tier l+1
+	// (equation 2). Both parts stay 4096-aligned (constraint 1).
+	if remaining < Align || l+1 >= len(statuses) {
+		return
+	}
+	origFit := alignDown(int64(float64(remaining) * rc))
+	if origFit >= size {
+		origFit = size - Align // fitting "almost all" still forces a split
+	}
+	if origFit < Align {
+		return
+	}
+	partTime := fullTime * float64(origFit) / float64(size)
+	rest, err := e.match(size-origFit, l+1, attr, statuses)
+	if err != nil {
+		return
+	}
+	total := partTime + rest
+	if total < best.time {
+		*best = planVal{
+			time:     total,
+			codec:    id,
+			predSize: alignUp(int64(math.Ceil(float64(origFit) / rc))),
+			useLen:   origFit,
+		}
+	}
+}
+
+// uncompressedTime is t(i, l) = si/bl plus latency (and queue backlog when
+// load-aware).
+func (e *Engine) uncompressedTime(size int64, l int, statuses []store.TierStatus) float64 {
+	spec := e.mon.Store().Hierarchy().Tiers[l]
+	t := spec.ServiceTime(size)
+	if e.cfg.LoadAware {
+		t += statuses[l].Backlog / float64(spec.Lanes)
+	}
+	return t
+}
+
+// compressedTime is equation 4:
+//
+//	t(i,l,c) = wc*tc + t(i,l) - wr * t(i,l)*(rc-1)/rc + wd*td
+func (e *Engine) compressedTime(size int64, l int, cost seed.CodecCost, statuses []store.TierStatus) float64 {
+	mb := float64(size) / (1 << 20)
+	tc := mb / cost.CompressMBps
+	td := mb / cost.DecompressMBps
+	til := e.uncompressedTime(size, l, statuses)
+	rc := cost.Ratio
+	return e.w.Compression*tc + til - e.w.Ratio*til*(rc-1)/rc + e.w.Decompression*td
+}
+
+// refreshMemoStamp invalidates the memo table when the hierarchy's
+// remaining capacities have moved out of their buckets since the table was
+// built. Bucketing (1/64 of each tier's capacity) is what makes
+// sub-problems reusable *across* tasks, turning repeated planning into
+// table lookups; the slight staleness is bounded by the bucket size and
+// corrected by the placement path, which re-checks true capacity.
+func (e *Engine) refreshMemoStamp(statuses []store.TierStatus) {
+	if e.cfg.DisableMemo {
+		e.memo = make(map[memoKey]planVal)
+		e.memoStamp = nil
+		return
+	}
+	stamp := make([]int64, len(statuses))
+	for i, st := range statuses {
+		bucket := st.Capacity / 64
+		if bucket == 0 {
+			bucket = 1
+		}
+		stamp[i] = st.Remaining / bucket
+	}
+	same := len(stamp) == len(e.memoStamp)
+	if same {
+		for i := range stamp {
+			if stamp[i] != e.memoStamp[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		e.memo = make(map[memoKey]planVal)
+		e.memoStamp = stamp
+	}
+}
+
+func (e *Engine) invalidateMemo() {
+	e.memo = make(map[memoKey]planVal)
+	e.memoStamp = nil
+}

@@ -1,0 +1,139 @@
+// Package des implements the virtual-time engine behind the storage
+// simulation: multi-lane resources with FIFO lane assignment, the standard
+// conservative approximation of a G/G/c queue used in storage simulators.
+//
+// There is no global event heap; instead every client (an MPI rank in the
+// cluster harness) carries its own clock and resources resolve contention
+// by tracking per-lane next-free times. For the bulk-synchronous workloads
+// HCompress evaluates (timestep checkpoints, read phases), this yields the
+// same completion-time structure as a full discrete-event simulation while
+// remaining deterministic and allocation-free on the hot path.
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource models a service station with a fixed number of hardware lanes
+// (e.g. an NVMe device's channels, a burst-buffer node set), a fixed
+// per-operation latency, and a per-lane bandwidth.
+type Resource struct {
+	name      string
+	latency   float64 // seconds per operation
+	laneBW    float64 // bytes/second per lane
+	laneFree  []float64
+	busyUntil float64 // max over lanes, cached for QueueDepth
+}
+
+// NewResource builds a resource with lanes hardware lanes sharing
+// totalBW bytes/second evenly.
+func NewResource(name string, lanes int, latency, totalBW float64) *Resource {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if totalBW <= 0 {
+		panic(fmt.Sprintf("des: resource %s needs positive bandwidth", name))
+	}
+	return &Resource{
+		name:     name,
+		latency:  latency,
+		laneBW:   totalBW / float64(lanes),
+		laneFree: make([]float64, lanes),
+	}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Lanes reports the lane count.
+func (r *Resource) Lanes() int { return len(r.laneFree) }
+
+// ServiceTime returns the uncontended time to transfer n bytes.
+func (r *Resource) ServiceTime(n int64) float64 {
+	return r.latency + float64(n)/r.laneBW
+}
+
+// Acquire serves a transfer of n bytes requested at time now and returns
+// when it completes. The least-loaded lane is used; if every lane is busy
+// the request queues (FIFO per lane).
+func (r *Resource) Acquire(now float64, n int64) (end float64) {
+	best := 0
+	for i, f := range r.laneFree {
+		if f < r.laneFree[best] {
+			best = i
+		}
+	}
+	start := now
+	if r.laneFree[best] > start {
+		start = r.laneFree[best]
+	}
+	end = start + r.ServiceTime(n)
+	r.laneFree[best] = end
+	if end > r.busyUntil {
+		r.busyUntil = end
+	}
+	return end
+}
+
+// QueueDepth reports how many lanes are busy at time now — the "load"
+// metric the System Monitor exposes per tier.
+func (r *Resource) QueueDepth(now float64) int {
+	busy := 0
+	for _, f := range r.laneFree {
+		if f > now {
+			busy++
+		}
+	}
+	return busy
+}
+
+// Backlog returns how far beyond now the busiest lane is committed —
+// a measure of queueing delay.
+func (r *Resource) Backlog(now float64) float64 {
+	if r.busyUntil <= now {
+		return 0
+	}
+	return r.busyUntil - now
+}
+
+// Reset clears all lane state.
+func (r *Resource) Reset() {
+	for i := range r.laneFree {
+		r.laneFree[i] = 0
+	}
+	r.busyUntil = 0
+}
+
+// Clock is a simple virtual-time accumulator for a sequential client.
+type Clock struct{ now float64 }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds (negative d is ignored).
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock to t if t is later.
+func (c *Clock) AdvanceTo(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds to zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// MaxTime returns the latest of a set of clocks — the makespan of a
+// bulk-synchronous phase.
+func MaxTime(clocks []Clock) float64 {
+	m := 0.0
+	for _, c := range clocks {
+		m = math.Max(m, c.now)
+	}
+	return m
+}

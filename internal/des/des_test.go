@@ -1,0 +1,134 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestServiceTime(t *testing.T) {
+	r := NewResource("nvme", 4, 50e-6, 8e9)
+	// Per-lane bandwidth is 2 GB/s; 2 MB takes 1 ms + 50 us.
+	got := r.ServiceTime(2 << 20)
+	want := 50e-6 + float64(2<<20)/2e9
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestAcquireUncontended(t *testing.T) {
+	r := NewResource("ram", 2, 1e-6, 2e9)
+	end := r.Acquire(0, 1e6)
+	want := 1e-6 + 1e6/1e9
+	if math.Abs(end-want) > 1e-12 {
+		t.Fatalf("end %v want %v", end, want)
+	}
+}
+
+func TestAcquireQueuesWhenLanesBusy(t *testing.T) {
+	r := NewResource("disk", 1, 0, 1e6) // 1 MB/s, single lane
+	e1 := r.Acquire(0, 1e6)             // 1 s
+	e2 := r.Acquire(0, 1e6)             // queued behind: 2 s
+	e3 := r.Acquire(0.5, 1e6)           // still queued: 3 s
+	if e1 != 1 || e2 != 2 || e3 != 3 {
+		t.Fatalf("got %v %v %v, want 1 2 3", e1, e2, e3)
+	}
+}
+
+func TestAcquireParallelLanes(t *testing.T) {
+	r := NewResource("ssd", 2, 0, 2e6) // two lanes at 1 MB/s each
+	e1 := r.Acquire(0, 1e6)
+	e2 := r.Acquire(0, 1e6)
+	e3 := r.Acquire(0, 1e6)
+	if e1 != 1 || e2 != 1 {
+		t.Fatalf("two lanes should serve in parallel: %v %v", e1, e2)
+	}
+	if e3 != 2 {
+		t.Fatalf("third request should queue: %v", e3)
+	}
+}
+
+func TestAcquireIdleGap(t *testing.T) {
+	r := NewResource("x", 1, 0, 1e6)
+	r.Acquire(0, 1e6)
+	// Request at t=5 after the lane is idle: starts immediately.
+	if end := r.Acquire(5, 1e6); end != 6 {
+		t.Fatalf("end %v want 6", end)
+	}
+}
+
+func TestQueueDepthAndBacklog(t *testing.T) {
+	r := NewResource("x", 2, 0, 2e6)
+	if r.QueueDepth(0) != 0 || r.Backlog(0) != 0 {
+		t.Fatal("fresh resource should be idle")
+	}
+	r.Acquire(0, 1e6) // lane busy until 1
+	r.Acquire(0, 3e6) // lane busy until 3
+	if got := r.QueueDepth(0.5); got != 2 {
+		t.Fatalf("depth %d want 2", got)
+	}
+	if got := r.QueueDepth(2); got != 1 {
+		t.Fatalf("depth %d want 1", got)
+	}
+	if got := r.Backlog(1); got != 2 {
+		t.Fatalf("backlog %v want 2", got)
+	}
+	r.Reset()
+	if r.QueueDepth(0) != 0 {
+		t.Fatal("reset should clear lanes")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(2)
+	c.Advance(-1) // ignored
+	c.AdvanceTo(1.5)
+	if c.Now() != 2 {
+		t.Fatalf("now %v want 2", c.Now())
+	}
+	c.AdvanceTo(5)
+	if c.Now() != 5 {
+		t.Fatalf("now %v want 5", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	clocks := make([]Clock, 3)
+	clocks[0].Advance(1)
+	clocks[1].Advance(7)
+	clocks[2].Advance(3)
+	if got := MaxTime(clocks); got != 7 {
+		t.Fatalf("makespan %v want 7", got)
+	}
+	if got := MaxTime(nil); got != 0 {
+		t.Fatalf("empty makespan %v", got)
+	}
+}
+
+func TestBandwidthSplitAcrossLanes(t *testing.T) {
+	// N requests across N lanes must take the same time as 1 request on a
+	// 1-lane resource with 1/N the bandwidth: aggregate bandwidth is
+	// conserved.
+	agg := NewResource("agg", 8, 0, 8e9)
+	var worst float64
+	for i := 0; i < 8; i++ {
+		if e := agg.Acquire(0, 1e9); e > worst {
+			worst = e
+		}
+	}
+	if math.Abs(worst-1.0) > 1e-9 {
+		t.Fatalf("8 parallel 1GB transfers on 8x1GB/s lanes took %v, want 1s", worst)
+	}
+}
+
+func BenchmarkAcquire(b *testing.B) {
+	r := NewResource("x", 64, 1e-6, 1e12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(float64(i)*1e-6, 4096)
+	}
+}

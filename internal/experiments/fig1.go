@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hcompress/internal/cluster"
+	"hcompress/internal/core"
+	"hcompress/internal/seed"
+	"hcompress/internal/tier"
+	"hcompress/internal/workload"
+)
+
+// Fig1Options parameterizes the motivation experiment (§III, Fig. 1):
+// VPIC with 2560 processes, 16 time steps, writing to either a vanilla PFS
+// or Hermes multi-tier buffering, with compression off or fixed to one of
+// {brotli, zlib, bzip2}, plus the combined multi-compression/multi-tier
+// point that motivates HCompress.
+type Fig1Options struct {
+	Scale     int // divide ranks and capacities by this (1 = paper scale)
+	Ranks     int
+	Timesteps int
+	Truth     *seed.Seed // measured codec costs; nil = builtin
+}
+
+// PaperFig1 returns the configuration of the paper's motivation run.
+func PaperFig1(scale int) Fig1Options {
+	if scale < 1 {
+		scale = 1
+	}
+	return Fig1Options{Scale: scale, Ranks: 2560, Timesteps: 16}
+}
+
+// Fig1Motivation runs the motivation experiment and returns, per scenario,
+// compression time, I/O time, total time, and achieved compression ratio —
+// the four series of Fig. 1.
+func Fig1Motivation(o Fig1Options) (Table, error) {
+	ranks := scaleRanks(o.Ranks, o.Scale)
+	v := workload.PaperVPIC(ranks, o.Timesteps)
+	attr := v.Attr()
+	stepSize := v.StepBytesPerRank()
+
+	// Hermes configuration from §III: 16 GB RAM, 32 GB NVMe, 2 TB BB, PFS.
+	hierMT := aresScaled(16*tierGB, 32*tierGB, 2048*tierGB, 1<<60, o.Scale)
+	hierPFS := pfsOnlyScaled(o.Scale)
+
+	type scenario struct {
+		name  string
+		multi bool
+		codec string // "" = none, "hcdp" = HCompress
+	}
+	scenarios := []scenario{
+		{"none/pfs", false, ""},
+		{"none/hermes", true, ""},
+		{"brotli/pfs", false, "brotli"},
+		{"brotli/hermes", true, "brotli"},
+		{"zlib/pfs", false, "zlib"},
+		{"zlib/hermes", true, "zlib"},
+		{"bzip2/pfs", false, "bzip2"},
+		{"bzip2/hermes", true, "bzip2"},
+		{"multicomp/hermes (HCompress)", true, "hcdp"},
+	}
+
+	truth := o.Truth
+	if truth == nil {
+		truth = seed.Builtin(hierMT)
+	}
+
+	t := Table{
+		Title:  fmt.Sprintf("Fig.1 VPIC motivation (%d ranks, %d steps, scale 1/%d)", ranks, o.Timesteps, o.Scale),
+		Header: []string{"scenario", "comp_time_s", "io_time_s", "total_s", "ratio", "vs_baseline"},
+	}
+	var baseline float64
+	for _, sc := range scenarios {
+		hier := hierPFS
+		if sc.multi {
+			hier = hierMT
+		}
+		var stk *stack
+		var err error
+		if sc.codec == "hcdp" {
+			stk, err = newHCStack(hier, truth, seed.Weights{Compression: 0.5, Ratio: 0.5}, core.Config{})
+		} else {
+			stk, err = newBaselineStack(hier, truth, sc.codec)
+		}
+		if err != nil {
+			return t, fmt.Errorf("fig1 %s: %w", sc.name, err)
+		}
+		sim := cluster.NewSim(ranks)
+		var comp, io float64
+		var bytes, stored int64
+		for step := 0; step < o.Timesteps; step++ {
+			ps, err := sim.WritePhase(stk.io, fmt.Sprintf("f1s%d", step), 1, stepSize, attr, nil)
+			if err != nil {
+				return t, fmt.Errorf("fig1 %s step %d: %w", sc.name, step, err)
+			}
+			comp += ps.CodecTime
+			io += ps.IOTime
+			bytes += ps.Bytes
+			stored += ps.Stored
+			if step < o.Timesteps-1 {
+				// VPIC computes between checkpoints; the multi-tier
+				// stacks drain asynchronously during that window.
+				stk.drain(sim.Now(), v.ComputeSecPerStep)
+				sim.Compute(v.ComputeSecPerStep)
+			}
+		}
+		total := sim.Now()
+		ratio := 1.0
+		if stored > 0 {
+			ratio = float64(bytes) / float64(stored)
+		}
+		if sc.name == "none/pfs" {
+			baseline = total
+		}
+		t.Rows = append(t.Rows, []string{
+			sc.name, f1(comp), f1(io), f1(total), f2(ratio), speedup(baseline, total),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: Hermes alone 2.5x over PFS; brotli light compression 1.93x; zlib heavy ratio but slow; bzip2 cannot compress VPIC floats; combined wins ~2x over either alone")
+	return t, nil
+}
+
+const tierGB = tier.GB
+
+// pfsOnlyScaled builds the BASE configuration at scale.
+func pfsOnlyScaled(scale int) tier.Hierarchy {
+	h := aresScaled(tierGB, tierGB, tierGB, 1<<60, scale)
+	return tier.Hierarchy{Tiers: h.Tiers[3:]}
+}

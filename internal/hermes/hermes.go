@@ -1,0 +1,325 @@
+// Package hermes implements the paper's comparison systems (Table IV):
+//
+//	BASE — vanilla PFS, no buffering, no compression
+//	STWC — single tier (PFS) with a fixed compression library
+//	MTNC — multi-tiered buffering without compression (Hermes)
+//	Hermes+codec — multi-tiered buffering with one fixed library
+//
+// The defining property reproduced here is Hermes's place-then-compress
+// order: the data placement engine reserves tier capacity by the
+// *uncompressed* size of incoming I/O and only then applies compression.
+// This is why, in the paper's Fig. 5, "Hermes with lz4 only uses 17GB out
+// of the 64GB available in RAM" — compressed payloads under-fill the
+// reservations, and later tasks spill to lower tiers although physical
+// space remains. HCompress's compress-then-place order is the contrast
+// the whole evaluation turns on.
+package hermes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/codec"
+	"hcompress/internal/manager"
+	"hcompress/internal/store"
+)
+
+// Baseline is a Hermes-style tiered buffer with an optional fixed codec.
+// Safe for concurrent use.
+type Baseline struct {
+	mu       sync.Mutex
+	st       *store.Store
+	oracle   manager.Oracle
+	fixed    codec.Codec // nil means no compression
+	reserved []int64     // per-tier uncompressed-byte reservations
+	tasks    map[string][]sub
+	order    []string // write order, oldest first (drain policy)
+}
+
+type sub struct {
+	key    string
+	tier   int
+	hdr    manager.Header
+	attr   analyzer.Result
+	stored int64
+}
+
+// New creates a baseline over st. codecName selects the fixed compression
+// library ("" or "none" disables compression). oracle defaults to
+// manager.RealOracle.
+func New(st *store.Store, codecName string, oracle manager.Oracle) (*Baseline, error) {
+	b := &Baseline{
+		st:       st,
+		oracle:   oracle,
+		reserved: make([]int64, st.Hierarchy().Len()),
+		tasks:    make(map[string][]sub),
+	}
+	if b.oracle == nil {
+		b.oracle = manager.RealOracle{}
+	}
+	if codecName != "" && codecName != "none" {
+		c, err := codec.ByName(codecName)
+		if err != nil {
+			return nil, err
+		}
+		b.fixed = c
+	}
+	return b, nil
+}
+
+// Store returns the underlying store.
+func (b *Baseline) Store() *store.Store { return b.st }
+
+// Codec reports the fixed library name ("none" when disabled).
+func (b *Baseline) Codec() string {
+	if b.fixed == nil {
+		return "none"
+	}
+	return b.fixed.Name()
+}
+
+// Reserved reports the uncompressed bytes reserved on tier t — the
+// quantity Hermes's DPE budgets against.
+func (b *Baseline) Reserved(t int) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t < 0 || t >= len(b.reserved) {
+		return 0
+	}
+	return b.reserved[t]
+}
+
+// Write places then (optionally) compresses one task: the Hermes order.
+// data may be nil for modeled runs. Returns the manager-style result.
+func (b *Baseline) Write(now float64, key string, data []byte, size int64, attr analyzer.Result) (manager.Result, error) {
+	if size <= 0 {
+		return manager.Result{}, fmt.Errorf("hermes: non-positive size")
+	}
+	if data != nil && int64(len(data)) != size {
+		return manager.Result{}, fmt.Errorf("hermes: data length %d != size %d", len(data), size)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Phase 1 — placement by uncompressed size (greedy MaxBW top-down,
+	// splitting across tiers when a tier's reservation budget runs out).
+	type piece struct {
+		tier        int
+		off, length int64
+	}
+	var pieces []piece
+	hier := b.st.Hierarchy()
+	var off int64
+	remaining := size
+	for t := 0; t < hier.Len() && remaining > 0; t++ {
+		avail := hier.Tiers[t].Capacity - b.reserved[t]
+		if avail <= 0 {
+			continue
+		}
+		take := remaining
+		if take > avail {
+			take = avail
+		}
+		pieces = append(pieces, piece{tier: t, off: off, length: take})
+		off += take
+		remaining -= take
+	}
+	if remaining > 0 {
+		return manager.Result{}, fmt.Errorf("hermes: %w", store.ErrNoCapacity)
+	}
+
+	// Phase 2 — compress each placed piece and perform the I/O.
+	cdc, _ := codec.ByID(codec.None)
+	if b.fixed != nil {
+		cdc = b.fixed
+	}
+	res := manager.Result{End: now}
+	t := now
+	var subs []sub
+	for k, p := range pieces {
+		hdr := manager.Header{Offset: p.off, Length: p.length, Codec: cdc.ID()}
+		var payload []byte
+		if data != nil {
+			payload = data[p.off : p.off+p.length]
+		}
+		stored := p.length
+		compSecs := 0.0
+		var blobData []byte
+		if cdc.ID() != codec.None {
+			var err error
+			blobData, stored, compSecs, err = b.oracle.Compress(attr, cdc, payload, p.length, hdr)
+			if err != nil {
+				return manager.Result{}, err
+			}
+		} else {
+			blobData = payload
+		}
+		t += compSecs
+		sk := fmt.Sprintf("%s@%d", key, k)
+		// Physical occupancy can exceed the uncompressed reservation by
+		// the metadata header (or when a codec expands); spill down the
+		// hierarchy in that rare case, as the real system would.
+		tierIdx := p.tier
+		end, err := b.st.Put(t, tierIdx, sk, blobData, stored)
+		for err != nil && errorsIsNoCapacity(err) && tierIdx+1 < hier.Len() {
+			tierIdx++
+			end, err = b.st.Put(t, tierIdx, sk, blobData, stored)
+		}
+		if err != nil {
+			return manager.Result{}, fmt.Errorf("hermes: placing piece %d: %w", k, err)
+		}
+		p.tier = tierIdx
+		b.reserved[p.tier] += p.length // reservation is the UNCOMPRESSED size
+		ioSecs := end - t
+		t = end
+		hdr.Stored = stored
+		res.CodecTime += compSecs
+		res.IOTime += ioSecs
+		res.Stored += stored
+		res.SubResults = append(res.SubResults, manager.SubResult{
+			Tier: p.tier, Codec: cdc.ID(), OrigLen: p.length,
+			Stored: stored, CodecTime: compSecs, IOTime: ioSecs,
+		})
+		subs = append(subs, sub{key: sk, tier: p.tier, hdr: hdr, attr: attr, stored: stored})
+	}
+	if _, existed := b.tasks[key]; !existed {
+		b.order = append(b.order, key)
+	}
+	b.tasks[key] = subs
+	res.End = t
+	return res, nil
+}
+
+// Read fetches and decompresses a task written earlier.
+func (b *Baseline) Read(now float64, key string) (manager.Result, error) {
+	b.mu.Lock()
+	subs, ok := b.tasks[key]
+	b.mu.Unlock()
+	if !ok {
+		return manager.Result{}, fmt.Errorf("hermes: unknown task %q", key)
+	}
+	res := manager.Result{End: now}
+	real := b.st.KeepsData()
+	var total int64
+	for _, s := range subs {
+		total += s.hdr.Length
+	}
+	if real {
+		res.Data = make([]byte, total)
+	}
+	t := now
+	for _, s := range subs {
+		blob, end, err := b.st.Get(t, s.key)
+		if err != nil {
+			return manager.Result{}, err
+		}
+		ioSecs := end - t
+		t = end
+		decompSecs := 0.0
+		var piece []byte
+		if s.hdr.Codec != codec.None {
+			cdc, err := codec.ByID(s.hdr.Codec)
+			if err != nil {
+				return manager.Result{}, err
+			}
+			payload := blob.Data
+			if real {
+				// Real payloads from the oracle carry the manager header.
+				var hdr manager.Header
+				hdr, payload, err = manager.DecodeHeader(blob.Data)
+				if err != nil {
+					return manager.Result{}, err
+				}
+				_ = hdr
+			}
+			piece, decompSecs, err = b.oracle.Decompress(s.attr, cdc, payload, s.hdr)
+			if err != nil {
+				return manager.Result{}, err
+			}
+		} else if real {
+			piece = blob.Data
+		}
+		t += decompSecs
+		res.CodecTime += decompSecs
+		res.IOTime += ioSecs
+		res.SubResults = append(res.SubResults, manager.SubResult{
+			Tier: s.tier, Codec: s.hdr.Codec, OrigLen: s.hdr.Length,
+			Stored: blob.Size, CodecTime: decompSecs, IOTime: ioSecs,
+		})
+		if real && piece != nil {
+			copy(res.Data[s.hdr.Offset:], piece)
+		}
+	}
+	res.End = t
+	return res, nil
+}
+
+// Delete removes a task and releases both the physical blobs and the
+// uncompressed reservations.
+func (b *Baseline) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs, ok := b.tasks[key]
+	if !ok {
+		return fmt.Errorf("hermes: unknown task %q", key)
+	}
+	delete(b.tasks, key)
+	for _, s := range subs {
+		if err := b.st.Delete(s.key); err != nil {
+			return err
+		}
+		b.reserved[s.tier] -= s.hdr.Length
+	}
+	return nil
+}
+
+// Tasks reports the number of live tasks.
+func (b *Baseline) Tasks() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.tasks)
+}
+
+// Drain trickles buffered pieces one tier down during an idle window —
+// Hermes's asynchronous flushing. Both the physical blob and the
+// uncompressed reservation move, so the freed budget is reusable by the
+// next burst. Returns the (compressed) bytes moved.
+func (b *Baseline) Drain(now, window float64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	deadline := now + window
+	timeline := now
+	var moved int64
+	nTiers := b.st.Hierarchy().Len()
+	for _, key := range b.order {
+		subs, ok := b.tasks[key]
+		if !ok {
+			continue
+		}
+		for i := range subs {
+			s := &subs[i]
+			if s.tier >= nTiers-1 || timeline >= deadline {
+				continue
+			}
+			end, err := b.st.Move(timeline, s.key, s.tier+1)
+			if err != nil {
+				continue
+			}
+			timeline = end
+			b.reserved[s.tier] -= s.hdr.Length
+			s.tier++
+			b.reserved[s.tier] += s.hdr.Length
+			moved += s.stored
+		}
+		if timeline >= deadline {
+			break
+		}
+	}
+	return moved
+}
+
+func errorsIsNoCapacity(err error) bool {
+	return errors.Is(err, store.ErrNoCapacity)
+}

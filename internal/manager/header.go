@@ -1,0 +1,68 @@
+package manager
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcompress/internal/codec"
+)
+
+// HeaderSize is the fixed size of the sub-task metadata header (§IV-G2):
+// "a small header (i.e., 16-bytes) attached to each sub-task which holds
+// this info as a 4-tuple of {start-offset, length, compression library,
+// resulting size}".
+const HeaderSize = 16
+
+// Header is the metadata decorator attached to every stored sub-task. It
+// is all a reader needs to decompress the piece independently — the
+// property that makes decompression "efficient and highly scalable as each
+// application process can independently identify the compression library
+// from the data itself".
+type Header struct {
+	Offset int64    // start offset within the original task
+	Length int64    // uncompressed length of this piece
+	Codec  codec.ID // compression library applied
+	Stored int64    // resulting (compressed) payload size
+}
+
+// Layout: u32 offset | u32 length | u8 codec + 3 reserved | u32 stored,
+// little-endian. Individual I/O tasks are bounded well below 4 GiB in
+// every workload the paper considers, so u32 fields suffice; Encode
+// rejects overflow explicitly rather than truncating.
+
+// Encode appends the 16-byte header to dst.
+func (h Header) Encode(dst []byte) ([]byte, error) {
+	const maxU32 = int64(1)<<32 - 1
+	if h.Offset < 0 || h.Offset > maxU32 || h.Length < 0 || h.Length > maxU32 ||
+		h.Stored < 0 || h.Stored > maxU32 {
+		return nil, fmt.Errorf("manager: header field exceeds u32: %+v", h)
+	}
+	var buf [HeaderSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(h.Offset))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(h.Length))
+	buf[8] = byte(h.Codec)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.Stored))
+	return append(dst, buf[:]...), nil
+}
+
+// DecodeHeader parses the header at the start of payload and returns it
+// along with the remaining bytes.
+func DecodeHeader(payload []byte) (Header, []byte, error) {
+	if len(payload) < HeaderSize {
+		return Header{}, nil, fmt.Errorf("manager: payload too short for header (%d bytes)", len(payload))
+	}
+	h := Header{
+		Offset: int64(binary.LittleEndian.Uint32(payload[0:])),
+		Length: int64(binary.LittleEndian.Uint32(payload[4:])),
+		Codec:  codec.ID(payload[8]),
+		Stored: int64(binary.LittleEndian.Uint32(payload[12:])),
+	}
+	if _, err := codec.ByID(h.Codec); err != nil {
+		return Header{}, nil, fmt.Errorf("manager: header references %w", err)
+	}
+	rest := payload[HeaderSize:]
+	if int64(len(rest)) != h.Stored {
+		return Header{}, nil, fmt.Errorf("manager: header stored size %d != payload %d", h.Stored, len(rest))
+	}
+	return h, rest, nil
+}

@@ -1,0 +1,447 @@
+// Package manager implements the Compression Manager (CM, §IV-G): it
+// executes the schemas the HCDP engine produces — applying the selected
+// compression per sub-task, decorating payloads with metadata headers,
+// driving the Storage Hardware Interface, and reporting actual costs back
+// to the Compression Cost Predictor (the feedback loop).
+//
+// The manager runs in one of two execution modes behind the Oracle
+// interface:
+//
+//   - RealOracle compresses actual bytes with the registered codecs and
+//     measures wall-clock costs. Used by the public API and correctness
+//     tests.
+//   - ModelOracle consults a measured seed table (with deterministic
+//     jitter) instead of touching bytes, so the experiment harness can
+//     replay the paper's multi-hundred-GB workloads. The timing model and
+//     all control paths — planning, headers aside, placement, feedback —
+//     are identical.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/codec"
+	"hcompress/internal/core"
+	"hcompress/internal/predictor"
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+	"hcompress/internal/store"
+)
+
+// Oracle abstracts how sub-task compression is performed and costed.
+type Oracle interface {
+	// Compress produces the stored payload for piece (nil in modeled
+	// mode), its stored size, and the compression time in seconds.
+	Compress(attr analyzer.Result, c codec.Codec, piece []byte, pieceLen int64, hdr Header) (payload []byte, stored int64, secs float64, err error)
+	// Decompress recovers the piece (nil in modeled mode) from payload
+	// and returns the decompression time in seconds.
+	Decompress(attr analyzer.Result, c codec.Codec, payload []byte, hdr Header) (piece []byte, secs float64, err error)
+}
+
+// RealOracle executes codecs on real bytes and measures wall time.
+type RealOracle struct{}
+
+// Compress implements Oracle.
+func (RealOracle) Compress(_ analyzer.Result, c codec.Codec, piece []byte, pieceLen int64, hdr Header) ([]byte, int64, float64, error) {
+	start := time.Now()
+	comp, err := c.Compress(nil, piece)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("manager: %s compress: %w", c.Name(), err)
+	}
+	secs := time.Since(start).Seconds()
+	hdr.Stored = int64(len(comp))
+	payload, err := hdr.Encode(make([]byte, 0, HeaderSize+len(comp)))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	payload = append(payload, comp...)
+	return payload, int64(len(payload)), secs, nil
+}
+
+// Decompress implements Oracle.
+func (RealOracle) Decompress(_ analyzer.Result, c codec.Codec, payload []byte, hdr Header) ([]byte, float64, error) {
+	start := time.Now()
+	piece, err := c.Decompress(nil, payload, int(hdr.Length))
+	if err != nil {
+		return nil, 0, fmt.Errorf("manager: %s decompress: %w", c.Name(), err)
+	}
+	return piece, time.Since(start).Seconds(), nil
+}
+
+// ModelOracle costs sub-tasks from a measured seed table with a
+// deterministic per-piece jitter, so repeated runs are reproducible while
+// the feedback loop still sees realistic variance.
+type ModelOracle struct {
+	Truth *seed.Seed
+	// JitterFrac is the +/- relative jitter applied to speeds and ratio
+	// (default 0.08).
+	JitterFrac float64
+}
+
+func (o ModelOracle) jitter(h Header, salt uint64) float64 {
+	f := o.JitterFrac
+	if f == 0 {
+		f = 0.08
+	}
+	hs := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(h.Offset) >> (8 * i))
+	}
+	hs.Write(b[:])
+	for i := 0; i < 8; i++ {
+		b[i] = byte((uint64(h.Length) ^ salt) >> (8 * i))
+	}
+	hs.Write(b[:])
+	u := hs.Sum64()
+	return 1 + f*(float64(u%2048)/1024-1) // in [1-f, 1+f)
+}
+
+func (o ModelOracle) cost(attr analyzer.Result, c codec.Codec) (seed.CodecCost, error) {
+	if c.ID() == codec.None {
+		return seed.CodecCost{CompressMBps: 1e9, DecompressMBps: 1e9, Ratio: 1}, nil
+	}
+	cost, ok := o.Truth.Lookup(attr.Type, attr.Dist, c.Name())
+	if !ok {
+		return seed.CodecCost{}, fmt.Errorf("manager: no truth table entry for %s", c.Name())
+	}
+	return cost, nil
+}
+
+// Compress implements Oracle.
+func (o ModelOracle) Compress(attr analyzer.Result, c codec.Codec, _ []byte, pieceLen int64, hdr Header) ([]byte, int64, float64, error) {
+	cost, err := o.cost(attr, c)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	j := o.jitter(hdr, uint64(c.ID()))
+	ratio := 1 + (cost.Ratio-1)*j
+	stored := int64(float64(pieceLen)/ratio) + HeaderSize
+	if stored < HeaderSize+1 {
+		stored = HeaderSize + 1
+	}
+	secs := 0.0
+	if c.ID() != codec.None {
+		secs = float64(pieceLen) / (1 << 20) / (cost.CompressMBps * j)
+	}
+	return nil, stored, secs, nil
+}
+
+// Decompress implements Oracle.
+func (o ModelOracle) Decompress(attr analyzer.Result, c codec.Codec, _ []byte, hdr Header) ([]byte, float64, error) {
+	cost, err := o.cost(attr, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.ID() == codec.None {
+		return nil, 0, nil
+	}
+	j := o.jitter(hdr, uint64(c.ID())+7777)
+	return nil, float64(hdr.Length) / (1 << 20) / (cost.DecompressMBps * j), nil
+}
+
+// subMeta records what the write path did so the read path can model
+// decompression without re-reading headers in modeled mode.
+type subMeta struct {
+	key    string
+	hdr    Header
+	tier   int
+	attr   analyzer.Result
+	stored int64
+}
+
+type taskMeta struct {
+	subs []subMeta
+	attr analyzer.Result
+	size int64
+}
+
+// Result reports one executed task with the paper's Fig. 3 time anatomy.
+type Result struct {
+	End        float64 // virtual completion time
+	CodecTime  float64 // compression or decompression seconds
+	IOTime     float64 // storage I/O seconds
+	Stored     int64   // bytes occupying the hierarchy (writes)
+	Data       []byte  // reassembled data (reads, real mode only)
+	SubResults []SubResult
+}
+
+// SubResult is the per-sub-task breakdown.
+type SubResult struct {
+	Tier      int
+	Codec     codec.ID
+	OrigLen   int64
+	Stored    int64
+	CodecTime float64
+	IOTime    float64
+}
+
+// Manager executes schemas against a store. Safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	st     *store.Store
+	pred   *predictor.CCP
+	oracle Oracle
+	tasks  map[string]*taskMeta
+	order  []string // write order, oldest first (drain policy)
+}
+
+// New creates a Compression Manager.
+func New(st *store.Store, pred *predictor.CCP, oracle Oracle) *Manager {
+	if oracle == nil {
+		oracle = RealOracle{}
+	}
+	return &Manager{st: st, pred: pred, oracle: oracle, tasks: make(map[string]*taskMeta)}
+}
+
+// Drain is the asynchronous flushing path of a multi-tiered buffer: during
+// an idle window (e.g. the application's compute phase) it trickles the
+// oldest buffered sub-tasks one tier down, freeing fast-tier capacity for
+// the next burst. Moves are modeled through the store, so they consume
+// tier lanes like any other I/O; draining stops when the window closes or
+// nothing movable remains. It returns the bytes moved.
+func (m *Manager) Drain(now, window float64) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline := now + window
+	timeline := now
+	var moved int64
+	nTiers := m.st.Hierarchy().Len()
+	for _, key := range m.order {
+		meta, ok := m.tasks[key]
+		if !ok {
+			continue // deleted
+		}
+		for i := range meta.subs {
+			sm := &meta.subs[i]
+			if sm.tier >= nTiers-1 || timeline >= deadline {
+				continue
+			}
+			end, err := m.st.Move(timeline, sm.key, sm.tier+1)
+			if err != nil {
+				continue // destination full; try other blobs
+			}
+			timeline = end
+			sm.tier++
+			moved += sm.stored
+		}
+		if timeline >= deadline {
+			break
+		}
+	}
+	return moved
+}
+
+// Store returns the underlying store.
+func (m *Manager) Store() *store.Store { return m.st }
+
+func subKey(key string, k int) string { return fmt.Sprintf("%s#%d", key, k) }
+
+// ExecuteWrite runs a write schema: per sub-task, compress (per the
+// schema's codec), decorate with the metadata header, and write to the
+// assigned tier. data may be nil in modeled mode. It returns the virtual
+// completion time and the cost anatomy.
+func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64, attr analyzer.Result, schema core.Schema) (Result, error) {
+	if data != nil && int64(len(data)) != size {
+		return Result{}, fmt.Errorf("manager: data length %d != size %d", len(data), size)
+	}
+	res := Result{End: now}
+	meta := &taskMeta{attr: attr, size: size}
+	t := now
+	for k, st := range schema.SubTasks {
+		c, err := codec.ByID(st.Codec)
+		if err != nil {
+			return Result{}, err
+		}
+		hdr := Header{Offset: st.Offset, Length: st.Length, Codec: st.Codec}
+		var piece []byte
+		if data != nil {
+			piece = data[st.Offset : st.Offset+st.Length]
+		}
+		payload, stored, compSecs, err := m.oracle.Compress(attr, c, piece, st.Length, hdr)
+		if err != nil {
+			return Result{}, err
+		}
+		t += compSecs
+		sk := subKey(key, k)
+		// The schema places by *predicted* compressed size; the actual
+		// size can come out larger. When the planned tier cannot take the
+		// real payload, spill down the hierarchy — the same repair a real
+		// deployment performs when the System Monitor's view was stale.
+		tierIdx := st.Tier
+		end, err := m.st.Put(t, tierIdx, sk, payload, stored)
+		for err != nil && errorsIsNoCapacity(err) && tierIdx+1 < m.st.Hierarchy().Len() {
+			tierIdx++
+			end, err = m.st.Put(t, tierIdx, sk, payload, stored)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("manager: placing sub-task %d: %w", k, err)
+		}
+		ioSecs := end - t
+		t = end
+		res.CodecTime += compSecs
+		res.IOTime += ioSecs
+		res.Stored += stored
+		res.SubResults = append(res.SubResults, SubResult{
+			Tier: tierIdx, Codec: st.Codec, OrigLen: st.Length,
+			Stored: stored, CodecTime: compSecs, IOTime: ioSecs,
+		})
+		hdr.Stored = stored - HeaderSize
+		meta.subs = append(meta.subs, subMeta{key: sk, hdr: hdr, tier: tierIdx, attr: attr, stored: stored})
+
+		// Feedback loop: report the actual compression cost (write side
+		// knows compression speed and ratio; decompression arrives on
+		// read).
+		if st.Codec != codec.None && compSecs > 0 {
+			m.pred.Feedback(attr.Type, attr.Dist, c.Name(), seed.CodecCost{
+				CompressMBps: float64(st.Length) / (1 << 20) / compSecs,
+				Ratio:        ratioOf(st.Length, stored-HeaderSize),
+			})
+		}
+	}
+	m.mu.Lock()
+	if _, existed := m.tasks[key]; !existed {
+		m.order = append(m.order, key)
+	}
+	m.tasks[key] = meta
+	m.mu.Unlock()
+	res.End = t
+	return res, nil
+}
+
+func ratioOf(orig, stored int64) float64 {
+	if stored <= 0 {
+		return 1
+	}
+	r := float64(orig) / float64(stored)
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// ExecuteRead reads a previously written task: fetch every sub-task,
+// decode its metadata header, decompress with the library the header
+// names, and reassemble. In modeled mode the data is nil but timing and
+// feedback behave identically.
+func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
+	m.mu.Lock()
+	meta, ok := m.tasks[key]
+	m.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("manager: unknown task %q", key)
+	}
+	res := Result{End: now}
+	real := m.st.KeepsData()
+	if real {
+		res.Data = make([]byte, meta.size)
+	}
+	t := now
+	for _, sm := range meta.subs {
+		blob, end, err := m.st.Get(t, sm.key)
+		if err != nil {
+			return Result{}, err
+		}
+		ioSecs := end - t
+		t = end
+
+		hdr := sm.hdr
+		payload := blob.Data
+		if real {
+			// Real mode: trust the on-media header, not the in-memory
+			// metadata — this is the "identify the compression library
+			// from the data itself" path.
+			var rest []byte
+			hdr, rest, err = DecodeHeader(blob.Data)
+			if err != nil {
+				return Result{}, err
+			}
+			payload = rest
+		}
+		c, err := codec.ByID(hdr.Codec)
+		if err != nil {
+			return Result{}, err
+		}
+		piece, decompSecs, err := m.oracle.Decompress(meta.attr, c, payload, hdr)
+		if err != nil {
+			return Result{}, err
+		}
+		t += decompSecs
+		res.CodecTime += decompSecs
+		res.IOTime += ioSecs
+		res.SubResults = append(res.SubResults, SubResult{
+			Tier: sm.tier, Codec: hdr.Codec, OrigLen: hdr.Length,
+			Stored: blob.Size, CodecTime: decompSecs, IOTime: ioSecs,
+		})
+		if real {
+			if hdr.Offset+hdr.Length > int64(len(res.Data)) {
+				return Result{}, fmt.Errorf("manager: sub-task exceeds task bounds")
+			}
+			copy(res.Data[hdr.Offset:], piece)
+		}
+		if hdr.Codec != codec.None && decompSecs > 0 {
+			m.pred.Feedback(meta.attr.Type, meta.attr.Dist, c.Name(), seed.CodecCost{
+				DecompressMBps: float64(hdr.Length) / (1 << 20) / decompSecs,
+			})
+		}
+	}
+	res.End = t
+	return res, nil
+}
+
+// Delete removes a task's sub-tasks from the hierarchy.
+func (m *Manager) Delete(key string) error {
+	m.mu.Lock()
+	meta, ok := m.tasks[key]
+	if ok {
+		delete(m.tasks, key)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("manager: unknown task %q", key)
+	}
+	for _, sm := range meta.subs {
+		if err := m.st.Delete(sm.key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TaskSize reports the original size of a written task.
+func (m *Manager) TaskSize(key string) (int64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.tasks[key]
+	if !ok {
+		return 0, false
+	}
+	return meta.size, true
+}
+
+// Tasks reports the number of tasks tracked.
+func (m *Manager) Tasks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tasks)
+}
+
+// DataTypeOf is a helper for tests: re-exports the attr stored at write.
+func (m *Manager) DataTypeOf(key string) (stats.DataType, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.tasks[key]
+	if !ok {
+		return 0, false
+	}
+	return meta.attr.Type, true
+}
+
+func errorsIsNoCapacity(err error) bool {
+	return errors.Is(err, store.ErrNoCapacity)
+}

@@ -1,0 +1,64 @@
+// Package monitor implements the System Monitor (SM): a cached view of
+// per-tier availability, load, and remaining capacity (§IV-E). Where the
+// paper's SM shells out to du and iostat from a background thread, this
+// one samples the simulated Storage Hardware Interface — the refresh
+// cadence is preserved so the HCDP engine sees the same slightly-stale
+// information a real deployment would.
+package monitor
+
+import (
+	"sync"
+
+	"hcompress/internal/store"
+)
+
+// SystemMonitor caches tier status snapshots, refreshing at a configured
+// virtual-time interval.
+type SystemMonitor struct {
+	mu          sync.Mutex
+	st          *store.Store
+	interval    float64 // seconds of virtual time between refreshes
+	lastRefresh float64
+	cached      []store.TierStatus
+	refreshes   int
+}
+
+// New creates a monitor over st that refreshes its cache every interval
+// virtual seconds. interval 0 means "always fresh".
+func New(st *store.Store, interval float64) *SystemMonitor {
+	m := &SystemMonitor{st: st, interval: interval, lastRefresh: -1}
+	return m
+}
+
+// Status returns tier status as of virtual time now, refreshing the cache
+// if it is older than the interval. The returned slice is shared; callers
+// must not mutate it.
+func (m *SystemMonitor) Status(now float64) []store.TierStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastRefresh < 0 || now-m.lastRefresh >= m.interval {
+		m.cached = m.st.Status(now)
+		m.lastRefresh = now
+		m.refreshes++
+	}
+	return m.cached
+}
+
+// ForceRefresh invalidates the cache so the next Status is fresh — used
+// after placements that the engine itself performed (it knows the state
+// changed and must not plan against stale capacity).
+func (m *SystemMonitor) ForceRefresh() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastRefresh = -1
+}
+
+// Refreshes reports how many times the underlying store was sampled.
+func (m *SystemMonitor) Refreshes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshes
+}
+
+// Store exposes the monitored store (the engine needs it for placement).
+func (m *SystemMonitor) Store() *store.Store { return m.st }

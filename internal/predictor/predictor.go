@@ -1,0 +1,226 @@
+// Package predictor implements the Compression Cost Predictor (CCP):
+// per-codec linear regression models over data attributes that estimate
+// the Expected Compression Cost 3-tuple (compression speed, decompression
+// speed, ratio), bootstrapped from the profiler's JSON seed and refined at
+// runtime through a reinforcement-learning feedback loop (§IV-D).
+//
+// The feedback loop is batched: compressors report actual costs after
+// every operation, but the models only absorb them every n operations
+// (n is the seed's feedback_interval), matching the paper's design.
+package predictor
+
+import (
+	"sync"
+
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+)
+
+// Target indexes the three predicted quantities.
+type Target int
+
+const (
+	TargetCompress Target = iota
+	TargetDecompress
+	TargetRatio
+	numTargets
+)
+
+// The design is the saturated (type x dist) interaction: 15 cell dummies
+// plus the model intercept for the (binary, uniform) baseline cell. An
+// additive main-effects model cannot represent per-cell costs exactly
+// (compressibility does not decompose into type + distribution effects),
+// which systematically biased baseline-cell predictions; the saturated
+// design fits every profiled cell while remaining a linear model the RLS
+// feedback can update.
+const numFeatures = 15
+
+func features(dt stats.DataType, dist stats.Dist) []float64 {
+	f := make([]float64, numFeatures)
+	cell := int(dt)*4 + int(dist)
+	if cell > 0 && cell <= numFeatures {
+		f[cell-1] = 1
+	}
+	return f
+}
+
+type modelKey struct {
+	codec  string
+	target Target
+}
+
+type observation struct {
+	dt     stats.DataType
+	dist   stats.Dist
+	codec  string
+	actual seed.CodecCost
+}
+
+// CCP is the predictor. Safe for concurrent use.
+type CCP struct {
+	mu        sync.Mutex
+	models    map[modelKey]*stats.RLS
+	interval  int
+	pending   []observation
+	feedbacks int // total observations absorbed
+	queued    int // total observations received
+}
+
+// New builds a CCP from a seed: every table entry is folded into the
+// regression models as an observation (the "initial seed" bootstrap).
+func New(s *seed.Seed) *CCP {
+	c := &CCP{
+		models:   make(map[modelKey]*stats.RLS),
+		interval: s.FeedbackInterval,
+	}
+	if c.interval <= 0 {
+		c.interval = seed.DefaultFeedbackInterval
+	}
+	for _, dt := range stats.AllTypes() {
+		for _, dist := range stats.AllDists() {
+			for _, name := range s.CodecNames() {
+				if cost, ok := s.Costs[seed.Key(dt, dist, name)]; ok && cost.Valid() {
+					c.absorb(observation{dt, dist, name, cost})
+				}
+			}
+		}
+	}
+	// Seed-derived residuals should not count against runtime accuracy.
+	for _, m := range c.models {
+		m.ResetAccuracy()
+	}
+	return c
+}
+
+func (c *CCP) model(name string, t Target) *stats.RLS {
+	k := modelKey{name, t}
+	m, ok := c.models[k]
+	if !ok {
+		// Slight forgetting lets the model track workload drift — the
+		// "reinforcement" part of the loop.
+		m = stats.NewRLS(numFeatures, 0.995)
+		c.models[k] = m
+	}
+	return m
+}
+
+// absorb folds one observation into the models. Partial tuples are
+// allowed: a write-path feedback knows compression speed and ratio but not
+// decompression speed (that arrives with the read), so non-positive
+// components are skipped.
+func (c *CCP) absorb(o observation) {
+	f := features(o.dt, o.dist)
+	if o.actual.CompressMBps > 0 {
+		c.model(o.codec, TargetCompress).Observe(f, o.actual.CompressMBps)
+	}
+	if o.actual.DecompressMBps > 0 {
+		c.model(o.codec, TargetDecompress).Observe(f, o.actual.DecompressMBps)
+	}
+	if o.actual.Ratio >= 1 {
+		c.model(o.codec, TargetRatio).Observe(f, o.actual.Ratio)
+	}
+	c.feedbacks++
+}
+
+// Predict returns the ECC for a (type, dist, codec) combination. ok is
+// false when the codec has never been seen (no seed entry, no feedback).
+func (c *CCP) Predict(dt stats.DataType, dist stats.Dist, codecName string) (seed.CodecCost, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mc, ok := c.models[modelKey{codecName, TargetCompress}]
+	if !ok || mc.Seen() == 0 {
+		return seed.CodecCost{}, false
+	}
+	f := features(dt, dist)
+	cost := seed.CodecCost{
+		CompressMBps:   clamp(mc.Predict(f), 0.1, 1e6),
+		DecompressMBps: 0.1,
+		Ratio:          1,
+	}
+	if md, ok := c.models[modelKey{codecName, TargetDecompress}]; ok {
+		cost.DecompressMBps = clamp(md.Predict(f), 0.1, 1e6)
+	}
+	if mr, ok := c.models[modelKey{codecName, TargetRatio}]; ok {
+		cost.Ratio = clamp(mr.Predict(f), 1, 1e4)
+	}
+	return cost, true
+}
+
+// Feedback queues an actual measured cost. Models update only when the
+// batch reaches the configured interval.
+func (c *CCP) Feedback(dt stats.DataType, dist stats.Dist, codecName string, actual seed.CodecCost) {
+	if actual.CompressMBps <= 0 && actual.DecompressMBps <= 0 && actual.Ratio < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queued++
+	c.pending = append(c.pending, observation{dt, dist, codecName, actual})
+	if len(c.pending) >= c.interval {
+		c.flushLocked()
+	}
+}
+
+// Flush forces any pending feedback into the models (called at
+// finalization before the seed is written back).
+func (c *CCP) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+}
+
+func (c *CCP) flushLocked() {
+	for _, o := range c.pending {
+		c.absorb(o)
+	}
+	c.pending = c.pending[:0]
+}
+
+// R2 reports the running one-step-ahead R^2 averaged across models that
+// have absorbed runtime feedback — the accuracy metric of Fig. 4(b).
+func (c *CCP) R2() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, m := range c.models {
+		if m.N() > 0 {
+			sum += m.R2()
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// Stats reports (queued, absorbed) feedback counts.
+func (c *CCP) Stats() (queued, absorbed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued, c.feedbacks
+}
+
+// SnapshotCoef exports model coefficients for seed write-back, keyed as
+// "codec/target".
+func (c *CCP) SnapshotCoef() map[string][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]float64, len(c.models))
+	names := [...]string{"compress", "decompress", "ratio"}
+	for k, m := range c.models {
+		out[k.codec+"/"+names[k.target]] = m.Coef()
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

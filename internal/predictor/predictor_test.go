@@ -1,0 +1,171 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+	"hcompress/internal/tier"
+)
+
+func builtinCCP() *CCP {
+	return New(seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB)))
+}
+
+func TestPredictFromSeed(t *testing.T) {
+	c := builtinCCP()
+	cost, ok := c.Predict(stats.TypeText, stats.Normal, "lz4")
+	if !ok {
+		t.Fatal("no prediction for seeded codec")
+	}
+	if !cost.Valid() {
+		t.Fatalf("invalid prediction %+v", cost)
+	}
+	// The additive model must keep the seeded spectrum ordering.
+	bsc, _ := c.Predict(stats.TypeText, stats.Normal, "bsc")
+	if bsc.CompressMBps >= cost.CompressMBps {
+		t.Errorf("bsc speed %v >= lz4 speed %v", bsc.CompressMBps, cost.CompressMBps)
+	}
+	if bsc.Ratio <= cost.Ratio {
+		t.Errorf("bsc ratio %v <= lz4 ratio %v", bsc.Ratio, cost.Ratio)
+	}
+}
+
+func TestPredictUnknownCodec(t *testing.T) {
+	c := builtinCCP()
+	if _, ok := c.Predict(stats.TypeText, stats.Normal, "zstd"); ok {
+		t.Fatal("prediction for unseeded codec")
+	}
+}
+
+func TestFeedbackBatching(t *testing.T) {
+	s := seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB))
+	s.FeedbackInterval = 10
+	c := New(s)
+	_, before := c.Stats()
+	actual := seed.CodecCost{CompressMBps: 500, DecompressMBps: 900, Ratio: 3}
+	for i := 0; i < 9; i++ {
+		c.Feedback(stats.TypeInt, stats.Gamma, "lz4", actual)
+	}
+	if q, a := c.Stats(); q != 9 || a != before {
+		t.Fatalf("feedback absorbed early: queued=%d absorbed=%d (before=%d)", q, a, before)
+	}
+	c.Feedback(stats.TypeInt, stats.Gamma, "lz4", actual)
+	if _, a := c.Stats(); a != before+10 {
+		t.Fatalf("batch not absorbed at interval: %d", a)
+	}
+}
+
+func TestFeedbackCorrectsModel(t *testing.T) {
+	// Seed says lz4 compresses int/gamma at ~900 MB/s; the "real system"
+	// disagrees (300 MB/s). After feedback the prediction must move to
+	// the observed value — the 83% -> 96% behaviour of §IV-D.
+	s := seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB))
+	s.FeedbackInterval = 8
+	c := New(s)
+	before, _ := c.Predict(stats.TypeInt, stats.Gamma, "lz4")
+	for i := 0; i < 200; i++ {
+		c.Feedback(stats.TypeInt, stats.Gamma, "lz4",
+			seed.CodecCost{CompressMBps: 300, DecompressMBps: 800, Ratio: 2.5})
+	}
+	c.Flush()
+	after, _ := c.Predict(stats.TypeInt, stats.Gamma, "lz4")
+	if math.Abs(after.CompressMBps-300) > 60 {
+		t.Errorf("prediction %.0f MB/s, want ~300 (seed said %.0f)", after.CompressMBps, before.CompressMBps)
+	}
+	if math.Abs(after.Ratio-2.5) > 0.5 {
+		t.Errorf("ratio %v, want ~2.5", after.Ratio)
+	}
+}
+
+func TestPartialFeedback(t *testing.T) {
+	s := seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB))
+	s.FeedbackInterval = 1
+	c := New(s)
+	// Decompress-only feedback (read path) must not corrupt the
+	// compression-speed model.
+	before, _ := c.Predict(stats.TypeText, stats.Uniform, "snappy")
+	for i := 0; i < 200; i++ {
+		c.Feedback(stats.TypeText, stats.Uniform, "snappy", seed.CodecCost{DecompressMBps: 123})
+	}
+	after, _ := c.Predict(stats.TypeText, stats.Uniform, "snappy")
+	if math.Abs(after.CompressMBps-before.CompressMBps) > 1 {
+		t.Errorf("compress model drifted from decompress-only feedback: %v -> %v",
+			before.CompressMBps, after.CompressMBps)
+	}
+	if math.Abs(after.DecompressMBps-123) > 50 {
+		t.Errorf("decompress model did not converge: %v", after.DecompressMBps)
+	}
+	// Entirely empty feedback is ignored.
+	q1, _ := c.Stats()
+	c.Feedback(stats.TypeText, stats.Uniform, "snappy", seed.CodecCost{})
+	if q2, _ := c.Stats(); q2 != q1 {
+		t.Error("empty feedback queued")
+	}
+}
+
+func TestR2ImprovesWithFeedback(t *testing.T) {
+	s := seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB))
+	s.FeedbackInterval = 4
+	c := New(s)
+	// Consistent observations drive the running R^2 up.
+	for i := 0; i < 400; i++ {
+		c.Feedback(stats.TypeFloat, stats.Normal, "snappy",
+			seed.CodecCost{CompressMBps: 700 + float64(i%10), DecompressMBps: 1500, Ratio: 1.4})
+	}
+	c.Flush()
+	if r2 := c.R2(); r2 < 0.80 {
+		t.Errorf("R2 after consistent feedback = %.3f, want high", r2)
+	}
+}
+
+func TestPredictionsClamped(t *testing.T) {
+	s := seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB))
+	s.FeedbackInterval = 1
+	c := New(s)
+	// Hammer with feedback claiming ratio 0.0001 speeds — the clamp must
+	// keep predictions physical.
+	for i := 0; i < 100; i++ {
+		c.Feedback(stats.TypeBinary, stats.Uniform, "rle",
+			seed.CodecCost{CompressMBps: 0.001, DecompressMBps: 0.001, Ratio: 1})
+	}
+	cost, _ := c.Predict(stats.TypeBinary, stats.Uniform, "rle")
+	if cost.CompressMBps < 0.1 || cost.Ratio < 1 {
+		t.Errorf("unclamped prediction: %+v", cost)
+	}
+}
+
+func TestSnapshotCoef(t *testing.T) {
+	c := builtinCCP()
+	coef := c.SnapshotCoef()
+	if len(coef) == 0 {
+		t.Fatal("no coefficients")
+	}
+	if v, ok := coef["lz4/ratio"]; !ok || len(v) != numFeatures+1 {
+		t.Errorf("lz4/ratio coef: %v", v)
+	}
+}
+
+func TestFlushEmptyIsSafe(t *testing.T) {
+	c := builtinCCP()
+	c.Flush()
+	c.Flush()
+}
+
+func BenchmarkPredict(b *testing.B) {
+	c := builtinCCP()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Predict(stats.TypeFloat, stats.Gamma, "snappy")
+	}
+}
+
+func BenchmarkFeedback(b *testing.B) {
+	c := builtinCCP()
+	actual := seed.CodecCost{CompressMBps: 500, DecompressMBps: 900, Ratio: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Feedback(stats.TypeInt, stats.Gamma, "lz4", actual)
+	}
+}

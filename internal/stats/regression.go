@@ -1,0 +1,371 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are not solvable.
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// OLSResult holds a fitted linear model y = b0 + b1*x1 + ... and its
+// inference statistics — the quantities the paper reports for the CCP
+// (adjusted R^2 of 94%, p-values < 0.02, F-statistic 928).
+type OLSResult struct {
+	Coef       []float64 // Coef[0] is the intercept
+	R2         float64
+	AdjR2      float64
+	FStat      float64
+	PValues    []float64 // per coefficient (t-test), same indexing as Coef
+	StdErr     []float64
+	N          int
+	DFResidual int
+}
+
+// OLS fits ordinary least squares with an intercept. xs is row-major:
+// xs[i] are the predictor values for observation i.
+func OLS(xs [][]float64, ys []float64) (*OLSResult, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, fmt.Errorf("stats: OLS needs matching non-empty xs, ys (got %d, %d)", n, len(ys))
+	}
+	k := len(xs[0]) // predictors (excluding intercept)
+	p := k + 1
+	if n <= p {
+		return nil, fmt.Errorf("stats: OLS needs n > predictors+1 (n=%d, p=%d)", n, p)
+	}
+	// Build X'X and X'y with the intercept column folded in.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for i := 0; i < n; i++ {
+		if len(xs[i]) != k {
+			return nil, fmt.Errorf("stats: ragged design matrix at row %d", i)
+		}
+		row[0] = 1
+		copy(row[1:], xs[i])
+		for a := 0; a < p; a++ {
+			for b := a; b < p; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+			xty[a] += row[a] * ys[i]
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	inv, err := invertSPD(xtx)
+	if err != nil {
+		return nil, err
+	}
+	coef := make([]float64, p)
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			coef[a] += inv[a][b] * xty[b]
+		}
+	}
+	// Residuals and fit statistics.
+	var ssRes, ssTot, meanY float64
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(n)
+	for i := 0; i < n; i++ {
+		pred := coef[0]
+		for j := 0; j < k; j++ {
+			pred += coef[j+1] * xs[i][j]
+		}
+		r := ys[i] - pred
+		ssRes += r * r
+		d := ys[i] - meanY
+		ssTot += d * d
+	}
+	res := &OLSResult{Coef: coef, N: n, DFResidual: n - p}
+	if ssTot > 0 {
+		res.R2 = 1 - ssRes/ssTot
+		res.AdjR2 = 1 - (1-res.R2)*float64(n-1)/float64(n-p)
+	} else {
+		res.R2, res.AdjR2 = 1, 1
+	}
+	sigma2 := ssRes / float64(n-p)
+	res.StdErr = make([]float64, p)
+	res.PValues = make([]float64, p)
+	for a := 0; a < p; a++ {
+		se := math.Sqrt(sigma2 * inv[a][a])
+		res.StdErr[a] = se
+		if se > 0 {
+			t := coef[a] / se
+			res.PValues[a] = 2 * tDistSF(math.Abs(t), float64(n-p))
+		} else {
+			res.PValues[a] = 0
+		}
+	}
+	if k > 0 && ssRes > 0 {
+		res.FStat = (ssTot - ssRes) / float64(k) / sigma2
+	} else {
+		res.FStat = math.Inf(1)
+	}
+	return res, nil
+}
+
+// Predict evaluates the fitted model at x.
+func (r *OLSResult) Predict(x []float64) float64 {
+	pred := r.Coef[0]
+	for j, v := range x {
+		if j+1 < len(r.Coef) {
+			pred += r.Coef[j+1] * v
+		}
+	}
+	return pred
+}
+
+// invertSPD inverts a symmetric positive-definite matrix via Gauss-Jordan
+// with partial pivoting (sizes here are tiny, <= ~20).
+func invertSPD(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, 2*n)
+		copy(m[i], a[i])
+		m[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for j := col; j < 2*n; j++ {
+			m[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := col; j < 2*n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = m[i][n:]
+	}
+	return out, nil
+}
+
+// tDistSF is the survival function of Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func tDistSF(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes I_x(a, b) using the continued-fraction expansion
+// (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RLS is a recursive least squares estimator with exponential forgetting:
+// the online model behind the CCP's feedback loop. Each Observe call is
+// O(p^2); there is no matrix inversion at runtime.
+type RLS struct {
+	p      int
+	lambda float64     // forgetting factor in (0, 1]
+	theta  []float64   // coefficients, theta[0] = intercept
+	pmat   [][]float64 // inverse covariance estimate
+	nobs   int
+	seen   int // observations since construction (never reset)
+	// Running accuracy tracking: an exponentially weighted average of the
+	// one-step-ahead relative accuracy 1 - |err|/|y|. This is the
+	// "accuracy (R2)" metric the paper's Fig. 4(b) plots; unlike a raw
+	// predictive R^2 it stays meaningful when the target is near-constant.
+	acc     float64
+	accInit bool
+}
+
+// NewRLS creates an estimator for k predictors (plus intercept).
+// lambda = 1 is ordinary recursive least squares; values slightly below 1
+// let the model track drift — the "reinforcement" in the paper's loop.
+func NewRLS(k int, lambda float64) *RLS {
+	p := k + 1
+	r := &RLS{p: p, lambda: lambda, theta: make([]float64, p)}
+	r.pmat = make([][]float64, p)
+	for i := range r.pmat {
+		r.pmat[i] = make([]float64, p)
+		r.pmat[i][i] = 1e4 // diffuse prior
+	}
+	return r
+}
+
+// SetCoef seeds the coefficient vector (e.g. from the profiler's JSON seed).
+func (r *RLS) SetCoef(coef []float64) {
+	copy(r.theta, coef)
+}
+
+// Coef returns a copy of the current coefficients.
+func (r *RLS) Coef() []float64 {
+	return append([]float64(nil), r.theta...)
+}
+
+// N reports the number of observations absorbed.
+func (r *RLS) N() int { return r.nobs }
+
+// Predict evaluates the model at x (length k).
+func (r *RLS) Predict(x []float64) float64 {
+	pred := r.theta[0]
+	for j, v := range x {
+		if j+1 < r.p {
+			pred += r.theta[j+1] * v
+		}
+	}
+	return pred
+}
+
+// Observe folds in one (x, y) observation.
+func (r *RLS) Observe(x []float64, y float64) {
+	phi := make([]float64, r.p)
+	phi[0] = 1
+	copy(phi[1:], x)
+
+	// Track accuracy against the pre-update prediction.
+	pred := r.Predict(x)
+	r.nobs++
+	r.seen++
+	e := y - pred
+	denom := math.Abs(y)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	rel := 1 - math.Abs(e)/denom
+	if rel < 0 {
+		rel = 0
+	}
+	const alpha = 0.05
+	if !r.accInit {
+		r.acc = rel
+		r.accInit = true
+	} else {
+		r.acc += alpha * (rel - r.acc)
+	}
+
+	// Standard RLS update.
+	pphi := make([]float64, r.p)
+	for i := 0; i < r.p; i++ {
+		for j := 0; j < r.p; j++ {
+			pphi[i] += r.pmat[i][j] * phi[j]
+		}
+	}
+	den := r.lambda
+	for i := 0; i < r.p; i++ {
+		den += phi[i] * pphi[i]
+	}
+	gain := make([]float64, r.p)
+	for i := 0; i < r.p; i++ {
+		gain[i] = pphi[i] / den
+	}
+	for i := 0; i < r.p; i++ {
+		r.theta[i] += gain[i] * e
+	}
+	for i := 0; i < r.p; i++ {
+		for j := 0; j < r.p; j++ {
+			r.pmat[i][j] = (r.pmat[i][j] - gain[i]*pphi[j]) / r.lambda
+		}
+	}
+}
+
+// R2 reports the running one-step-ahead prediction accuracy (the
+// "accuracy (R2)" metric of the paper's Fig. 4(b)), in [0, 1].
+func (r *RLS) R2() float64 {
+	if !r.accInit {
+		return 1
+	}
+	return r.acc
+}
+
+// Seen reports the total observations ever absorbed (survives
+// ResetAccuracy; used to distinguish "seeded" from "empty" models).
+func (r *RLS) Seen() int { return r.seen }
+
+// ResetAccuracy clears the running accuracy counters while keeping the
+// fitted model (used when a new phase begins).
+func (r *RLS) ResetAccuracy() {
+	r.acc, r.accInit, r.nobs = 0, false, 0
+}

@@ -1,0 +1,341 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplerMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	cases := []struct {
+		s    Sampler
+		want float64
+		tol  float64
+	}{
+		{Sampler{Dist: Uniform, Scale: 1000}, 500, 10},
+		{Sampler{Dist: Normal, Scale: 1000}, 1000, 10},
+		{Sampler{Dist: Exponential, Scale: 1000}, 1000, 20},
+		{Sampler{Dist: Gamma, Shape: 2, Scale: 1000}, 2000, 40},
+		{Sampler{Dist: Gamma, Shape: 0.5, Scale: 1000}, 500, 20},
+	}
+	for _, c := range cases {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += c.s.Sample(rng)
+		}
+		got := sum / n
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%v: mean %.1f, want %.1f±%.1f", c.s.Dist, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestComputeMoments(t *testing.T) {
+	m := ComputeMoments([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m.Mean != 5 {
+		t.Errorf("mean %v want 5", m.Mean)
+	}
+	if m.Variance != 4 {
+		t.Errorf("variance %v want 4", m.Variance)
+	}
+	if m.Min != 2 || m.Max != 9 {
+		t.Errorf("min/max %v/%v", m.Min, m.Max)
+	}
+	empty := ComputeMoments(nil)
+	if empty.N != 0 {
+		t.Error("empty moments")
+	}
+}
+
+func TestClassifyDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 8192
+	for _, d := range AllDists() {
+		s := Sampler{Dist: d, Shape: 3, Scale: 100}
+		correct := 0
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = s.Sample(rng)
+			}
+			if ClassifyDist(xs) == d {
+				correct++
+			}
+		}
+		if correct < trials*7/10 {
+			t.Errorf("dist %v: classified correctly only %d/%d", d, correct, trials)
+		}
+	}
+}
+
+func TestClassifyDistDegenerate(t *testing.T) {
+	if got := ClassifyDist(nil); got != Uniform {
+		t.Errorf("nil -> %v", got)
+	}
+	if got := ClassifyDist([]float64{5, 5, 5, 5, 5, 5, 5, 5, 5}); got != Uniform {
+		t.Errorf("constant -> %v", got)
+	}
+}
+
+func TestDistNames(t *testing.T) {
+	for _, d := range AllDists() {
+		back, ok := DistByName(d.String())
+		if !ok || back != d {
+			t.Errorf("round-trip %v failed", d)
+		}
+	}
+	if _, ok := DistByName("cauchy"); ok {
+		t.Error("cauchy should not resolve")
+	}
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// y = 3 + 2*x1 - 0.5*x2 + noise
+	n := 500
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		xs[i] = []float64{x1, x2}
+		ys[i] = 3 + 2*x1 - 0.5*x2 + rng.NormFloat64()*0.1
+	}
+	res, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -0.5}
+	for j, w := range want {
+		if math.Abs(res.Coef[j]-w) > 0.05 {
+			t.Errorf("coef[%d] = %.4f, want %.4f", j, res.Coef[j], w)
+		}
+	}
+	if res.R2 < 0.99 {
+		t.Errorf("R2 = %.4f, want > 0.99", res.R2)
+	}
+	if res.AdjR2 > res.R2 {
+		t.Error("adjusted R2 must not exceed R2")
+	}
+	for j := 1; j < 3; j++ {
+		if res.PValues[j] > 0.001 {
+			t.Errorf("p-value[%d] = %v, should be significant", j, res.PValues[j])
+		}
+	}
+	if res.FStat < 100 {
+		t.Errorf("F-stat = %v, want large", res.FStat)
+	}
+}
+
+func TestOLSInsignificantPredictor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1, junk := rng.Float64()*10, rng.Float64()*10
+		xs[i] = []float64{x1, junk}
+		ys[i] = 1 + x1 + rng.NormFloat64()
+	}
+	res, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValues[2] < 0.01 {
+		t.Errorf("junk predictor p-value %v suspiciously small", res.PValues[2])
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("empty OLS should fail")
+	}
+	// Collinear predictors -> singular.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {5, 10}}
+	ys := []float64{1, 2, 3, 4, 5}
+	if _, err := OLS(xs, ys); err == nil {
+		t.Error("collinear OLS should fail")
+	}
+}
+
+func TestOLSPredict(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	res, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Predict([]float64{5}); math.Abs(p-10) > 1e-6 {
+		t.Errorf("predict(5) = %v, want 10", p)
+	}
+}
+
+func TestRLSConvergesToOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rls := NewRLS(2, 1.0)
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.Float64() * 5, rng.Float64() * 5}
+		y := -1 + 0.7*x[0] + 1.3*x[1] + rng.NormFloat64()*0.05
+		rls.Observe(x, y)
+	}
+	coef := rls.Coef()
+	want := []float64{-1, 0.7, 1.3}
+	for j, w := range want {
+		if math.Abs(coef[j]-w) > 0.05 {
+			t.Errorf("coef[%d] = %.4f want %.4f", j, coef[j], w)
+		}
+	}
+	if rls.R2() < 0.95 {
+		t.Errorf("running R2 = %.4f", rls.R2())
+	}
+}
+
+func TestRLSTracksDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rls := NewRLS(1, 0.98)
+	// Regime 1: y = x. Regime 2: y = 3x. With forgetting, the model must
+	// follow the new regime — this is the paper's feedback-loop behaviour
+	// when the data distribution shifts.
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64() * 10
+		rls.Observe([]float64{x}, x)
+	}
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64() * 10
+		rls.Observe([]float64{x}, 3*x)
+	}
+	if got := rls.Predict([]float64{10}); math.Abs(got-30) > 2 {
+		t.Errorf("after drift, predict(10) = %.2f, want ~30", got)
+	}
+}
+
+func TestRLSSeedCoefficients(t *testing.T) {
+	rls := NewRLS(1, 1.0)
+	rls.SetCoef([]float64{5, 2})
+	if got := rls.Predict([]float64{3}); got != 11 {
+		t.Errorf("seeded predict = %v, want 11", got)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) is the identity.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.7} {
+		lhs := regIncBeta(2, 3, x)
+		rhs := 1 - regIncBeta(3, 2, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry violated at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestTDistSF(t *testing.T) {
+	// For large df, t approaches standard normal: SF(1.96) ~ 0.025.
+	if got := tDistSF(1.96, 10000); math.Abs(got-0.025) > 0.001 {
+		t.Errorf("tDistSF(1.96, 1e4) = %v", got)
+	}
+	// t(1) is Cauchy: SF(1) = 0.25.
+	if got := tDistSF(1, 1); math.Abs(got-0.25) > 0.001 {
+		t.Errorf("tDistSF(1,1) = %v", got)
+	}
+}
+
+func TestGenBufferDeterministic(t *testing.T) {
+	a := GenBuffer(TypeFloat, Gamma, 4096, 42)
+	b := GenBuffer(TypeFloat, Gamma, 4096, 42)
+	if len(a) != 4096 {
+		t.Fatalf("len %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GenBuffer not deterministic")
+		}
+	}
+	c := GenBuffer(TypeFloat, Gamma, 4096, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical buffers")
+	}
+}
+
+func TestGenBufferTypesClassifiable(t *testing.T) {
+	// The generator and classifier must agree: generated int/float data,
+	// sampled back out, should classify to the generating distribution
+	// most of the time.
+	ok := 0
+	total := 0
+	for _, dt := range []DataType{TypeInt, TypeFloat} {
+		for _, d := range AllDists() {
+			buf := GenBuffer(dt, d, 1<<16, int64(100+int(dt)*10+int(d)))
+			xs := SampleFloats(buf, dt, 4096)
+			total++
+			if ClassifyDist(xs) == d {
+				ok++
+			}
+		}
+	}
+	if ok*10 < total*6 {
+		t.Errorf("classifier agreed on %d/%d generated buffers", ok, total)
+	}
+}
+
+func TestGenBufferExactLength(t *testing.T) {
+	f := func(n uint16) bool {
+		buf := GenBuffer(TypeInt, Uniform, int(n), 1)
+		return len(buf) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleFloatsBounded(t *testing.T) {
+	buf := GenBuffer(TypeFloat, Normal, 1<<20, 7)
+	xs := SampleFloats(buf, TypeFloat, 1000)
+	if len(xs) > 1000+4 {
+		t.Errorf("SampleFloats returned %d > max", len(xs))
+	}
+	if len(xs) < 500 {
+		t.Errorf("SampleFloats returned too few: %d", len(xs))
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	for _, dt := range AllTypes() {
+		back, ok := TypeByName(dt.String())
+		if !ok || back != dt {
+			t.Errorf("type %v round-trip failed", dt)
+		}
+	}
+}
+
+func BenchmarkClassifyDist(b *testing.B) {
+	buf := GenBuffer(TypeFloat, Gamma, 1<<20, 9)
+	xs := SampleFloats(buf, TypeFloat, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifyDist(xs)
+	}
+}
+
+func BenchmarkRLSObserve(b *testing.B) {
+	rls := NewRLS(6, 0.99)
+	x := []float64{1, 2, 3, 4, 5, 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rls.Observe(x, 10)
+	}
+}

@@ -1,0 +1,241 @@
+// Package store implements the Storage Hardware Interface (SHI): a
+// multi-tier object store with a virtual-time performance model. It is the
+// substrate both baselines (Hermes-style buffering) and HCompress write
+// through.
+//
+// The store can run in two modes. With data retention on, blob payloads
+// are held in memory and reads return the exact bytes written — the mode
+// used by the public API, the examples, and correctness tests. With
+// retention off, only sizes and placement are tracked, letting the
+// experiment harness replay the paper's multi-hundred-gigabyte workloads
+// on a laptop while keeping the timing model identical.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hcompress/internal/des"
+	"hcompress/internal/tier"
+)
+
+// ErrNoCapacity is returned when a Put does not fit in the target tier.
+var ErrNoCapacity = errors.New("store: tier capacity exceeded")
+
+// ErrNotFound is returned when a key is absent.
+var ErrNotFound = errors.New("store: key not found")
+
+// Blob is one stored object.
+type Blob struct {
+	Key  string
+	Tier int
+	Size int64  // bytes occupied on the tier (compressed size)
+	Data []byte // nil when data retention is off
+}
+
+type tierState struct {
+	spec tier.Spec
+	res  *des.Resource
+	used int64
+}
+
+// Store is a multi-tier object store. All methods are safe for concurrent
+// use; virtual-time accounting is serialized with the same lock.
+type Store struct {
+	mu       sync.Mutex
+	tiers    []tierState
+	blobs    map[string]*Blob
+	keepData bool
+	hier     tier.Hierarchy
+}
+
+// New creates a store over the hierarchy. keepData selects whether blob
+// payloads are retained (true) or only modeled (false).
+func New(h tier.Hierarchy, keepData bool) (*Store, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{blobs: make(map[string]*Blob), keepData: keepData, hier: h}
+	for _, spec := range h.Tiers {
+		s.tiers = append(s.tiers, tierState{
+			spec: spec,
+			res:  des.NewResource(spec.Name, spec.Lanes, spec.Latency, spec.Bandwidth),
+		})
+	}
+	return s, nil
+}
+
+// Hierarchy returns the hierarchy this store was built from.
+func (s *Store) Hierarchy() tier.Hierarchy { return s.hier }
+
+// KeepsData reports whether payloads are retained.
+func (s *Store) KeepsData() bool { return s.keepData }
+
+// Put stores size bytes under key on tier t, beginning at virtual time
+// now, and returns the completion time. data may be nil when retention is
+// off (or to model a write without materializing it).
+func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (end float64, err error) {
+	if size < 0 {
+		return now, fmt.Errorf("store: negative size for %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < 0 || t >= len(s.tiers) {
+		return now, fmt.Errorf("store: tier %d out of range", t)
+	}
+	ts := &s.tiers[t]
+	if old, ok := s.blobs[key]; ok {
+		// Overwrite: release the old allocation first.
+		s.tiers[old.Tier].used -= old.Size
+	}
+	if ts.used+size > ts.spec.Capacity {
+		if old, ok := s.blobs[key]; ok {
+			s.tiers[old.Tier].used += old.Size // roll back
+		}
+		return now, fmt.Errorf("%w: %s (%d used, %d cap, %d requested)",
+			ErrNoCapacity, ts.spec.Name, ts.used, ts.spec.Capacity, size)
+	}
+	ts.used += size
+	b := &Blob{Key: key, Tier: t, Size: size}
+	if s.keepData && data != nil {
+		b.Data = append([]byte(nil), data...)
+	}
+	s.blobs[key] = b
+	return ts.res.Acquire(now, size), nil
+}
+
+// Get reads the blob under key starting at virtual time now. The returned
+// data is nil when retention is off.
+func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[key]
+	if !ok {
+		return Blob{}, now, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	end = s.tiers[blob.Tier].res.Acquire(now, blob.Size)
+	return *blob, end, nil
+}
+
+// Stat returns blob metadata without modeling an I/O.
+func (s *Store) Stat(key string) (Blob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[key]
+	if !ok {
+		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	b := *blob
+	b.Data = nil
+	return b, nil
+}
+
+// Delete removes a blob and releases its capacity.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.tiers[blob.Tier].used -= blob.Size
+	delete(s.blobs, key)
+	return nil
+}
+
+// Move relocates a blob to another tier at virtual time now (used by
+// eviction/spill paths), modeling a read on the source and a write on the
+// destination. It fails without side effects if the destination is full.
+func (s *Store) Move(now float64, key string, dst int) (end float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[key]
+	if !ok {
+		return now, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if dst < 0 || dst >= len(s.tiers) {
+		return now, fmt.Errorf("store: tier %d out of range", dst)
+	}
+	if blob.Tier == dst {
+		return now, nil
+	}
+	if s.tiers[dst].used+blob.Size > s.tiers[dst].spec.Capacity {
+		return now, fmt.Errorf("%w: %s", ErrNoCapacity, s.tiers[dst].spec.Name)
+	}
+	readEnd := s.tiers[blob.Tier].res.Acquire(now, blob.Size)
+	end = s.tiers[dst].res.Acquire(readEnd, blob.Size)
+	s.tiers[blob.Tier].used -= blob.Size
+	s.tiers[dst].used += blob.Size
+	blob.Tier = dst
+	return end, nil
+}
+
+// TierStatus is the System Monitor's view of one tier.
+type TierStatus struct {
+	Name      string
+	Available bool
+	Capacity  int64
+	Used      int64
+	Remaining int64
+	QueueLen  int     // lanes busy at the query time
+	Backlog   float64 // seconds of committed work beyond the query time
+}
+
+// Status snapshots every tier at virtual time now.
+func (s *Store) Status(now float64) []TierStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TierStatus, len(s.tiers))
+	for i := range s.tiers {
+		ts := &s.tiers[i]
+		out[i] = TierStatus{
+			Name:      ts.spec.Name,
+			Available: true,
+			Capacity:  ts.spec.Capacity,
+			Used:      ts.used,
+			Remaining: ts.spec.Capacity - ts.used,
+			QueueLen:  ts.res.QueueDepth(now),
+			Backlog:   ts.res.Backlog(now),
+		}
+	}
+	return out
+}
+
+// Used reports the bytes currently allocated on tier t.
+func (s *Store) Used(t int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < 0 || t >= len(s.tiers) {
+		return 0
+	}
+	return s.tiers[t].used
+}
+
+// Remaining reports free capacity on tier t.
+func (s *Store) Remaining(t int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < 0 || t >= len(s.tiers) {
+		return 0
+	}
+	return s.tiers[t].spec.Capacity - s.tiers[t].used
+}
+
+// Reset clears all blobs and virtual-time state, keeping the hierarchy.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs = make(map[string]*Blob)
+	for i := range s.tiers {
+		s.tiers[i].used = 0
+		s.tiers[i].res.Reset()
+	}
+}
+
+// Len reports the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}

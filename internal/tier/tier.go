@@ -1,0 +1,185 @@
+// Package tier defines storage-tier specifications and the hierarchy
+// presets used across the paper's experiments (Tables III and IV, and the
+// per-figure capacity configurations).
+//
+// Tier order is significant everywhere in HCompress: index 0 is the
+// highest (fastest, smallest) tier, mirroring the paper's convention that
+// "higher tiers have a smaller index" with l = 0 representing RAM.
+package tier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Well-known tier names used by the presets.
+const (
+	RAM = "ram"
+	NVM = "nvme"
+	BB  = "burstbuffer"
+	PFS = "pfs"
+)
+
+// Spec describes one storage tier as the System Monitor and the HCDP
+// engine see it: capacity, access latency, aggregate bandwidth, and the
+// number of hardware lanes (the paper's Concurrency(L) term).
+type Spec struct {
+	Name      string  `json:"name"`
+	Capacity  int64   `json:"capacity_bytes"`
+	Latency   float64 `json:"latency_sec"`
+	Bandwidth float64 `json:"bandwidth_bytes_per_sec"`
+	Lanes     int     `json:"lanes"`
+}
+
+// ServiceTime returns the uncontended time to move n bytes through one
+// lane of this tier.
+func (s Spec) ServiceTime(n int64) float64 {
+	return s.Latency + float64(n)/(s.Bandwidth/float64(max(1, s.Lanes)))
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s{cap=%s bw=%s/s lat=%.0fus lanes=%d}",
+		s.Name, FormatBytes(s.Capacity), FormatBytes(int64(s.Bandwidth)), s.Latency*1e6, s.Lanes)
+}
+
+// Hierarchy is an ordered list of tiers, fastest first.
+type Hierarchy struct {
+	Tiers []Spec `json:"tiers"`
+}
+
+// Len returns the number of tiers.
+func (h Hierarchy) Len() int { return len(h.Tiers) }
+
+// Concurrency is the sum of hardware lanes across all tiers — the bound
+// the problem formulation places on sub-task counts (constraint 2).
+func (h Hierarchy) Concurrency() int {
+	total := 0
+	for _, t := range h.Tiers {
+		total += t.Lanes
+	}
+	return total
+}
+
+// TotalCapacity sums capacity over all tiers.
+func (h Hierarchy) TotalCapacity() int64 {
+	var total int64
+	for _, t := range h.Tiers {
+		total += t.Capacity
+	}
+	return total
+}
+
+// Index returns the position of the named tier, or -1.
+func (h Hierarchy) Index(name string) int {
+	for i, t := range h.Tiers {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks ordering invariants: at least one tier, positive
+// capacities and bandwidths, and (by convention) non-increasing bandwidth
+// down the hierarchy is *not* required but capacity must be positive.
+func (h Hierarchy) Validate() error {
+	if len(h.Tiers) == 0 {
+		return fmt.Errorf("tier: hierarchy has no tiers")
+	}
+	seen := map[string]bool{}
+	for i, t := range h.Tiers {
+		if t.Name == "" {
+			return fmt.Errorf("tier: tier %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("tier: duplicate tier name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Capacity <= 0 {
+			return fmt.Errorf("tier: %s has non-positive capacity", t.Name)
+		}
+		if t.Bandwidth <= 0 {
+			return fmt.Errorf("tier: %s has non-positive bandwidth", t.Name)
+		}
+		if t.Lanes <= 0 {
+			return fmt.Errorf("tier: %s has non-positive lanes", t.Name)
+		}
+		if t.Latency < 0 {
+			return fmt.Errorf("tier: %s has negative latency", t.Name)
+		}
+	}
+	return nil
+}
+
+func (h Hierarchy) String() string {
+	parts := make([]string, len(h.Tiers))
+	for i, t := range h.Tiers {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " > ")
+}
+
+// Ares returns the testbed hierarchy modeled after the paper's Table III
+// (the Ares cluster at IIT): 64 compute nodes with node-local RAM buffers
+// and NVMe, 4 burst-buffer nodes with SATA SSDs, and a 24-node OrangeFS
+// parallel file system, all on 40 GbE. Capacities are passed per call
+// because each figure configures them differently.
+//
+// Per-device characteristics behind the aggregates:
+//
+//	RAM  (DDR4):   ~6 GB/s/node streaming,  1 us
+//	NVMe:          ~2 GB/s/node,            30 us
+//	BB (2xSSD):    ~1 GB/s/node over 40GbE, 400 us (network hop)
+//	PFS (2TB HDD): ~50 MB/s/node effective through OrangeFS over the
+//	               shared network (seek-bound small-block HDD I/O), 5 ms
+func Ares(ramCap, nvmeCap, bbCap, pfsCap int64) Hierarchy {
+	const (
+		computeNodes = 64
+		bbNodes      = 4
+		pfsNodes     = 24
+	)
+	return Hierarchy{Tiers: []Spec{
+		{Name: RAM, Capacity: ramCap, Latency: 1e-6, Bandwidth: 6e9 * computeNodes, Lanes: computeNodes * 2},
+		{Name: NVM, Capacity: nvmeCap, Latency: 30e-6, Bandwidth: 2e9 * computeNodes, Lanes: computeNodes},
+		{Name: BB, Capacity: bbCap, Latency: 400e-6, Bandwidth: 1e9 * bbNodes, Lanes: bbNodes * 4},
+		{Name: PFS, Capacity: pfsCap, Latency: 5e-3, Bandwidth: 50e6 * pfsNodes, Lanes: pfsNodes},
+	}}
+}
+
+// PFSOnly returns a single-tier hierarchy (the paper's BASE configuration:
+// vanilla PFS with no buffering).
+func PFSOnly(pfsCap int64) Hierarchy {
+	h := Ares(1, 1, 1, pfsCap)
+	return Hierarchy{Tiers: []Spec{h.Tiers[3]}}
+}
+
+// Bytes helpers for readable experiment configs.
+const (
+	KB = int64(1) << 10
+	MB = int64(1) << 20
+	GB = int64(1) << 30
+	TB = int64(1) << 40
+)
+
+// FormatBytes renders a byte count with a binary-unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return fmt.Sprintf("%.1fTB", float64(n)/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
