@@ -9,6 +9,7 @@ package hcompress
 
 import (
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"hcompress/internal/analyzer"
@@ -333,6 +334,41 @@ func BenchmarkClientWrite(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkClientParallel measures concurrent write+read+delete cycles
+// through a single shared Client with b.RunParallel. Under the seed's
+// global pipeline lock this could not scale past 1x; the staged pipeline
+// (lock-free analysis, RW-locked planner memo, per-tier store locks)
+// lets independent tasks overlap their codec work. Compare against
+// BenchmarkClientWrite, or run with -cpu 1,2,8 to see scaling.
+func BenchmarkClientParallel(b *testing.B) {
+	c, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 3)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := atomic.AddInt64(&worker, 1)
+		i := 0
+		for pb.Next() {
+			key := "par-" + strconv.FormatInt(id, 10) + "-" + strconv.Itoa(i)
+			if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Decompress(key); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Delete(key); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }
 
 func fmtSscan(s string, v *float64) (int, error) {

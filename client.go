@@ -63,8 +63,17 @@ type Report struct {
 // Client is the HCompress library handle: the public face of the IA, CCP,
 // SM, HCDP engine, and Compression Manager pipeline. It is safe for
 // concurrent use.
+//
+// Concurrency model: there is no global pipeline lock. Each operation is
+// staged — analyze (pure CPU, no locks), plan (engine RW-locked memo),
+// execute (worker-pool codec fan-out, per-tier store locks) — and the
+// only client-level state is the virtual clock (its own small lock, see
+// vclock) and the lifecycle RWMutex below, whose read side is shared by
+// every operation so Status/Stats never wait behind in-flight codec work.
+// Close takes the write side, so it drains in-flight operations before
+// flushing the feedback loop.
 type Client struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // lifecycle only: ops hold R, Close holds W
 	closed bool
 
 	hier  tier.Hierarchy
@@ -74,7 +83,7 @@ type Client struct {
 	eng   *core.Engine
 	mgr   *manager.Manager
 	st    *store.Store
-	clock float64 // virtual time
+	clock vclock // virtual time, self-locked
 
 	seedPath string
 	saveSeed bool
@@ -114,13 +123,15 @@ func New(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	mgr := manager.New(st, pred, manager.RealOracle{})
+	mgr.SetParallelism(cfg.Parallelism)
 	return &Client{
 		hier:     h,
 		sd:       sd,
 		pred:     pred,
 		mon:      mon,
 		eng:      eng,
-		mgr:      manager.New(st, pred, manager.RealOracle{}),
+		mgr:      mgr,
 		st:       st,
 		seedPath: cfg.SeedPath,
 		saveSeed: cfg.SaveSeedOnClose && cfg.SeedPath != "",
@@ -138,8 +149,12 @@ func (c *Client) attrFor(t Task) analyzer.Result {
 	return analyzer.AnalyzeWithHint(t.Data, &hint)
 }
 
-// Compress analyzes the task, plans a compression + placement schema with
-// the HCDP engine, and executes it against the tiered store.
+// Compress runs the write pipeline in three stages: analyze the task
+// (pure CPU over the caller's buffer, no locks held), plan a compression
+// + placement schema with the HCDP engine, and execute it against the
+// tiered store through the Compression Manager's worker pool. Concurrent
+// callers only synchronize on the component that each stage actually
+// touches.
 func (c *Client) Compress(t Task) (*Report, error) {
 	if t.Key == "" {
 		return nil, errors.New("hcompress: task key required")
@@ -147,57 +162,65 @@ func (c *Client) Compress(t Task) (*Report, error) {
 	if len(t.Data) == 0 {
 		return nil, errors.New("hcompress: empty task data")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+
+	// Stage 1: analyze. No lock held — this is the CPU-heavy scan of the
+	// caller's buffer and must overlap other ranks' codec work.
+	attr := c.attrFor(t)
+	size := int64(len(t.Data))
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
-	attr := c.attrFor(t)
-	size := int64(len(t.Data))
-	schema, err := c.eng.Plan(c.clock, attr, size)
+	start := c.clock.Now()
+
+	// Stage 2: plan.
+	schema, err := c.eng.Plan(start, attr, size)
 	if err != nil {
 		return nil, fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
 	}
-	res, err := c.mgr.ExecuteWrite(c.clock, t.Key, t.Data, size, attr, schema)
+
+	// Stage 3: execute.
+	res, err := c.mgr.ExecuteWrite(start, t.Key, t.Data, size, attr, schema)
 	if err != nil {
 		// The monitor's view may have been stale; refresh and replan once.
 		c.mon.ForceRefresh()
-		schema, err2 := c.eng.Plan(c.clock, attr, size)
+		schema, err2 := c.eng.Plan(start, attr, size)
 		if err2 != nil {
 			return nil, fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
 		}
-		res, err = c.mgr.ExecuteWrite(c.clock, t.Key, t.Data, size, attr, schema)
+		res, err = c.mgr.ExecuteWrite(start, t.Key, t.Data, size, attr, schema)
 		if err != nil {
 			return nil, fmt.Errorf("hcompress: executing %q: %w", t.Key, err)
 		}
 	}
-	start := c.clock
-	c.clock = res.End
+	c.clock.AdvanceTo(res.End)
 	return c.report(t.Key, size, attr, res, start), nil
 }
 
 // Decompress reads back the task stored under key, decoding each
-// sub-task's metadata header to select the decompression library.
+// sub-task's metadata header to select the decompression library. The
+// report carries the data type and distribution the Input Analyzer saw at
+// write time (persisted in the task metadata).
 func (c *Client) Decompress(key string) (*Report, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
-	size, ok := c.mgr.TaskSize(key)
+	size, attr, ok := c.mgr.TaskInfo(key)
 	if !ok {
 		return nil, fmt.Errorf("hcompress: unknown task %q", key)
 	}
-	res, err := c.mgr.ExecuteRead(c.clock, key)
+	start := c.clock.Now()
+	res, err := c.mgr.ExecuteRead(start, key)
 	if err != nil {
 		return nil, err
 	}
-	start := c.clock
-	c.clock = res.End
-	rep := c.report(key, size, analyzer.Result{}, res, start)
+	c.clock.AdvanceTo(res.End)
+	rep := c.report(key, size, attr, res, start)
 	rep.Data = res.Data
-	rep.DataType = ""
-	rep.Distribution = ""
 	return rep, nil
 }
 
@@ -232,18 +255,21 @@ func (c *Client) report(key string, size int64, attr analyzer.Result, res manage
 
 // Delete removes a stored task and frees its tier capacity.
 func (c *Client) Delete(key string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.closed {
 		return ErrClosed
 	}
 	return c.mgr.Delete(key)
 }
 
-// SetPriorities changes the cost weighting at runtime (§IV-F2).
+// SetPriorities changes the cost weighting at runtime (§IV-F2). The swap
+// is atomic: in-flight plans finish under the old weights, later plans
+// see the new ones (the engine's weight generation counter invalidates
+// its memo).
 func (c *Client) SetPriorities(p Priorities) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	c.eng.SetWeights(p.toWeights())
 }
 
@@ -256,12 +282,13 @@ type TierStatusReport struct {
 	QueueLength    int
 }
 
-// Status reports the hierarchy's occupancy.
+// Status reports the hierarchy's occupancy. It never waits on in-flight
+// codec work: the store samples each tier under that tier's own lock.
 func (c *Client) Status() []TierStatusReport {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []TierStatusReport
-	for _, s := range c.st.Status(c.clock) {
+	for _, s := range c.st.Status(c.clock.Now()) {
 		out = append(out, TierStatusReport{
 			Name:           s.Name,
 			CapacityBytes:  s.Capacity,
@@ -290,10 +317,11 @@ type Stats struct {
 	Tasks int
 }
 
-// Stats snapshots runtime counters.
+// Stats snapshots runtime counters. Like Status, it only touches
+// self-locked components and never blocks behind in-flight codec work.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	q, a := c.pred.Stats()
 	h, m := c.eng.MemoStats()
 	return Stats{
@@ -302,14 +330,15 @@ func (c *Client) Stats() Stats {
 		FeedbackAbsorbed: a,
 		MemoHits:         h,
 		MemoMisses:       m,
-		VirtualSeconds:   c.clock,
+		VirtualSeconds:   c.clock.Now(),
 		Tasks:            c.mgr.Tasks(),
 	}
 }
 
 // Close finalizes the client — the MPI_Finalize hook in the paper: flush
 // the feedback loop, optionally persist the evolved model back to the
-// JSON seed, and release in-memory structures.
+// JSON seed, and release in-memory structures. Close takes the lifecycle
+// write lock, so it waits for in-flight operations to drain.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

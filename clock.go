@@ -1,0 +1,37 @@
+package hcompress
+
+import "sync"
+
+// vclock is the client's virtual clock: the only mutable state the
+// Compress/Decompress pipeline shares besides the task registry. It has
+// its own lock so Status and Stats reads never contend with in-flight
+// codec work, and its critical sections are two loads/stores — the big
+// per-operation lock the seed implementation held for the whole pipeline
+// shrinks to this.
+//
+// Concurrent operations all start from the same observed virtual time and
+// the clock advances to the maximum completion time (monotonically), so a
+// single-threaded task sequence reproduces the serial model exactly while
+// concurrent callers behave like simultaneously-arriving ranks.
+type vclock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// Now returns the current virtual time.
+func (c *vclock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is later; earlier completions (a
+// concurrent operation that finished before an already-recorded one) are
+// ignored to keep the clock monotone.
+func (c *vclock) AdvanceTo(t float64) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}

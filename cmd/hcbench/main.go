@@ -7,6 +7,7 @@
 //	hcbench -exp fig5 -scale 64
 //	hcbench -exp all -scale 64
 //	hcbench -exp fig7 -scale 32 -profile    # measure codecs first
+//	hcbench -parallel 8                     # concurrent-client throughput
 //
 // -scale divides the paper's rank counts, tier capacities, bandwidths and
 // lane counts by the same factor, preserving per-rank behaviour; -scale 1
@@ -20,24 +21,91 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
+	"hcompress"
 	"hcompress/internal/experiments"
 	"hcompress/internal/seed"
+	"hcompress/internal/stats"
 	"hcompress/internal/tier"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|all")
-		scale   = flag.Int("scale", 64, "divide paper scale by this factor (1 = full scale)")
-		profile = flag.Bool("profile", false, "profile this build's codecs for the truth table (slower start)")
-		seedOut = flag.String("seed", "", "optional path to write the truth seed as JSON")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|all")
+		scale    = flag.Int("scale", 64, "divide paper scale by this factor (1 = full scale)")
+		profile  = flag.Bool("profile", false, "profile this build's codecs for the truth table (slower start)")
+		seedOut  = flag.String("seed", "", "optional path to write the truth seed as JSON")
+		parallel = flag.Int("parallel", 0, "instead of experiments: drive N goroutines through one client and print aggregate throughput")
+		tasks    = flag.Int("tasks", 64, "with -parallel: write+read+delete cycles per goroutine")
+		taskSize = flag.Int("tasksize", 1<<20, "with -parallel: bytes per task")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *profile, *seedOut); err != nil {
+	var err error
+	switch {
+	case *parallel < 0:
+		err = fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	case *parallel > 0:
+		err = runParallel(*parallel, *tasks, *taskSize)
+	default:
+		err = run(*exp, *scale, *profile, *seedOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hcbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runParallel stresses the concurrent client pipeline: n goroutines share
+// one Client, each running write+read+delete cycles on its own key space,
+// and the aggregate wall-clock throughput is printed. Run with -parallel 1
+// first for a serial baseline.
+func runParallel(n, tasksPer, taskSize int) error {
+	c, err := hcompress.New(hcompress.Config{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 3)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	begin := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < tasksPer; i++ {
+				key := fmt.Sprintf("p%d-%d", g, i)
+				if _, err := c.Compress(hcompress.Task{Key: key, Data: data}); err != nil {
+					errs[g] = err
+					return
+				}
+				if _, err := c.Decompress(key); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := c.Delete(key); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(begin).Seconds()
+	for g, err := range errs {
+		if err != nil {
+			return fmt.Errorf("goroutine %d: %w", g, err)
+		}
+	}
+	ops := n * tasksPer
+	bytes := float64(ops) * float64(taskSize)
+	fmt.Printf("parallel=%d tasks/goroutine=%d tasksize=%d\n", n, tasksPer, taskSize)
+	fmt.Printf("wall %.3fs  %.1f cycles/s  %.1f MB/s aggregate (write+read per cycle)\n",
+		wall, float64(ops)/wall, bytes/wall/1e6)
+	return nil
 }
 
 func run(exp string, scale int, profile bool, seedOut string) error {

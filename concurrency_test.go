@@ -1,0 +1,258 @@
+package hcompress
+
+// Concurrent-correctness coverage for the staged pipeline: these tests
+// are the reason CI runs `go test -race ./...` — they interleave every
+// public operation from many goroutines and assert the invariants that
+// must survive arbitrary scheduling (round-trip byte equality,
+// non-negative tier accounting, monotone virtual time).
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hcompress/internal/stats"
+)
+
+// TestDecompressReportsWriteTimeAttributes covers the read-path metadata
+// fix: the analyzer result persisted at write time must come back on the
+// Decompress report instead of blank fields.
+func TestDecompressReportsWriteTimeAttributes(t *testing.T) {
+	c := newClient(t, Config{})
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 7)
+	wrep, err := c.Compress(Task{Key: "k", Data: data, DataType: "float", Distribution: "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrep, err := c.Decompress("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.DataType != wrep.DataType || rrep.Distribution != wrep.Distribution {
+		t.Errorf("read report attrs %q/%q, write saw %q/%q",
+			rrep.DataType, rrep.Distribution, wrep.DataType, wrep.Distribution)
+	}
+	if rrep.DataType != "float" || rrep.Distribution != "gamma" {
+		t.Errorf("attrs not persisted: %q/%q", rrep.DataType, rrep.Distribution)
+	}
+	if rrep.StoredBytes != wrep.StoredBytes || rrep.Ratio <= 0 {
+		t.Errorf("read report stored=%d ratio=%v, write stored=%d",
+			rrep.StoredBytes, rrep.Ratio, wrep.StoredBytes)
+	}
+}
+
+// TestConcurrentStress interleaves Compress, Decompress, Delete, Status,
+// Stats, and SetPriorities from many goroutines against one Client and
+// checks round-trip byte equality plus non-negative tier accounting.
+func TestConcurrentStress(t *testing.T) {
+	c := newClient(t, Config{})
+	const (
+		workers       = 8
+		tasksPerGoro  = 12
+		statusPollers = 2
+	)
+
+	// Each worker owns a distinct key space and data class, so equality
+	// checks are deterministic even though scheduling is not.
+	types := stats.AllTypes()
+	dists := stats.AllDists()
+
+	var workerWG, pollerWG sync.WaitGroup
+	errc := make(chan error, workers+statusPollers)
+	done := make(chan struct{})
+
+	for g := 0; g < workers; g++ {
+		workerWG.Add(1)
+		go func(g int) {
+			defer workerWG.Done()
+			dt := types[g%len(types)]
+			dist := dists[g%len(dists)]
+			data := stats.GenBuffer(dt, dist, 256<<10, int64(g)+1)
+			for i := 0; i < tasksPerGoro; i++ {
+				key := fmt.Sprintf("g%d-t%d", g, i)
+				if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+					errc <- fmt.Errorf("%s: compress: %w", key, err)
+					return
+				}
+				rep, err := c.Decompress(key)
+				if err != nil {
+					errc <- fmt.Errorf("%s: decompress: %w", key, err)
+					return
+				}
+				if !bytes.Equal(rep.Data, data) {
+					errc <- fmt.Errorf("%s: round-trip mismatch", key)
+					return
+				}
+				if rep.VirtualSeconds < 0 {
+					errc <- fmt.Errorf("%s: negative virtual time %v", key, rep.VirtualSeconds)
+					return
+				}
+				// Delete every other task so capacity churns concurrently.
+				if i%2 == 0 {
+					if err := c.Delete(key); err != nil {
+						errc <- fmt.Errorf("%s: delete: %w", key, err)
+						return
+					}
+				}
+				if i%5 == 0 && g%2 == 0 {
+					c.SetPriorities(PriorityReadAfterWrite)
+				}
+			}
+		}(g)
+	}
+
+	// Status/Stats pollers run for the whole stress window; they must
+	// never observe negative accounting and never block on codec work.
+	for p := 0; p < statusPollers; p++ {
+		pollerWG.Add(1)
+		go func() {
+			defer pollerWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, s := range c.Status() {
+					if s.UsedBytes < 0 || s.RemainingBytes < 0 || s.UsedBytes > s.CapacityBytes {
+						errc <- fmt.Errorf("tier %s accounting: used %d remaining %d cap %d",
+							s.Name, s.UsedBytes, s.RemainingBytes, s.CapacityBytes)
+						return
+					}
+				}
+				if st := c.Stats(); st.VirtualSeconds < 0 {
+					errc <- fmt.Errorf("negative virtual seconds %v", st.VirtualSeconds)
+					return
+				}
+			}
+		}()
+	}
+
+	doneWorkers := make(chan struct{})
+	go func() {
+		workerWG.Wait()
+		close(doneWorkers)
+	}()
+
+	// Close the poller window once all workers finish. Workers signal
+	// errors through errc; the first one fails the test.
+	for {
+		select {
+		case err := <-errc:
+			close(done)
+			pollerWG.Wait()
+			t.Fatal(err)
+		case <-doneWorkers:
+			close(done)
+			pollerWG.Wait()
+			select {
+			case err := <-errc:
+				t.Fatal(err)
+			default:
+			}
+			// Survivors must still round-trip after the storm.
+			for g := 0; g < workers; g++ {
+				dt := types[g%len(types)]
+				dist := dists[g%len(dists)]
+				data := stats.GenBuffer(dt, dist, 256<<10, int64(g)+1)
+				for i := 1; i < tasksPerGoro; i += 2 {
+					key := fmt.Sprintf("g%d-t%d", g, i)
+					rep, err := c.Decompress(key)
+					if err != nil {
+						t.Fatalf("%s: post-stress decompress: %v", key, err)
+					}
+					if !bytes.Equal(rep.Data, data) {
+						t.Fatalf("%s: post-stress mismatch", key)
+					}
+				}
+			}
+			// Total accounting must balance: deleting everything must
+			// return every tier to zero.
+			st := c.Stats()
+			if st.Tasks != workers*tasksPerGoro/2 {
+				t.Errorf("surviving tasks %d, want %d", st.Tasks, workers*tasksPerGoro/2)
+			}
+			for g := 0; g < workers; g++ {
+				for i := 1; i < tasksPerGoro; i += 2 {
+					if err := c.Delete(fmt.Sprintf("g%d-t%d", g, i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for _, s := range c.Status() {
+				if s.UsedBytes != 0 {
+					t.Errorf("tier %s leaked %d bytes", s.Name, s.UsedBytes)
+				}
+			}
+			return
+		}
+	}
+}
+
+// TestConcurrentCompressSameClientDistinctKeys is a tighter variant: all
+// goroutines write simultaneously (no reads interleaved), then everything
+// is read back sequentially — the pattern of a bulk-synchronous
+// checkpoint phase.
+func TestConcurrentCompressSameClientDistinctKeys(t *testing.T) {
+	c := newClient(t, Config{})
+	const n = 16
+	data := stats.GenBuffer(stats.TypeText, stats.Uniform, 512<<10, 3)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Compress(Task{Key: fmt.Sprintf("w%d", i), Data: data})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		rep, err := c.Decompress(fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rep.Data, data) {
+			t.Fatalf("w%d: mismatch", i)
+		}
+	}
+	if st := c.Stats(); st.Tasks != n {
+		t.Errorf("tasks %d want %d", st.Tasks, n)
+	}
+}
+
+// TestCloseDrainsInFlightOperations verifies the lifecycle lock: Close
+// must wait for in-flight operations rather than yanking state from under
+// them, and operations issued after Close fail with ErrClosed.
+func TestCloseDrainsInFlightOperations(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stats.GenBuffer(stats.TypeInt, stats.Normal, 1<<20, 11)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Success or ErrClosed are both legal depending on timing;
+			// anything else (or a panic/race) is a failure.
+			if _, err := c.Compress(Task{Key: fmt.Sprintf("k%d", i), Data: data}); err != nil && err != ErrClosed {
+				t.Errorf("k%d: %v", i, err)
+			}
+		}(i)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := c.Compress(Task{Key: "late", Data: data}); err != ErrClosed {
+		t.Errorf("post-close compress: %v", err)
+	}
+}

@@ -80,6 +80,11 @@ type Config struct {
 	// FeedbackInterval overrides how many operations elapse between
 	// feedback-loop model updates (default: the seed's value).
 	FeedbackInterval int
+	// Parallelism bounds the worker pool that fans a task's sub-task
+	// codec work across goroutines (default 0: GOMAXPROCS). Virtual-time
+	// accounting is deterministic regardless of this setting — only
+	// wall-clock work overlaps; use 1 to force fully serial execution.
+	Parallelism int
 	// DisableCompression turns HCompress into a pure multi-tier buffer
 	// (the paper's MTNC baseline).
 	DisableCompression bool

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"hcompress/internal/analyzer"
 	"hcompress/internal/codec"
@@ -124,21 +126,30 @@ type Config struct {
 	Codecs []string
 }
 
-// Engine is the HCDP engine. It is not safe for concurrent use; each
-// client (rank) owns one engine, mirroring the paper's per-process design.
+// Engine is the HCDP engine. It is safe for concurrent callers: the memo
+// table and capacity fingerprint are guarded by an RWMutex so planners
+// whose answer is already memoized share a read lock (the common steady
+// state), and only a planner that must run the Match/Place recursion
+// takes the write lock. SetWeights is atomic with respect to Plan and
+// invalidates the memo through a generation counter rather than by
+// clearing the table inline.
 type Engine struct {
 	pred  *predictor.CCP
 	mon   *monitor.SystemMonitor
-	cfg   Config
-	w     seed.Weights
-	pool  []codec.Codec // candidate codecs, None excluded
-	price []float64     // per-tier displacement price (sec/byte), see Config
+	cfg   Config        // immutable after New
+	pool  []codec.Codec // candidate codecs, None excluded; immutable
+	price []float64     // per-tier displacement price (sec/byte); immutable
 
-	memo        map[memoKey]planVal
-	memoStamp   []int64 // bucketed remaining-capacity fingerprint
-	memoHits    int64
-	memoMisses  int64
-	plansServed int64
+	mu        sync.RWMutex // guards w, memo, memoStamp, memoGen
+	w         seed.Weights
+	memo      map[memoKey]planVal
+	memoStamp []int64 // bucketed remaining-capacity fingerprint
+	memoGen   int64   // generation the memo was built under
+
+	gen         atomic.Int64 // bumped whenever weights change
+	memoHits    atomic.Int64
+	memoMisses  atomic.Int64
+	plansServed atomic.Int64
 }
 
 type memoKey struct {
@@ -204,17 +215,32 @@ func maxInt(a, b int) int {
 
 // SetWeights changes the priority weights at runtime (§IV-F2: "more
 // advanced users can leverage the HCompress API to dynamically change
-// these weights at runtime").
+// these weights at runtime"). The swap is atomic with respect to
+// concurrent Plan calls: in-flight planners finish against the old
+// weights, and the generation bump invalidates every memoized decision
+// so later plans cannot mix the two weightings.
 func (e *Engine) SetWeights(w seed.Weights) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.w = w.Normalize()
-	e.invalidateMemo()
+	e.gen.Add(1)
 }
 
 // Weights returns the active (normalized) weights.
-func (e *Engine) Weights() seed.Weights { return e.w }
+func (e *Engine) Weights() seed.Weights {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.w
+}
+
+// Generation reports the weight-change generation counter; the memo table
+// is only valid for the generation it was built under.
+func (e *Engine) Generation() int64 { return e.gen.Load() }
 
 // MemoStats reports DP cache behaviour (hits, misses).
-func (e *Engine) MemoStats() (hits, misses int64) { return e.memoHits, e.memoMisses }
+func (e *Engine) MemoStats() (hits, misses int64) {
+	return e.memoHits.Load(), e.memoMisses.Load()
+}
 
 // alignUp rounds n up to the alignment quantum.
 func alignUp(n int64) int64 {
@@ -227,7 +253,12 @@ func alignUp(n int64) int64 {
 func alignDown(n int64) int64 { return n / Align * Align }
 
 // Plan produces the compression + placement schema for a task of the given
-// size and analyzed attributes at virtual time now.
+// size and analyzed attributes at virtual time now. It is safe for
+// concurrent callers: when the full decision chain for this size is
+// already memoized under the current capacity fingerprint and weight
+// generation, the schema is reconstructed under the shared read lock with
+// no exclusive section at all; otherwise the planner takes the write lock
+// and runs the Match/Place recursion.
 func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, error) {
 	if size <= 0 {
 		return Schema{}, fmt.Errorf("hcdp: non-positive task size %d", size)
@@ -236,29 +267,56 @@ func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, er
 	if len(statuses) == 0 {
 		return Schema{}, errors.New("hcdp: empty hierarchy")
 	}
-	e.refreshMemoStamp(statuses)
-	e.plansServed++
-
 	// The DP plans in aligned size quanta; the true size is restored on
 	// the final sub-task.
 	asize := alignUp(size)
-	_, err := e.match(asize, 0, attr, statuses)
-	if err != nil {
+
+	if !e.cfg.DisableMemo {
+		e.mu.RLock()
+		if e.memoGen == e.gen.Load() && stampEqual(e.capacityStamp(statuses), e.memoStamp) {
+			if schema, hits, ok := e.reconstructLocked(size, asize, len(statuses)); ok {
+				e.mu.RUnlock()
+				e.memoHits.Add(hits)
+				e.plansServed.Add(1)
+				return schema, nil
+			}
+		}
+		e.mu.RUnlock()
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshMemoStamp(statuses)
+	e.plansServed.Add(1)
+	if _, err := e.match(asize, 0, attr, statuses); err != nil {
 		return Schema{}, err
 	}
-	// Reconstruct the schema by replaying memoized decisions.
+	schema, _, ok := e.reconstructLocked(size, asize, len(statuses))
+	if !ok {
+		return Schema{}, errors.New("hcdp: internal: missing memo entry during reconstruction")
+	}
+	return schema, nil
+}
+
+// reconstructLocked replays the memoized decision chain for a task of the
+// given (true, aligned) size into a schema. It returns ok=false when any
+// link of the chain is absent. Callers must hold e.mu (read or write);
+// hits reports how many memo entries the walk consumed.
+func (e *Engine) reconstructLocked(size, asize int64, nTiers int) (Schema, int64, bool) {
 	var schema Schema
+	var hits int64
 	remaining := asize
 	var offset int64
 	l := 0
 	for remaining > 0 {
-		if l >= len(statuses) {
-			return Schema{}, fmt.Errorf("hcdp: internal: reconstruction ran past hierarchy")
+		if l >= nTiers {
+			return Schema{}, hits, false
 		}
 		v, ok := e.memo[memoKey{remaining, l}]
 		if !ok {
-			return Schema{}, fmt.Errorf("hcdp: internal: missing memo entry (size=%d l=%d)", remaining, l)
+			return Schema{}, hits, false
 		}
+		hits++
 		if v.skip {
 			l++
 			continue
@@ -281,12 +339,13 @@ func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, er
 		remaining -= length
 		l++
 	}
-	return schema, nil
+	return schema, hits, true
 }
 
 // match implements Match(i, l, c) / Place(i, l, c) jointly: the best cost
 // of storing size bytes using tiers l.. (each at most once). It memoizes
 // on (size, l) and records the winning decision for reconstruction.
+// Callers must hold e.mu exclusively.
 func (e *Engine) match(size int64, l int, attr analyzer.Result, statuses []store.TierStatus) (float64, error) {
 	if size == 0 {
 		return 0, nil
@@ -297,11 +356,11 @@ func (e *Engine) match(size int64, l int, attr analyzer.Result, statuses []store
 	key := memoKey{size, l}
 	if !e.cfg.DisableMemo {
 		if v, ok := e.memo[key]; ok {
-			e.memoHits++
+			e.memoHits.Add(1)
 			return v.time, nil
 		}
 	}
-	e.memoMisses++
+	e.memoMisses.Add(1)
 
 	best := planVal{time: math.Inf(1)}
 
@@ -407,18 +466,12 @@ func (e *Engine) compressedTime(size int64, l int, cost seed.CodecCost, statuses
 	return e.w.Compression*tc + til - e.w.Ratio*til*(rc-1)/rc + e.w.Decompression*td
 }
 
-// refreshMemoStamp invalidates the memo table when the hierarchy's
-// remaining capacities have moved out of their buckets since the table was
-// built. Bucketing (1/64 of each tier's capacity) is what makes
-// sub-problems reusable *across* tasks, turning repeated planning into
-// table lookups; the slight staleness is bounded by the bucket size and
-// corrected by the placement path, which re-checks true capacity.
-func (e *Engine) refreshMemoStamp(statuses []store.TierStatus) {
-	if e.cfg.DisableMemo {
-		e.memo = make(map[memoKey]planVal)
-		e.memoStamp = nil
-		return
-	}
+// capacityStamp buckets the hierarchy's remaining capacities (1/64 of
+// each tier's capacity per bucket). Bucketing is what makes sub-problems
+// reusable *across* tasks, turning repeated planning into table lookups;
+// the slight staleness is bounded by the bucket size and corrected by the
+// placement path, which re-checks true capacity.
+func (e *Engine) capacityStamp(statuses []store.TierStatus) []int64 {
 	stamp := make([]int64, len(statuses))
 	for i, st := range statuses {
 		bucket := st.Capacity / 64
@@ -427,22 +480,36 @@ func (e *Engine) refreshMemoStamp(statuses []store.TierStatus) {
 		}
 		stamp[i] = st.Remaining / bucket
 	}
-	same := len(stamp) == len(e.memoStamp)
-	if same {
-		for i := range stamp {
-			if stamp[i] != e.memoStamp[i] {
-				same = false
-				break
-			}
-		}
-	}
-	if !same {
-		e.memo = make(map[memoKey]planVal)
-		e.memoStamp = stamp
-	}
+	return stamp
 }
 
-func (e *Engine) invalidateMemo() {
-	e.memo = make(map[memoKey]planVal)
-	e.memoStamp = nil
+func stampEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshMemoStamp invalidates the memo table when the hierarchy's
+// remaining capacities have moved out of their buckets since the table was
+// built, or when SetWeights bumped the generation counter. Callers must
+// hold e.mu exclusively.
+func (e *Engine) refreshMemoStamp(statuses []store.TierStatus) {
+	if e.cfg.DisableMemo {
+		e.memo = make(map[memoKey]planVal)
+		e.memoStamp = nil
+		return
+	}
+	gen := e.gen.Load()
+	stamp := e.capacityStamp(statuses)
+	if e.memoGen != gen || !stampEqual(stamp, e.memoStamp) {
+		e.memo = make(map[memoKey]planVal)
+		e.memoStamp = stamp
+		e.memoGen = gen
+	}
 }

@@ -1,0 +1,60 @@
+// Package fanout provides a minimal bounded worker pool for fanning a
+// fixed-size batch of independent work items across goroutines.
+//
+// It exists so the Compression Manager can overlap per-sub-task codec CPU
+// work (the errgroup pattern) without pulling in external dependencies,
+// while keeping results deterministic: callers index results by item and
+// ForEach reports the error of the lowest-indexed failing item regardless
+// of goroutine scheduling, exactly what a serial loop would have returned.
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most par concurrent
+// goroutines (par <= 1 runs inline). All items are attempted even when one
+// fails, so result slices indexed by i are fully populated for successful
+// items; the returned error is the lowest-indexed one, matching the serial
+// execution a caller would otherwise perform.
+func ForEach(n, par int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package fanout
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 8, 100} {
+		var sum int64
+		if err := ForEach(50, par, func(i int) error {
+			atomic.AddInt64(&sum, int64(i))
+			return nil
+		}); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if sum != 50*49/2 {
+			t.Errorf("par=%d: sum %d", par, sum)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	e3 := errors.New("item 3")
+	e7 := errors.New("item 7")
+	for _, par := range []int{1, 4} {
+		err := ForEach(10, par, func(i int) error {
+			switch i {
+			case 3:
+				return e3
+			case 7:
+				return e7
+			}
+			return nil
+		})
+		if err != e3 {
+			t.Errorf("par=%d: got %v, want error of item 3", par, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPopulatesByIndex(t *testing.T) {
+	out := make([]int, 64)
+	if err := ForEach(64, 8, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -21,12 +21,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
 	"time"
 
 	"hcompress/internal/analyzer"
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
+	"hcompress/internal/fanout"
 	"hcompress/internal/predictor"
 	"hcompress/internal/seed"
 	"hcompress/internal/stats"
@@ -182,22 +184,49 @@ type SubResult struct {
 }
 
 // Manager executes schemas against a store. Safe for concurrent use.
+//
+// Sub-task codec work runs through a bounded worker pool (see
+// SetParallelism), but virtual-time accounting is always replayed
+// serially in sub-task order, so a task's Result — End, CodecTime,
+// IOTime, SubResults order — is identical for every parallelism setting:
+// the deterministic virtual-time rule is "codec times sum per the serial
+// model; only wall-clock work overlaps".
 type Manager struct {
 	mu     sync.Mutex
 	st     *store.Store
 	pred   *predictor.CCP
 	oracle Oracle
+	par    int // worker-pool width for sub-task codec work
 	tasks  map[string]*taskMeta
 	order  []string // write order, oldest first (drain policy)
 }
 
-// New creates a Compression Manager.
+// New creates a Compression Manager with a worker pool sized to
+// GOMAXPROCS.
 func New(st *store.Store, pred *predictor.CCP, oracle Oracle) *Manager {
 	if oracle == nil {
 		oracle = RealOracle{}
 	}
-	return &Manager{st: st, pred: pred, oracle: oracle, tasks: make(map[string]*taskMeta)}
+	return &Manager{
+		st: st, pred: pred, oracle: oracle,
+		par:   runtime.GOMAXPROCS(0),
+		tasks: make(map[string]*taskMeta),
+	}
 }
+
+// SetParallelism bounds the worker pool fanning a task's sub-task codec
+// work across goroutines; n < 1 restores the GOMAXPROCS default. It must
+// be called before the manager is shared between goroutines (it is a
+// construction-time option, not a runtime toggle).
+func (m *Manager) SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	m.par = n
+}
+
+// Parallelism reports the configured worker-pool width.
+func (m *Manager) Parallelism() int { return m.par }
 
 // Drain is the asynchronous flushing path of a multi-tiered buffer: during
 // an idle window (e.g. the application's compute phase) it trickles the
@@ -242,65 +271,94 @@ func (m *Manager) Store() *store.Store { return m.st }
 
 func subKey(key string, k int) string { return fmt.Sprintf("%s#%d", key, k) }
 
-// ExecuteWrite runs a write schema: per sub-task, compress (per the
-// schema's codec), decorate with the metadata header, and write to the
-// assigned tier. data may be nil in modeled mode. It returns the virtual
-// completion time and the cost anatomy.
+// ExecuteWrite runs a write schema in two stages. Stage one fans the
+// per-sub-task codec work — pure CPU over the caller's buffer — across
+// the worker pool; stage two replays the virtual timeline serially in
+// sub-task order (compression time, then the placed tier's modeled I/O),
+// so the Result is bit-identical for every parallelism setting. data may
+// be nil in modeled mode. It returns the virtual completion time and the
+// cost anatomy.
 func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64, attr analyzer.Result, schema core.Schema) (Result, error) {
 	if data != nil && int64(len(data)) != size {
 		return Result{}, fmt.Errorf("manager: data length %d != size %d", len(data), size)
 	}
-	res := Result{End: now}
-	meta := &taskMeta{attr: attr, size: size}
-	t := now
-	for k, st := range schema.SubTasks {
+	n := len(schema.SubTasks)
+
+	// Stage 1: codec fan-out. No locks are held; each worker touches a
+	// disjoint slice of the caller's buffer.
+	type compOut struct {
+		c       codec.Codec
+		hdr     Header
+		payload []byte
+		stored  int64
+		secs    float64
+	}
+	outs := make([]compOut, n)
+	err := fanout.ForEach(n, m.par, func(k int) error {
+		st := schema.SubTasks[k]
 		c, err := codec.ByID(st.Codec)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		hdr := Header{Offset: st.Offset, Length: st.Length, Codec: st.Codec}
 		var piece []byte
 		if data != nil {
 			piece = data[st.Offset : st.Offset+st.Length]
 		}
-		payload, stored, compSecs, err := m.oracle.Compress(attr, c, piece, st.Length, hdr)
+		payload, stored, secs, err := m.oracle.Compress(attr, c, piece, st.Length, hdr)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		t += compSecs
+		outs[k] = compOut{c: c, hdr: hdr, payload: payload, stored: stored, secs: secs}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Stage 2: serial timeline replay — placement, accounting, feedback —
+	// exactly as the serial model would have interleaved them.
+	res := Result{End: now}
+	meta := &taskMeta{attr: attr, size: size}
+	t := now
+	for k := range schema.SubTasks {
+		st := &schema.SubTasks[k]
+		o := &outs[k]
+		t += o.secs
 		sk := subKey(key, k)
 		// The schema places by *predicted* compressed size; the actual
 		// size can come out larger. When the planned tier cannot take the
 		// real payload, spill down the hierarchy — the same repair a real
 		// deployment performs when the System Monitor's view was stale.
 		tierIdx := st.Tier
-		end, err := m.st.Put(t, tierIdx, sk, payload, stored)
+		end, err := m.st.Put(t, tierIdx, sk, o.payload, o.stored)
 		for err != nil && errorsIsNoCapacity(err) && tierIdx+1 < m.st.Hierarchy().Len() {
 			tierIdx++
-			end, err = m.st.Put(t, tierIdx, sk, payload, stored)
+			end, err = m.st.Put(t, tierIdx, sk, o.payload, o.stored)
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("manager: placing sub-task %d: %w", k, err)
 		}
 		ioSecs := end - t
 		t = end
-		res.CodecTime += compSecs
+		res.CodecTime += o.secs
 		res.IOTime += ioSecs
-		res.Stored += stored
+		res.Stored += o.stored
 		res.SubResults = append(res.SubResults, SubResult{
 			Tier: tierIdx, Codec: st.Codec, OrigLen: st.Length,
-			Stored: stored, CodecTime: compSecs, IOTime: ioSecs,
+			Stored: o.stored, CodecTime: o.secs, IOTime: ioSecs,
 		})
-		hdr.Stored = stored - HeaderSize
-		meta.subs = append(meta.subs, subMeta{key: sk, hdr: hdr, tier: tierIdx, attr: attr, stored: stored})
+		hdr := o.hdr
+		hdr.Stored = o.stored - HeaderSize
+		meta.subs = append(meta.subs, subMeta{key: sk, hdr: hdr, tier: tierIdx, attr: attr, stored: o.stored})
 
 		// Feedback loop: report the actual compression cost (write side
 		// knows compression speed and ratio; decompression arrives on
 		// read).
-		if st.Codec != codec.None && compSecs > 0 {
-			m.pred.Feedback(attr.Type, attr.Dist, c.Name(), seed.CodecCost{
-				CompressMBps: float64(st.Length) / (1 << 20) / compSecs,
-				Ratio:        ratioOf(st.Length, stored-HeaderSize),
+		if st.Codec != codec.None && o.secs > 0 {
+			m.pred.Feedback(attr.Type, attr.Dist, o.c.Name(), seed.CodecCost{
+				CompressMBps: float64(st.Length) / (1 << 20) / o.secs,
+				Ratio:        ratioOf(st.Length, o.stored-HeaderSize),
 			})
 		}
 	}
@@ -329,64 +387,107 @@ func ratioOf(orig, stored int64) float64 {
 // decode its metadata header, decompress with the library the header
 // names, and reassemble. In modeled mode the data is nil but timing and
 // feedback behave identically.
+//
+// It runs in three stages: payloads are peeked from the store without
+// advancing any tier timeline, decompression fans out across the worker
+// pool, and the virtual timeline (tier read, then decompression time, per
+// sub-task in order) is replayed serially — so the Result is identical
+// for every parallelism setting.
 func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 	m.mu.Lock()
 	meta, ok := m.tasks[key]
+	var subs []subMeta
+	if ok {
+		// Copy: Drain mutates sub-task tiers under m.mu.
+		subs = append(subs, meta.subs...)
+	}
 	m.mu.Unlock()
 	if !ok {
 		return Result{}, fmt.Errorf("manager: unknown task %q", key)
 	}
-	res := Result{End: now}
+	n := len(subs)
 	real := m.st.KeepsData()
-	if real {
-		res.Data = make([]byte, meta.size)
-	}
-	t := now
-	for _, sm := range meta.subs {
-		blob, end, err := m.st.Get(t, sm.key)
+
+	// Stage 1: fetch payloads without modeling I/O (the timed reads are
+	// replayed in stage 3 with the correct interleaved start times).
+	blobs := make([]store.Blob, n)
+	for k := range subs {
+		blob, err := m.st.Peek(subs[k].key)
 		if err != nil {
 			return Result{}, err
 		}
-		ioSecs := end - t
-		t = end
+		blobs[k] = blob
+	}
 
-		hdr := sm.hdr
-		payload := blob.Data
+	// Stage 2: decompression fan-out — pure CPU, no locks held.
+	type readOut struct {
+		c     codec.Codec
+		hdr   Header
+		piece []byte
+		secs  float64
+	}
+	outs := make([]readOut, n)
+	err := fanout.ForEach(n, m.par, func(k int) error {
+		hdr := subs[k].hdr
+		payload := blobs[k].Data
 		if real {
 			// Real mode: trust the on-media header, not the in-memory
 			// metadata — this is the "identify the compression library
 			// from the data itself" path.
 			var rest []byte
-			hdr, rest, err = DecodeHeader(blob.Data)
+			var err error
+			hdr, rest, err = DecodeHeader(blobs[k].Data)
 			if err != nil {
-				return Result{}, err
+				return err
 			}
 			payload = rest
 		}
 		c, err := codec.ByID(hdr.Codec)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		piece, decompSecs, err := m.oracle.Decompress(meta.attr, c, payload, hdr)
+		piece, secs, err := m.oracle.Decompress(meta.attr, c, payload, hdr)
+		if err != nil {
+			return err
+		}
+		outs[k] = readOut{c: c, hdr: hdr, piece: piece, secs: secs}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Stage 3: serial timeline replay, reassembly, and feedback.
+	res := Result{End: now}
+	if real {
+		res.Data = make([]byte, meta.size)
+	}
+	t := now
+	for k := range subs {
+		sm := &subs[k]
+		o := &outs[k]
+		end, err := m.st.ReadTime(t, sm.key)
 		if err != nil {
 			return Result{}, err
 		}
-		t += decompSecs
-		res.CodecTime += decompSecs
+		ioSecs := end - t
+		t = end + o.secs
+		res.CodecTime += o.secs
 		res.IOTime += ioSecs
+		res.Stored += blobs[k].Size
 		res.SubResults = append(res.SubResults, SubResult{
-			Tier: sm.tier, Codec: hdr.Codec, OrigLen: hdr.Length,
-			Stored: blob.Size, CodecTime: decompSecs, IOTime: ioSecs,
+			Tier: sm.tier, Codec: o.hdr.Codec, OrigLen: o.hdr.Length,
+			Stored: blobs[k].Size, CodecTime: o.secs, IOTime: ioSecs,
 		})
 		if real {
-			if hdr.Offset+hdr.Length > int64(len(res.Data)) {
+			if o.hdr.Offset+o.hdr.Length > int64(len(res.Data)) {
 				return Result{}, fmt.Errorf("manager: sub-task exceeds task bounds")
 			}
-			copy(res.Data[hdr.Offset:], piece)
+			copy(res.Data[o.hdr.Offset:], o.piece)
 		}
-		if hdr.Codec != codec.None && decompSecs > 0 {
-			m.pred.Feedback(meta.attr.Type, meta.attr.Dist, c.Name(), seed.CodecCost{
-				DecompressMBps: float64(hdr.Length) / (1 << 20) / decompSecs,
+		if o.hdr.Codec != codec.None && o.secs > 0 {
+			m.pred.Feedback(meta.attr.Type, meta.attr.Dist, o.c.Name(), seed.CodecCost{
+				DecompressMBps: float64(o.hdr.Length) / (1 << 20) / o.secs,
 			})
 		}
 	}
@@ -422,6 +523,19 @@ func (m *Manager) TaskSize(key string) (int64, bool) {
 		return 0, false
 	}
 	return meta.size, true
+}
+
+// TaskInfo reports the original size and the Input Analyzer result that
+// was persisted when the task was written, so read-path reports can carry
+// the data attributes without re-analyzing.
+func (m *Manager) TaskInfo(key string) (size int64, attr analyzer.Result, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, found := m.tasks[key]
+	if !found {
+		return 0, analyzer.Result{}, false
+	}
+	return meta.size, meta.attr, true
 }
 
 // Tasks reports the number of tasks tracked.

@@ -390,3 +390,89 @@ func TestDrainRespectsWindow(t *testing.T) {
 		t.Errorf("tiny window moved more than unbounded: %d vs %d", movedTiny, movedBig)
 	}
 }
+
+// TestParallelismDeterministicVirtualTime is the deterministic
+// virtual-time rule: identical task sequences must produce identical
+// virtual-time accounting regardless of the worker-pool width, because
+// codec times are summed per the serial model and only wall-clock work
+// overlaps. The model oracle makes codec costs reproducible, so the
+// comparison can be exact.
+func TestParallelismDeterministicVirtualTime(t *testing.T) {
+	hier := tier.Ares(8*tier.MB, 32*tier.MB, 128*tier.MB, tier.TB)
+	attr := analyzer.Result{Type: stats.TypeFloat, Dist: stats.Gamma}
+
+	type trace struct {
+		end, codec, io float64
+		subs           []SubResult
+	}
+	run := func(par int) []trace {
+		e := newModelEnv(t, hier)
+		e.mgr.SetParallelism(par)
+		var out []trace
+		now := 0.0
+		for i := 0; i < 16; i++ {
+			key := fmt.Sprintf("t%d", i)
+			sc, err := e.eng.Plan(now, attr, 24<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wres, err := e.mgr.ExecuteWrite(now, key, nil, 24<<20, attr, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, trace{wres.End, wres.CodecTime, wres.IOTime, wres.SubResults})
+			rres, err := e.mgr.ExecuteRead(wres.End, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, trace{rres.End, rres.CodecTime, rres.IOTime, rres.SubResults})
+			now = rres.End
+		}
+		return out
+	}
+
+	serial := run(1)
+	for _, par := range []int{2, 8} {
+		parallel := run(par)
+		for i := range serial {
+			s, p := serial[i], parallel[i]
+			if s.end != p.end || s.codec != p.codec || s.io != p.io {
+				t.Fatalf("par=%d op %d: (%v,%v,%v) != serial (%v,%v,%v)",
+					par, i, p.end, p.codec, p.io, s.end, s.codec, s.io)
+			}
+			if len(s.subs) != len(p.subs) {
+				t.Fatalf("par=%d op %d: %d sub-results != %d", par, i, len(p.subs), len(s.subs))
+			}
+			for k := range s.subs {
+				if s.subs[k] != p.subs[k] {
+					t.Fatalf("par=%d op %d sub %d: %+v != %+v", par, i, k, p.subs[k], s.subs[k])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWriteRealRoundTrip exercises the worker pool on real bytes:
+// a multi-sub-task schema compressed with par=4 must decompress to the
+// original regardless of which goroutine handled which piece.
+func TestParallelWriteRealRoundTrip(t *testing.T) {
+	e := newRealEnv(t)
+	e.mgr.SetParallelism(4)
+	data := []byte(strings.Repeat("parallel sub-task codec execution over tiers. ", 120000))
+	attr := analyzer.Analyze(data)
+	sc, err := e.eng.Plan(0, attr, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := e.mgr.ExecuteWrite(0, "par", data, int64(len(data)), attr, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := e.mgr.ExecuteRead(wres.End, "par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rres.Data, data) {
+		t.Fatal("parallel round-trip mismatch")
+	}
+}

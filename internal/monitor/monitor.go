@@ -13,9 +13,12 @@ import (
 )
 
 // SystemMonitor caches tier status snapshots, refreshing at a configured
-// virtual-time interval.
+// virtual-time interval. It is safe for concurrent use: readers of a fresh
+// cache share a read lock (concurrent planners never serialize on the
+// monitor), and a refresh swaps in a new snapshot slice rather than
+// mutating the one in-flight planners may still hold.
 type SystemMonitor struct {
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	st          *store.Store
 	interval    float64 // seconds of virtual time between refreshes
 	lastRefresh float64
@@ -30,23 +33,38 @@ func New(st *store.Store, interval float64) *SystemMonitor {
 	return m
 }
 
+func (m *SystemMonitor) fresh(now float64) bool {
+	return m.lastRefresh >= 0 && now-m.lastRefresh < m.interval
+}
+
 // Status returns tier status as of virtual time now, refreshing the cache
-// if it is older than the interval. The returned slice is shared; callers
-// must not mutate it.
+// if it is older than the interval. The returned slice is a snapshot
+// shared between callers; callers must not mutate it.
 func (m *SystemMonitor) Status(now float64) []store.TierStatus {
+	m.mu.RLock()
+	if m.fresh(now) {
+		cached := m.cached
+		m.mu.RUnlock()
+		return cached
+	}
+	m.mu.RUnlock()
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.lastRefresh < 0 || now-m.lastRefresh >= m.interval {
-		m.cached = m.st.Status(now)
-		m.lastRefresh = now
-		m.refreshes++
+	if m.fresh(now) { // another planner refreshed while we waited
+		return m.cached
 	}
+	m.cached = m.st.Status(now)
+	m.lastRefresh = now
+	m.refreshes++
 	return m.cached
 }
 
 // ForceRefresh invalidates the cache so the next Status is fresh — used
 // after placements that the engine itself performed (it knows the state
-// changed and must not plan against stale capacity).
+// changed and must not plan against stale capacity). Planners holding the
+// previous snapshot keep a consistent (if stale) view; the placement path
+// re-checks true capacity.
 func (m *SystemMonitor) ForceRefresh() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -55,8 +73,8 @@ func (m *SystemMonitor) ForceRefresh() {
 
 // Refreshes reports how many times the underlying store was sampled.
 func (m *SystemMonitor) Refreshes() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.refreshes
 }
 

@@ -9,6 +9,13 @@
 // retention off, only sizes and placement are tracked, letting the
 // experiment harness replay the paper's multi-hundred-gigabyte workloads
 // on a laptop while keeping the timing model identical.
+//
+// Locking is fine-grained: the blob directory is guarded by one RWMutex,
+// and every tier guards its own capacity accounting and virtual timeline
+// with its own mutex, so traffic against different tiers never serializes.
+// Lock order is always directory before tier, and tiers in ascending
+// index, so composite operations (Put with overwrite, Move) cannot
+// deadlock.
 package store
 
 import (
@@ -34,17 +41,22 @@ type Blob struct {
 	Data []byte // nil when data retention is off
 }
 
+// tierState is one tier's capacity ledger and virtual timeline, guarded by
+// its own lock so tiers never contend with each other.
 type tierState struct {
+	mu   sync.Mutex
 	spec tier.Spec
 	res  *des.Resource
 	used int64
 }
 
 // Store is a multi-tier object store. All methods are safe for concurrent
-// use; virtual-time accounting is serialized with the same lock.
+// use. The blob directory and each tier are locked independently;
+// cross-tier snapshots (Status) are per-tier consistent but not globally
+// atomic, mirroring how a real System Monitor samples devices one by one.
 type Store struct {
-	mu       sync.Mutex
-	tiers    []tierState
+	mu       sync.RWMutex // guards blobs and the fields of stored *Blob values
+	tiers    []*tierState // slice immutable after New; elements self-locked
 	blobs    map[string]*Blob
 	keepData bool
 	hier     tier.Hierarchy
@@ -58,7 +70,7 @@ func New(h tier.Hierarchy, keepData bool) (*Store, error) {
 	}
 	s := &Store{blobs: make(map[string]*Blob), keepData: keepData, hier: h}
 	for _, spec := range h.Tiers {
-		s.tiers = append(s.tiers, tierState{
+		s.tiers = append(s.tiers, &tierState{
 			spec: spec,
 			res:  des.NewResource(spec.Name, spec.Lanes, spec.Latency, spec.Bandwidth),
 		})
@@ -72,6 +84,14 @@ func (s *Store) Hierarchy() tier.Hierarchy { return s.hier }
 // KeepsData reports whether payloads are retained.
 func (s *Store) KeepsData() bool { return s.keepData }
 
+// release returns size bytes of capacity to tier t.
+func (s *Store) release(t int, size int64) {
+	ts := s.tiers[t]
+	ts.mu.Lock()
+	ts.used -= size
+	ts.mu.Unlock()
+}
+
 // Put stores size bytes under key on tier t, beginning at virtual time
 // now, and returns the completion time. data may be nil when retention is
 // off (or to model a write without materializing it).
@@ -79,49 +99,121 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 	if size < 0 {
 		return now, fmt.Errorf("store: negative size for %q", key)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t < 0 || t >= len(s.tiers) {
 		return now, fmt.Errorf("store: tier %d out of range", t)
 	}
-	ts := &s.tiers[t]
-	if old, ok := s.blobs[key]; ok {
-		// Overwrite: release the old allocation first.
-		s.tiers[old.Tier].used -= old.Size
+	ts := s.tiers[t]
+
+	// Pop any existing blob so its allocation can be released first (the
+	// overwrite path); it is restored if the new payload does not fit.
+	s.mu.Lock()
+	old, hadOld := s.blobs[key]
+	if hadOld {
+		delete(s.blobs, key)
 	}
+	s.mu.Unlock()
+	if hadOld {
+		s.release(old.Tier, old.Size)
+	}
+
+	ts.mu.Lock()
 	if ts.used+size > ts.spec.Capacity {
-		if old, ok := s.blobs[key]; ok {
-			s.tiers[old.Tier].used += old.Size // roll back
+		used, cap := ts.used, ts.spec.Capacity
+		ts.mu.Unlock()
+		if hadOld { // roll back: restore the old blob and its allocation
+			s.tiers[old.Tier].mu.Lock()
+			s.tiers[old.Tier].used += old.Size
+			s.tiers[old.Tier].mu.Unlock()
+			s.mu.Lock()
+			_, raced := s.blobs[key] // a concurrent same-key Put won; keep its blob
+			if !raced {
+				s.blobs[key] = old
+			}
+			s.mu.Unlock()
+			if raced {
+				s.release(old.Tier, old.Size)
+			}
 		}
 		return now, fmt.Errorf("%w: %s (%d used, %d cap, %d requested)",
-			ErrNoCapacity, ts.spec.Name, ts.used, ts.spec.Capacity, size)
+			ErrNoCapacity, ts.spec.Name, used, cap, size)
 	}
 	ts.used += size
+	end = ts.res.Acquire(now, size)
+	ts.mu.Unlock()
+
 	b := &Blob{Key: key, Tier: t, Size: size}
 	if s.keepData && data != nil {
 		b.Data = append([]byte(nil), data...)
 	}
+	s.mu.Lock()
+	prev, raced := s.blobs[key] // a concurrent same-key Put got here first
 	s.blobs[key] = b
-	return ts.res.Acquire(now, size), nil
+	s.mu.Unlock()
+	if raced {
+		s.release(prev.Tier, prev.Size)
+	}
+	return end, nil
 }
 
 // Get reads the blob under key starting at virtual time now. The returned
 // data is nil when retention is off.
 func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	blob, ok := s.blobs[key]
+	if ok {
+		b = *blob
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return Blob{}, now, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	end = s.tiers[blob.Tier].res.Acquire(now, blob.Size)
-	return *blob, end, nil
+	ts := s.tiers[b.Tier]
+	ts.mu.Lock()
+	end = ts.res.Acquire(now, b.Size)
+	ts.mu.Unlock()
+	return b, end, nil
+}
+
+// Peek returns the blob under key without modeling an I/O or advancing any
+// tier timeline. The returned Data (if any) shares the stored buffer and
+// must not be mutated. It exists so the Compression Manager can fetch
+// payloads for parallel decompression and replay the timed reads
+// afterwards, keeping virtual-time accounting deterministic.
+func (s *Store) Peek(key string) (Blob, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	blob, ok := s.blobs[key]
+	if !ok {
+		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return *blob, nil
+}
+
+// ReadTime models the timed read of key's blob at virtual time now without
+// touching its payload, returning the completion time.
+func (s *Store) ReadTime(now float64, key string) (end float64, err error) {
+	s.mu.RLock()
+	blob, ok := s.blobs[key]
+	var t int
+	var size int64
+	if ok {
+		t, size = blob.Tier, blob.Size
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return now, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	ts := s.tiers[t]
+	ts.mu.Lock()
+	end = ts.res.Acquire(now, size)
+	ts.mu.Unlock()
+	return end, nil
 }
 
 // Stat returns blob metadata without modeling an I/O.
 func (s *Store) Stat(key string) (Blob, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	blob, ok := s.blobs[key]
 	if !ok {
 		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -134,19 +226,23 @@ func (s *Store) Stat(key string) (Blob, error) {
 // Delete removes a blob and releases its capacity.
 func (s *Store) Delete(key string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	blob, ok := s.blobs[key]
+	if ok {
+		delete(s.blobs, key)
+	}
+	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	s.tiers[blob.Tier].used -= blob.Size
-	delete(s.blobs, key)
+	s.release(blob.Tier, blob.Size)
 	return nil
 }
 
 // Move relocates a blob to another tier at virtual time now (used by
 // eviction/spill paths), modeling a read on the source and a write on the
 // destination. It fails without side effects if the destination is full.
+// The directory lock is held throughout so readers never observe a blob
+// mid-move.
 func (s *Store) Move(now float64, key string, dst int) (end float64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,13 +256,22 @@ func (s *Store) Move(now float64, key string, dst int) (end float64, err error) 
 	if blob.Tier == dst {
 		return now, nil
 	}
-	if s.tiers[dst].used+blob.Size > s.tiers[dst].spec.Capacity {
-		return now, fmt.Errorf("%w: %s", ErrNoCapacity, s.tiers[dst].spec.Name)
+	src, dstT := s.tiers[blob.Tier], s.tiers[dst]
+	lo, hi := src, dstT
+	if dst < blob.Tier {
+		lo, hi = dstT, src
 	}
-	readEnd := s.tiers[blob.Tier].res.Acquire(now, blob.Size)
-	end = s.tiers[dst].res.Acquire(readEnd, blob.Size)
-	s.tiers[blob.Tier].used -= blob.Size
-	s.tiers[dst].used += blob.Size
+	lo.mu.Lock()
+	hi.mu.Lock()
+	defer lo.mu.Unlock()
+	defer hi.mu.Unlock()
+	if dstT.used+blob.Size > dstT.spec.Capacity {
+		return now, fmt.Errorf("%w: %s", ErrNoCapacity, dstT.spec.Name)
+	}
+	readEnd := src.res.Acquire(now, blob.Size)
+	end = dstT.res.Acquire(readEnd, blob.Size)
+	src.used -= blob.Size
+	dstT.used += blob.Size
 	blob.Tier = dst
 	return end, nil
 }
@@ -182,13 +287,14 @@ type TierStatus struct {
 	Backlog   float64 // seconds of committed work beyond the query time
 }
 
-// Status snapshots every tier at virtual time now.
+// Status snapshots every tier at virtual time now. Each tier is sampled
+// under its own lock; the snapshot is per-tier consistent but tiers are
+// not frozen relative to each other (the System Monitor's view is
+// explicitly allowed to be slightly stale).
 func (s *Store) Status(now float64) []TierStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]TierStatus, len(s.tiers))
-	for i := range s.tiers {
-		ts := &s.tiers[i]
+	for i, ts := range s.tiers {
+		ts.mu.Lock()
 		out[i] = TierStatus{
 			Name:      ts.spec.Name,
 			Available: true,
@@ -198,44 +304,49 @@ func (s *Store) Status(now float64) []TierStatus {
 			QueueLen:  ts.res.QueueDepth(now),
 			Backlog:   ts.res.Backlog(now),
 		}
+		ts.mu.Unlock()
 	}
 	return out
 }
 
 // Used reports the bytes currently allocated on tier t.
 func (s *Store) Used(t int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t < 0 || t >= len(s.tiers) {
 		return 0
 	}
-	return s.tiers[t].used
+	ts := s.tiers[t]
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.used
 }
 
 // Remaining reports free capacity on tier t.
 func (s *Store) Remaining(t int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t < 0 || t >= len(s.tiers) {
 		return 0
 	}
-	return s.tiers[t].spec.Capacity - s.tiers[t].used
+	ts := s.tiers[t]
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.spec.Capacity - ts.used
 }
 
 // Reset clears all blobs and virtual-time state, keeping the hierarchy.
 func (s *Store) Reset() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.blobs = make(map[string]*Blob)
-	for i := range s.tiers {
-		s.tiers[i].used = 0
-		s.tiers[i].res.Reset()
+	s.mu.Unlock()
+	for _, ts := range s.tiers {
+		ts.mu.Lock()
+		ts.used = 0
+		ts.res.Reset()
+		ts.mu.Unlock()
 	}
 }
 
 // Len reports the number of stored blobs.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.blobs)
 }

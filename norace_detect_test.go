@@ -1,0 +1,6 @@
+//go:build !race
+
+package hcompress
+
+// raceDetectorEnabled is false without -race; see race_detect_test.go.
+const raceDetectorEnabled = false
