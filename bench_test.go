@@ -343,7 +343,19 @@ func BenchmarkClientWrite(b *testing.B) {
 // lets independent tasks overlap their codec work. Compare against
 // BenchmarkClientWrite, or run with -cpu 1,2,8 to see scaling.
 func BenchmarkClientParallel(b *testing.B) {
-	c, err := New(Config{})
+	benchClientParallel(b, Config{})
+}
+
+// BenchmarkClientParallelTelemetry is the telemetry overhead gate: same
+// workload as BenchmarkClientParallel but with the metrics registry on.
+// The instruments are atomics handed out at construction, so the delta
+// against the plain benchmark should stay within noise (<5%).
+func BenchmarkClientParallelTelemetry(b *testing.B) {
+	benchClientParallel(b, Config{EnableTelemetry: true})
+}
+
+func benchClientParallel(b *testing.B, cfg Config) {
+	c, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

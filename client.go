@@ -3,7 +3,10 @@ package hcompress
 import (
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
+	"time"
 
 	"hcompress/internal/analyzer"
 	"hcompress/internal/codec"
@@ -14,6 +17,7 @@ import (
 	"hcompress/internal/seed"
 	"hcompress/internal/stats"
 	"hcompress/internal/store"
+	"hcompress/internal/telemetry"
 	"hcompress/internal/tier"
 )
 
@@ -36,12 +40,23 @@ type Task struct {
 	Distribution string
 }
 
-// SubTaskReport describes one placed sub-task.
+// SubTaskReport describes one placed sub-task. On writes it carries the
+// HCDP engine's predictions next to the actuals so callers can compute
+// prediction error without the audit log; the Predicted fields are zero
+// on reads (a read executes the write-time schema, it does not plan).
 type SubTaskReport struct {
 	Tier          string
 	Codec         string
 	OriginalBytes int64
 	StoredBytes   int64
+	// PredictedBytes is the engine's alignment-rounded compressed-size
+	// estimate; PredictedSeconds its modeled sub-task duration (eq. 3/4).
+	PredictedBytes   int64
+	PredictedSeconds float64
+	// CodecSeconds and IOSeconds are the sub-task's share of the
+	// operation's actual cost anatomy.
+	CodecSeconds float64
+	IOSeconds    float64
 }
 
 // Report summarizes one executed task.
@@ -53,9 +68,13 @@ type Report struct {
 	VirtualSeconds float64 // modeled task duration (codec + tiered I/O)
 	CodecSeconds   float64 // compression or decompression time
 	IOSeconds      float64 // modeled storage time
-	DataType       string  // what the Input Analyzer saw
-	Distribution   string
-	SubTasks       []SubTaskReport
+	// PredictedSeconds is the engine's modeled total duration for the
+	// schema it chose (writes only) — compare with VirtualSeconds for
+	// the whole-task prediction error.
+	PredictedSeconds float64
+	DataType         string // what the Input Analyzer saw
+	Distribution     string
+	SubTasks         []SubTaskReport
 	// Data carries the reassembled payload on Decompress.
 	Data []byte
 }
@@ -85,6 +104,15 @@ type Client struct {
 	st    *store.Store
 	clock vclock // virtual time, self-locked
 
+	// Telemetry (all nil/zero when off — the nil-registry fast path).
+	tel        *telemetry.Registry
+	sink       *telemetry.Sink
+	cm         clientMetrics
+	audit      auditLog
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+	expvarID   uint64
+
 	seedPath string
 	saveSeed bool
 }
@@ -109,12 +137,19 @@ func New(cfg Config) (*Client, error) {
 	if cfg.FeedbackInterval > 0 {
 		sd.FeedbackInterval = cfg.FeedbackInterval
 	}
-	st, err := store.New(h, true)
+	st, err := store.New(h, !cfg.modeled)
 	if err != nil {
 		return nil, err
 	}
+	var reg *telemetry.Registry
+	if cfg.telemetryEnabled() {
+		reg = telemetry.New()
+	}
+	st.SetTelemetry(reg)
 	pred := predictor.New(sd)
+	pred.SetTelemetry(reg)
 	mon := monitor.New(st, cfg.MonitorIntervalSec)
+	mon.SetTelemetry(reg)
 	eng, err := core.New(pred, mon, core.Config{
 		Weights:            cfg.Priorities.toWeights(),
 		DisableCompression: cfg.DisableCompression,
@@ -123,9 +158,15 @@ func New(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr := manager.New(st, pred, manager.RealOracle{})
+	eng.SetTelemetry(reg)
+	var oracle manager.Oracle = manager.RealOracle{}
+	if cfg.modeled {
+		oracle = manager.ModelOracle{Truth: sd}
+	}
+	mgr := manager.New(st, pred, oracle)
 	mgr.SetParallelism(cfg.Parallelism)
-	return &Client{
+	mgr.SetTelemetry(reg)
+	c := &Client{
 		hier:     h,
 		sd:       sd,
 		pred:     pred,
@@ -133,9 +174,26 @@ func New(cfg Config) (*Client, error) {
 		eng:      eng,
 		mgr:      mgr,
 		st:       st,
+		tel:      reg,
+		sink:     telemetry.NewSink(cfg.TraceWriter),
+		cm:       newClientMetrics(reg),
 		seedPath: cfg.SeedPath,
 		saveSeed: cfg.SaveSeedOnClose && cfg.SeedPath != "",
-	}, nil
+	}
+	if reg != nil {
+		c.audit.cap = cfg.AuditLogSize
+		if c.audit.cap == 0 {
+			c.audit.cap = 1024
+		}
+		c.expvarID = expvarRegister(reg)
+	}
+	if cfg.MetricsAddr != "" {
+		if err := c.startMetricsServer(cfg.MetricsAddr); err != nil {
+			expvarUnregister(c.expvarID)
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 func (c *Client) attrFor(t Task) analyzer.Result {
@@ -163,6 +221,11 @@ func (c *Client) Compress(t Task) (*Report, error) {
 		return nil, errors.New("hcompress: empty task data")
 	}
 
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
+
 	// Stage 1: analyze. No lock held — this is the CPU-heavy scan of the
 	// caller's buffer and must overlap other ranks' codec work.
 	attr := c.attrFor(t)
@@ -178,6 +241,7 @@ func (c *Client) Compress(t Task) (*Report, error) {
 	// Stage 2: plan.
 	schema, err := c.eng.Plan(start, attr, size)
 	if err != nil {
+		c.cm.opErrs["compress"].Inc()
 		return nil, fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
 	}
 
@@ -186,17 +250,28 @@ func (c *Client) Compress(t Task) (*Report, error) {
 	if err != nil {
 		// The monitor's view may have been stale; refresh and replan once.
 		c.mon.ForceRefresh()
-		schema, err2 := c.eng.Plan(start, attr, size)
+		c.cm.replans.Inc()
+		schema2, err2 := c.eng.Plan(start, attr, size)
 		if err2 != nil {
+			c.cm.opErrs["compress"].Inc()
 			return nil, fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
 		}
+		schema = schema2
 		res, err = c.mgr.ExecuteWrite(start, t.Key, t.Data, size, attr, schema)
 		if err != nil {
+			c.cm.opErrs["compress"].Inc()
 			return nil, fmt.Errorf("hcompress: executing %q: %w", t.Key, err)
 		}
 	}
 	c.clock.AdvanceTo(res.End)
-	return c.report(t.Key, size, attr, res, start), nil
+	rep := c.report(t.Key, size, attr, res, start)
+	rep.PredictedSeconds = schema.PredTime
+	if c.tel != nil {
+		c.cm.ops["compress"].Inc()
+		c.cm.opSeconds["compress"].Observe(time.Since(wall).Seconds())
+		c.compressTrace(t.Key, attr, size, schema, res, start)
+	}
+	return rep, nil
 }
 
 // Decompress reads back the task stored under key, decoding each
@@ -204,6 +279,10 @@ func (c *Client) Compress(t Task) (*Report, error) {
 // report carries the data type and distribution the Input Analyzer saw at
 // write time (persisted in the task metadata).
 func (c *Client) Decompress(key string) (*Report, error) {
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
@@ -211,16 +290,23 @@ func (c *Client) Decompress(key string) (*Report, error) {
 	}
 	size, attr, ok := c.mgr.TaskInfo(key)
 	if !ok {
+		c.cm.opErrs["decompress"].Inc()
 		return nil, fmt.Errorf("hcompress: unknown task %q", key)
 	}
 	start := c.clock.Now()
 	res, err := c.mgr.ExecuteRead(start, key)
 	if err != nil {
+		c.cm.opErrs["decompress"].Inc()
 		return nil, err
 	}
 	c.clock.AdvanceTo(res.End)
 	rep := c.report(key, size, attr, res, start)
 	rep.Data = res.Data
+	if c.tel != nil {
+		c.cm.ops["decompress"].Inc()
+		c.cm.opSeconds["decompress"].Observe(time.Since(wall).Seconds())
+		c.decompressTrace(key, res, start)
+	}
 	return rep, nil
 }
 
@@ -244,10 +330,14 @@ func (c *Client) report(key string, size int64, attr analyzer.Result, res manage
 			name = cdc.Name()
 		}
 		rep.SubTasks = append(rep.SubTasks, SubTaskReport{
-			Tier:          c.hier.Tiers[sr.Tier].Name,
-			Codec:         name,
-			OriginalBytes: sr.OrigLen,
-			StoredBytes:   sr.Stored,
+			Tier:             c.hier.Tiers[sr.Tier].Name,
+			Codec:            name,
+			OriginalBytes:    sr.OrigLen,
+			StoredBytes:      sr.Stored,
+			PredictedBytes:   sr.PredStored,
+			PredictedSeconds: sr.PredTime,
+			CodecSeconds:     sr.CodecTime,
+			IOSeconds:        sr.IOTime,
 		})
 	}
 	return rep
@@ -255,12 +345,25 @@ func (c *Client) report(key string, size int64, attr analyzer.Result, res manage
 
 // Delete removes a stored task and frees its tier capacity.
 func (c *Client) Delete(key string) error {
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
 		return ErrClosed
 	}
-	return c.mgr.Delete(key)
+	err := c.mgr.Delete(key)
+	if c.tel != nil {
+		if err != nil {
+			c.cm.opErrs["delete"].Inc()
+		} else {
+			c.cm.ops["delete"].Inc()
+			c.cm.opSeconds["delete"].Observe(time.Since(wall).Seconds())
+		}
+	}
+	return err
 }
 
 // SetPriorities changes the cost weighting at runtime (§IV-F2). The swap
@@ -346,6 +449,13 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.metricsSrv != nil {
+		_ = c.metricsSrv.Close()
+		c.metricsSrv, c.metricsLn = nil, nil
+	}
+	if c.tel != nil {
+		expvarUnregister(c.expvarID)
+	}
 	c.pred.Flush()
 	if c.saveSeed {
 		c.sd.ModelCoef = c.pred.SnapshotCoef()

@@ -39,15 +39,27 @@ func main() {
 		seedOut  = flag.String("seed", "", "optional path to write the truth seed as JSON")
 		parallel = flag.Int("parallel", 0, "instead of experiments: drive N goroutines through one client and print aggregate throughput")
 		tasks    = flag.Int("tasks", 64, "with -parallel: write+read+delete cycles per goroutine")
-		taskSize = flag.Int("tasksize", 1<<20, "with -parallel: bytes per task")
+		taskSize = flag.Int("tasksize", 1<<20, "with -parallel/-n: bytes per task")
+		cycles   = flag.Int("n", 0, "total write+read+delete cycles through one client (implies the throughput harness; default -parallel 1)")
+		metrics  = flag.Bool("metrics", false, "with the throughput harness: enable telemetry, print per-op latency quantiles, and dump the Prometheus exposition at exit")
 	)
 	flag.Parse()
 	var err error
 	switch {
 	case *parallel < 0:
 		err = fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
-	case *parallel > 0:
-		err = runParallel(*parallel, *tasks, *taskSize)
+	case *cycles < 0:
+		err = fmt.Errorf("-n must be >= 1, got %d", *cycles)
+	case *parallel > 0 || *cycles > 0:
+		p := *parallel
+		if p == 0 {
+			p = 1
+		}
+		tasksPer := *tasks
+		if *cycles > 0 {
+			tasksPer = (*cycles + p - 1) / p
+		}
+		err = runParallel(p, tasksPer, *taskSize, *metrics)
 	default:
 		err = run(*exp, *scale, *profile, *seedOut)
 	}
@@ -60,9 +72,11 @@ func main() {
 // runParallel stresses the concurrent client pipeline: n goroutines share
 // one Client, each running write+read+delete cycles on its own key space,
 // and the aggregate wall-clock throughput is printed. Run with -parallel 1
-// first for a serial baseline.
-func runParallel(n, tasksPer, taskSize int) error {
-	c, err := hcompress.New(hcompress.Config{})
+// first for a serial baseline. With metrics, the client's telemetry
+// registry is on: per-op wall-latency quantiles are printed after the run
+// and the full Prometheus exposition is dumped to stdout.
+func runParallel(n, tasksPer, taskSize int, metrics bool) error {
+	c, err := hcompress.New(hcompress.Config{EnableTelemetry: metrics})
 	if err != nil {
 		return err
 	}
@@ -105,7 +119,27 @@ func runParallel(n, tasksPer, taskSize int) error {
 	fmt.Printf("parallel=%d tasks/goroutine=%d tasksize=%d\n", n, tasksPer, taskSize)
 	fmt.Printf("wall %.3fs  %.1f cycles/s  %.1f MB/s aggregate (write+read per cycle)\n",
 		wall, float64(ops)/wall, bytes/wall/1e6)
+	if metrics {
+		snap := c.Snapshot()
+		for _, op := range []string{"compress", "decompress", "delete"} {
+			h, ok := snap.Histograms[fmt.Sprintf("hc_client_op_seconds{op=%q}", op)]
+			if !ok || h.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-10s n=%-6d p50=%s p90=%s p99=%s\n",
+				op, h.Count, fmtDur(h.P50), fmtDur(h.P90), fmtDur(h.P99))
+		}
+		fmt.Println("--- prometheus exposition ---")
+		if err := c.WriteMetrics(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// fmtDur renders a latency quantile in seconds with readable units.
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 func run(exp string, scale int, profile bool, seedOut string) error {

@@ -7,6 +7,7 @@
 //
 //	hctool file1.dat file2.h5 ...
 //	hctool -priorities archival -seed seed.json big.csv
+//	hctool -v -trace trace.jsonl big.csv     # decision audit + JSONL trace
 //	echo "some text" | hctool -
 package main
 
@@ -21,9 +22,11 @@ import (
 
 func main() {
 	var (
-		prio     = flag.String("priorities", "equal", "equal|async|archival|raw (read-after-write)")
-		seedPath = flag.String("seed", "", "profiler seed JSON (default: builtin)")
-		verify   = flag.Bool("verify", true, "decompress and verify round-trip")
+		prio      = flag.String("priorities", "equal", "equal|async|archival|raw (read-after-write)")
+		seedPath  = flag.String("seed", "", "profiler seed JSON (default: builtin)")
+		verify    = flag.Bool("verify", true, "decompress and verify round-trip")
+		verbose   = flag.Bool("v", false, "per-file decision audit: predicted vs actual size and time per sub-task")
+		tracePath = flag.String("trace", "", "write the JSONL span/audit trace to this file")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -40,16 +43,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hctool: unknown priorities %q\n", *prio)
 		os.Exit(2)
 	}
-	client, err := hcompress.New(hcompress.Config{Priorities: p, SeedPath: *seedPath})
+	cfg := hcompress.Config{Priorities: p, SeedPath: *seedPath, EnableTelemetry: *verbose}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hctool:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		cfg.TraceWriter = f
+	}
+	client, err := hcompress.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hctool:", err)
 		os.Exit(1)
 	}
 	defer client.Close()
+	if traceFile != nil {
+		defer traceFile.Close()
+	}
 
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := process(client, path, *verify); err != nil {
+		if err := process(client, path, *verify, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "hctool: %s: %v\n", path, err)
 			exit = 1
 		}
@@ -57,7 +74,7 @@ func main() {
 	os.Exit(exit)
 }
 
-func process(client *hcompress.Client, path string, verify bool) error {
+func process(client *hcompress.Client, path string, verify, verbose bool) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -81,6 +98,9 @@ func process(client *hcompress.Client, path string, verify bool) error {
 	for _, st := range rep.SubTasks {
 		fmt.Printf("  %8s via %-8s %d -> %d bytes\n", st.Tier, st.Codec, st.OriginalBytes, st.StoredBytes)
 	}
+	if verbose {
+		printAudits(client, rep)
+	}
 	if verify {
 		back, err := client.Decompress(path)
 		if err != nil {
@@ -92,4 +112,34 @@ func process(client *hcompress.Client, path string, verify bool) error {
 		fmt.Printf("  verified: %d bytes round-trip OK\n", len(back.Data))
 	}
 	return client.Delete(path)
+}
+
+// printAudits renders the HCDP decision-audit records for the file just
+// written: what the engine predicted for each (codec, tier) choice and
+// what actually happened, including spills (planned tier != actual tier).
+func printAudits(client *hcompress.Client, rep *hcompress.Report) {
+	audits := client.Audits()
+	if len(audits) == 0 {
+		return
+	}
+	fmt.Printf("  %-4s %-12s %-8s %14s %14s %9s %9s\n",
+		"sub", "tier", "codec", "pred ratio", "actual ratio", "pred ms", "actual ms")
+	for _, a := range audits {
+		tierName := a.Tier
+		if a.PlannedTier != a.Tier {
+			tierName = a.PlannedTier + ">" + a.Tier // spilled
+		}
+		predRatio, actRatio := 0.0, 0.0
+		if a.PredBytes > 0 {
+			predRatio = float64(a.OrigBytes) / float64(a.PredBytes)
+		}
+		if a.StoredBytes > 0 {
+			actRatio = float64(a.OrigBytes) / float64(a.StoredBytes)
+		}
+		fmt.Printf("  %-4d %-12s %-8s %14.2f %14.2f %9.3f %9.3f\n",
+			a.Sub, tierName, a.Codec, predRatio, actRatio,
+			a.PredSeconds*1e3, (a.CodecSeconds+a.IOSeconds)*1e3)
+	}
+	fmt.Printf("  whole task: predicted %.3fms, modeled %.3fms\n",
+		rep.PredictedSeconds*1e3, rep.VirtualSeconds*1e3)
 }

@@ -2,6 +2,7 @@ package hcompress
 
 import (
 	"fmt"
+	"io"
 
 	"hcompress/internal/seed"
 	"hcompress/internal/tier"
@@ -88,6 +89,36 @@ type Config struct {
 	// DisableCompression turns HCompress into a pure multi-tier buffer
 	// (the paper's MTNC baseline).
 	DisableCompression bool
+	// EnableTelemetry turns on the metrics registry, trace spans, and
+	// decision-audit records (Snapshot, WriteMetrics, Audits). Telemetry
+	// is also enabled implicitly by MetricsAddr or TraceWriter. Off, the
+	// pipeline carries no instruments at all (nil-registry fast path), so
+	// the zero-value Config pays nothing for observability.
+	EnableTelemetry bool
+	// MetricsAddr, when non-empty, starts an HTTP listener (e.g.
+	// "127.0.0.1:9090" or ":0") serving Prometheus text format on
+	// /metrics and expvar JSON on /debug/vars. The listener is closed by
+	// Close; the bound address is reported by Client.MetricsAddr.
+	MetricsAddr string
+	// TraceWriter, when non-nil, receives one JSON line per trace span
+	// and decision-audit record. Spans carry virtual-clock timestamps
+	// only, so a serial workload produces byte-identical output
+	// regardless of Parallelism — diffable in CI.
+	TraceWriter io.Writer
+	// AuditLogSize bounds the in-memory decision-audit ring returned by
+	// Client.Audits (default 1024 when telemetry is on).
+	AuditLogSize int
+
+	// modeled switches the manager to the deterministic ModelOracle and
+	// disables payload retention. Test-only (unexported): the trace
+	// determinism contract is asserted against modeled costs because the
+	// real oracle measures wall clocks.
+	modeled bool
+}
+
+// telemetryEnabled reports whether any telemetry surface is requested.
+func (c Config) telemetryEnabled() bool {
+	return c.EnableTelemetry || c.MetricsAddr != "" || c.TraceWriter != nil
 }
 
 // DefaultTiers returns the default laptop-scale hierarchy.

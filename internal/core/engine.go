@@ -36,6 +36,7 @@ import (
 	"hcompress/internal/predictor"
 	"hcompress/internal/seed"
 	"hcompress/internal/store"
+	"hcompress/internal/telemetry"
 )
 
 // Align is the sub-task alignment from constraint 1: the RAM page size and
@@ -150,6 +151,35 @@ type Engine struct {
 	memoHits    atomic.Int64
 	memoMisses  atomic.Int64
 	plansServed atomic.Int64
+
+	tm engineMetrics // nil instruments when telemetry is off
+}
+
+// engineMetrics are the HCDP engine's instruments; all fields nil when
+// telemetry is off (instrument methods no-op on nil).
+type engineMetrics struct {
+	memoHits    *telemetry.Counter
+	memoMisses  *telemetry.Counter
+	plans       *telemetry.Counter
+	weightBumps *telemetry.Counter
+	planDepth   *telemetry.Histogram
+}
+
+// SetTelemetry registers the engine's instruments on reg: memo
+// hit/miss, plans served, weight-generation bumps, and the plan-depth
+// histogram (sub-tasks per schema). Must be called before the engine is
+// shared between goroutines; a nil registry leaves telemetry off.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	e.tm = engineMetrics{
+		memoHits:    reg.Counter("hc_hcdp_memo_hits_total", "DP memo entries reused"),
+		memoMisses:  reg.Counter("hc_hcdp_memo_misses_total", "DP sub-problems solved from scratch"),
+		plans:       reg.Counter("hc_hcdp_plans_total", "schemas planned"),
+		weightBumps: reg.Counter("hc_hcdp_weight_generation_total", "runtime priority-weight changes"),
+		planDepth:   reg.Histogram("hc_hcdp_plan_subtasks", "sub-tasks per planned schema", telemetry.DepthBuckets),
+	}
 }
 
 type memoKey struct {
@@ -224,6 +254,7 @@ func (e *Engine) SetWeights(w seed.Weights) {
 	defer e.mu.Unlock()
 	e.w = w.Normalize()
 	e.gen.Add(1)
+	e.tm.weightBumps.Inc()
 }
 
 // Weights returns the active (normalized) weights.
@@ -278,6 +309,9 @@ func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, er
 				e.mu.RUnlock()
 				e.memoHits.Add(hits)
 				e.plansServed.Add(1)
+				e.tm.memoHits.Add(hits)
+				e.tm.plans.Inc()
+				e.tm.planDepth.Observe(float64(len(schema.SubTasks)))
 				return schema, nil
 			}
 		}
@@ -295,6 +329,8 @@ func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, er
 	if !ok {
 		return Schema{}, errors.New("hcdp: internal: missing memo entry during reconstruction")
 	}
+	e.tm.plans.Inc()
+	e.tm.planDepth.Observe(float64(len(schema.SubTasks)))
 	return schema, nil
 }
 
@@ -357,10 +393,12 @@ func (e *Engine) match(size int64, l int, attr analyzer.Result, statuses []store
 	if !e.cfg.DisableMemo {
 		if v, ok := e.memo[key]; ok {
 			e.memoHits.Add(1)
+			e.tm.memoHits.Add(1)
 			return v.time, nil
 		}
 	}
 	e.memoMisses.Add(1)
+	e.tm.memoMisses.Add(1)
 
 	best := planVal{time: math.Inf(1)}
 

@@ -33,6 +33,7 @@ import (
 	"hcompress/internal/seed"
 	"hcompress/internal/stats"
 	"hcompress/internal/store"
+	"hcompress/internal/telemetry"
 )
 
 // Oracle abstracts how sub-task compression is performed and costed.
@@ -173,7 +174,10 @@ type Result struct {
 	SubResults []SubResult
 }
 
-// SubResult is the per-sub-task breakdown.
+// SubResult is the per-sub-task breakdown. On writes it carries the
+// HCDP engine's predictions next to the actuals so callers can compute
+// prediction error; PredStored/PredTime are zero on reads (the engine
+// does not re-plan a read).
 type SubResult struct {
 	Tier      int
 	Codec     codec.ID
@@ -181,6 +185,14 @@ type SubResult struct {
 	Stored    int64
 	CodecTime float64
 	IOTime    float64
+	// PredStored is the engine's alignment-rounded compressed-size
+	// estimate for this piece; PredTime its modeled duration (eq. 3/4).
+	PredStored int64
+	PredTime   float64
+	// PlannedTier is the tier the schema selected; differs from Tier
+	// when the placement spilled down because the prediction was
+	// optimistic or the monitor's view was stale. Reads echo Tier.
+	PlannedTier int
 }
 
 // Manager executes schemas against a store. Safe for concurrent use.
@@ -199,6 +211,58 @@ type Manager struct {
 	par    int // worker-pool width for sub-task codec work
 	tasks  map[string]*taskMeta
 	order  []string // write order, oldest first (drain policy)
+
+	tm mgrMetrics // nil instruments when telemetry is off
+}
+
+// mgrMetrics are the Compression Manager's instruments, indexed by codec
+// ID where per-codec. All slices are nil when telemetry is off.
+type mgrMetrics struct {
+	inBytes   []*telemetry.Counter   // original bytes entering each codec (writes)
+	outBytes  []*telemetry.Counter   // stored bytes leaving each codec (writes)
+	readBytes []*telemetry.Counter   // original bytes recovered per codec (reads)
+	ratio     []*telemetry.Histogram // achieved compression ratio per codec
+	queueWait *telemetry.Histogram   // wall seconds a sub-task waited for a pool worker
+	writes    *telemetry.Counter
+	reads     *telemetry.Counter
+	spills    *telemetry.Counter // placements that fell below the planned tier
+	drained   *telemetry.Counter // bytes trickled down by Drain
+}
+
+// SetTelemetry registers the manager's instruments on reg: per-codec
+// bytes in/out and achieved-ratio histograms, worker-pool queue wait,
+// and write/read/spill counters. Must be called before the manager is
+// shared between goroutines (a construction-time option, like
+// SetParallelism); a nil registry leaves telemetry off.
+func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	all := codec.All()
+	maxID := codec.ID(0)
+	for _, c := range all {
+		if c.ID() > maxID {
+			maxID = c.ID()
+		}
+	}
+	m.tm = mgrMetrics{
+		inBytes:   make([]*telemetry.Counter, int(maxID)+1),
+		outBytes:  make([]*telemetry.Counter, int(maxID)+1),
+		readBytes: make([]*telemetry.Counter, int(maxID)+1),
+		ratio:     make([]*telemetry.Histogram, int(maxID)+1),
+		queueWait: reg.Histogram("hc_fanout_queue_wait_seconds", "wall time a sub-task waited for a pool worker", telemetry.SecondsBuckets),
+		writes:    reg.Counter("hc_manager_writes_total", "tasks written"),
+		reads:     reg.Counter("hc_manager_reads_total", "tasks read"),
+		spills:    reg.Counter("hc_manager_spills_total", "sub-tasks placed below their planned tier"),
+		drained:   reg.Counter("hc_manager_drained_bytes_total", "bytes trickled down by Drain"),
+	}
+	for _, c := range all {
+		l := telemetry.L("codec", c.Name())
+		m.tm.inBytes[c.ID()] = reg.Counter("hc_codec_in_bytes_total", "original bytes entering each codec on writes", l)
+		m.tm.outBytes[c.ID()] = reg.Counter("hc_codec_out_bytes_total", "stored bytes (headers included) leaving each codec on writes", l)
+		m.tm.readBytes[c.ID()] = reg.Counter("hc_codec_read_bytes_total", "original bytes recovered per codec on reads", l)
+		m.tm.ratio[c.ID()] = reg.Histogram("hc_codec_ratio", "achieved compression ratio per codec (payload only)", telemetry.RatioBuckets, l)
+	}
 }
 
 // New creates a Compression Manager with a worker pool sized to
@@ -263,6 +327,7 @@ func (m *Manager) Drain(now, window float64) int64 {
 			break
 		}
 	}
+	m.tm.drained.Add(moved)
 	return moved
 }
 
@@ -294,7 +359,14 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 		secs    float64
 	}
 	outs := make([]compOut, n)
+	var fanStart time.Time
+	if m.tm.queueWait != nil {
+		fanStart = time.Now()
+	}
 	err := fanout.ForEach(n, m.par, func(k int) error {
+		if m.tm.queueWait != nil {
+			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+		}
 		st := schema.SubTasks[k]
 		c, err := codec.ByID(st.Codec)
 		if err != nil {
@@ -347,7 +419,18 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 		res.SubResults = append(res.SubResults, SubResult{
 			Tier: tierIdx, Codec: st.Codec, OrigLen: st.Length,
 			Stored: o.stored, CodecTime: o.secs, IOTime: ioSecs,
+			PredStored: st.PredSize, PredTime: st.PredTime, PlannedTier: st.Tier,
 		})
+		if m.tm.inBytes != nil {
+			m.tm.inBytes[st.Codec].Add(st.Length)
+			m.tm.outBytes[st.Codec].Add(o.stored)
+			if st.Codec != codec.None {
+				m.tm.ratio[st.Codec].Observe(ratioOf(st.Length, o.stored-HeaderSize))
+			}
+			if tierIdx != st.Tier {
+				m.tm.spills.Inc()
+			}
+		}
 		hdr := o.hdr
 		hdr.Stored = o.stored - HeaderSize
 		meta.subs = append(meta.subs, subMeta{key: sk, hdr: hdr, tier: tierIdx, attr: attr, stored: o.stored})
@@ -368,6 +451,7 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 	}
 	m.tasks[key] = meta
 	m.mu.Unlock()
+	m.tm.writes.Inc()
 	res.End = t
 	return res, nil
 }
@@ -427,7 +511,14 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 		secs  float64
 	}
 	outs := make([]readOut, n)
+	var fanStart time.Time
+	if m.tm.queueWait != nil {
+		fanStart = time.Now()
+	}
 	err := fanout.ForEach(n, m.par, func(k int) error {
+		if m.tm.queueWait != nil {
+			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+		}
 		hdr := subs[k].hdr
 		payload := blobs[k].Data
 		if real {
@@ -478,7 +569,11 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 		res.SubResults = append(res.SubResults, SubResult{
 			Tier: sm.tier, Codec: o.hdr.Codec, OrigLen: o.hdr.Length,
 			Stored: blobs[k].Size, CodecTime: o.secs, IOTime: ioSecs,
+			PlannedTier: sm.tier,
 		})
+		if m.tm.readBytes != nil {
+			m.tm.readBytes[o.hdr.Codec].Add(o.hdr.Length)
+		}
 		if real {
 			if o.hdr.Offset+o.hdr.Length > int64(len(res.Data)) {
 				return Result{}, fmt.Errorf("manager: sub-task exceeds task bounds")
@@ -491,6 +586,7 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 			})
 		}
 	}
+	m.tm.reads.Inc()
 	res.End = t
 	return res, nil
 }

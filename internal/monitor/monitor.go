@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hcompress/internal/store"
+	"hcompress/internal/telemetry"
 )
 
 // SystemMonitor caches tier status snapshots, refreshing at a configured
@@ -24,6 +25,20 @@ type SystemMonitor struct {
 	lastRefresh float64
 	cached      []store.TierStatus
 	refreshes   int
+
+	tmRefreshes *telemetry.Counter // nil when telemetry is off
+	tmForced    *telemetry.Counter
+}
+
+// SetTelemetry registers the monitor's instruments on reg. Must be
+// called before the monitor is shared between goroutines; a nil registry
+// leaves telemetry off.
+func (m *SystemMonitor) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.tmRefreshes = reg.Counter("hc_monitor_refreshes_total", "tier status samples taken from the store")
+	m.tmForced = reg.Counter("hc_monitor_forced_refreshes_total", "cache invalidations after failed placements")
 }
 
 // New creates a monitor over st that refreshes its cache every interval
@@ -57,6 +72,7 @@ func (m *SystemMonitor) Status(now float64) []store.TierStatus {
 	m.cached = m.st.Status(now)
 	m.lastRefresh = now
 	m.refreshes++
+	m.tmRefreshes.Inc()
 	return m.cached
 }
 
@@ -69,6 +85,7 @@ func (m *SystemMonitor) ForceRefresh() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.lastRefresh = -1
+	m.tmForced.Inc()
 }
 
 // Refreshes reports how many times the underlying store was sampled.

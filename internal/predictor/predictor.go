@@ -10,10 +10,12 @@
 package predictor
 
 import (
+	"math"
 	"sync"
 
 	"hcompress/internal/seed"
 	"hcompress/internal/stats"
+	"hcompress/internal/telemetry"
 )
 
 // Target indexes the three predicted quantities.
@@ -64,6 +66,57 @@ type CCP struct {
 	pending   []observation
 	feedbacks int // total observations absorbed
 	queued    int // total observations received
+
+	// Telemetry (nil when off). relErr histograms are created lazily per
+	// (codec, target) under mu; lookups on the feedback path are batched
+	// by the interval so the map access is off the per-op hot path.
+	reg        *telemetry.Registry
+	relErr     map[modelKey]*telemetry.Histogram
+	tmQueued   *telemetry.Counter
+	tmAbsorbed *telemetry.Counter
+	tmPending  *telemetry.Gauge
+	tmBatch    *telemetry.Histogram
+}
+
+// SetTelemetry registers the CCP's instruments on reg: feedback queue
+// depth and absorption counters, flush batch sizes (the feedback lag in
+// operations), and per-codec prediction relative-error histograms.
+// Must be called before the CCP is shared between goroutines; a nil
+// registry leaves telemetry off.
+func (c *CCP) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.reg = reg
+	c.relErr = make(map[modelKey]*telemetry.Histogram)
+	c.tmQueued = reg.Counter("hc_ccp_feedback_queued_total", "actual-cost observations received")
+	c.tmAbsorbed = reg.Counter("hc_ccp_feedback_absorbed_total", "observations folded into the models")
+	c.tmPending = reg.Gauge("hc_ccp_feedback_pending", "observations waiting for the next batched model update")
+	c.tmBatch = reg.Histogram("hc_ccp_feedback_batch_ops", "operations per feedback flush (the model-update lag)", telemetry.DepthBuckets)
+}
+
+var targetNames = [...]string{"compress", "decompress", "ratio"}
+
+// observeRelErr records |predicted-actual|/actual for one target before
+// the observation is folded in — the one-step-ahead error behind the
+// paper's accuracy (R2) claim, sliced per codec and target. Callers must
+// hold c.mu.
+func (c *CCP) observeRelErr(k modelKey, f []float64, actual float64) {
+	if c.reg == nil || actual <= 0 {
+		return
+	}
+	m, ok := c.models[k]
+	if !ok || m.Seen() == 0 {
+		return // first observation: no prediction existed to grade
+	}
+	h, ok := c.relErr[k]
+	if !ok {
+		h = c.reg.Histogram("hc_ccp_pred_relerr", "one-step-ahead relative prediction error",
+			telemetry.RelErrBuckets,
+			telemetry.L("codec", k.codec), telemetry.L("target", targetNames[k.target]))
+		c.relErr[k] = h
+	}
+	h.Observe(math.Abs(m.Predict(f)-actual) / actual)
 }
 
 // New builds a CCP from a seed: every table entry is folded into the
@@ -111,15 +164,19 @@ func (c *CCP) model(name string, t Target) *stats.RLS {
 func (c *CCP) absorb(o observation) {
 	f := features(o.dt, o.dist)
 	if o.actual.CompressMBps > 0 {
+		c.observeRelErr(modelKey{o.codec, TargetCompress}, f, o.actual.CompressMBps)
 		c.model(o.codec, TargetCompress).Observe(f, o.actual.CompressMBps)
 	}
 	if o.actual.DecompressMBps > 0 {
+		c.observeRelErr(modelKey{o.codec, TargetDecompress}, f, o.actual.DecompressMBps)
 		c.model(o.codec, TargetDecompress).Observe(f, o.actual.DecompressMBps)
 	}
 	if o.actual.Ratio >= 1 {
+		c.observeRelErr(modelKey{o.codec, TargetRatio}, f, o.actual.Ratio)
 		c.model(o.codec, TargetRatio).Observe(f, o.actual.Ratio)
 	}
 	c.feedbacks++
+	c.tmAbsorbed.Inc()
 }
 
 // Predict returns the ECC for a (type, dist, codec) combination. ok is
@@ -155,7 +212,9 @@ func (c *CCP) Feedback(dt stats.DataType, dist stats.Dist, codecName string, act
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.queued++
+	c.tmQueued.Inc()
 	c.pending = append(c.pending, observation{dt, dist, codecName, actual})
+	c.tmPending.Set(float64(len(c.pending)))
 	if len(c.pending) >= c.interval {
 		c.flushLocked()
 	}
@@ -170,10 +229,14 @@ func (c *CCP) Flush() {
 }
 
 func (c *CCP) flushLocked() {
+	if len(c.pending) > 0 {
+		c.tmBatch.Observe(float64(len(c.pending)))
+	}
 	for _, o := range c.pending {
 		c.absorb(o)
 	}
 	c.pending = c.pending[:0]
+	c.tmPending.Set(0)
 }
 
 // R2 reports the running one-step-ahead R^2 averaged across models that

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"hcompress/internal/des"
+	"hcompress/internal/telemetry"
 	"hcompress/internal/tier"
 )
 
@@ -48,6 +49,20 @@ type tierState struct {
 	spec tier.Spec
 	res  *des.Resource
 	used int64
+	tm   tierMetrics // nil instruments when telemetry is off
+}
+
+// tierMetrics are one tier's per-tier instruments. All fields are nil
+// when telemetry is off; instrument methods no-op on nil, so the hot
+// paths stay branch-cheap without any conditional wiring.
+type tierMetrics struct {
+	puts      *telemetry.Counter
+	putBytes  *telemetry.Counter
+	gets      *telemetry.Counter
+	getBytes  *telemetry.Counter
+	deletes   *telemetry.Counter
+	evictions *telemetry.Counter
+	usedGauge *telemetry.Gauge
 }
 
 // Store is a multi-tier object store. All methods are safe for concurrent
@@ -78,6 +93,31 @@ func New(h tier.Hierarchy, keepData bool) (*Store, error) {
 	return s, nil
 }
 
+// SetTelemetry registers per-tier instruments (put/get ops and bytes,
+// deletes, evictions, used/capacity gauges) on reg. It must be called
+// before the store is shared between goroutines — a construction-time
+// option like SetParallelism. A nil registry leaves telemetry off.
+func (s *Store) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, ts := range s.tiers {
+		l := telemetry.L("tier", ts.spec.Name)
+		ts.tm = tierMetrics{
+			puts:      reg.Counter("hc_tier_put_ops_total", "sub-task writes placed per tier", l),
+			putBytes:  reg.Counter("hc_tier_put_bytes_total", "stored bytes written per tier", l),
+			gets:      reg.Counter("hc_tier_get_ops_total", "sub-task reads served per tier", l),
+			getBytes:  reg.Counter("hc_tier_get_bytes_total", "stored bytes read per tier", l),
+			deletes:   reg.Counter("hc_tier_delete_ops_total", "blobs deleted per tier", l),
+			evictions: reg.Counter("hc_tier_evictions_total", "blobs moved off this tier (drain/spill)", l),
+			usedGauge: reg.Gauge("hc_tier_used_bytes", "bytes currently allocated per tier", l),
+		}
+		reg.Gauge("hc_tier_capacity_bytes", "configured capacity per tier", l).
+			Set(float64(ts.spec.Capacity))
+		ts.tm.usedGauge.Set(float64(ts.used))
+	}
+}
+
 // Hierarchy returns the hierarchy this store was built from.
 func (s *Store) Hierarchy() tier.Hierarchy { return s.hier }
 
@@ -89,6 +129,7 @@ func (s *Store) release(t int, size int64) {
 	ts := s.tiers[t]
 	ts.mu.Lock()
 	ts.used -= size
+	ts.tm.usedGauge.Set(float64(ts.used))
 	ts.mu.Unlock()
 }
 
@@ -123,6 +164,7 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 		if hadOld { // roll back: restore the old blob and its allocation
 			s.tiers[old.Tier].mu.Lock()
 			s.tiers[old.Tier].used += old.Size
+			s.tiers[old.Tier].tm.usedGauge.Set(float64(s.tiers[old.Tier].used))
 			s.tiers[old.Tier].mu.Unlock()
 			s.mu.Lock()
 			_, raced := s.blobs[key] // a concurrent same-key Put won; keep its blob
@@ -139,6 +181,9 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 	}
 	ts.used += size
 	end = ts.res.Acquire(now, size)
+	ts.tm.puts.Inc()
+	ts.tm.putBytes.Add(size)
+	ts.tm.usedGauge.Set(float64(ts.used))
 	ts.mu.Unlock()
 
 	b := &Blob{Key: key, Tier: t, Size: size}
@@ -170,6 +215,8 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 	ts := s.tiers[b.Tier]
 	ts.mu.Lock()
 	end = ts.res.Acquire(now, b.Size)
+	ts.tm.gets.Inc()
+	ts.tm.getBytes.Add(b.Size)
 	ts.mu.Unlock()
 	return b, end, nil
 }
@@ -206,6 +253,8 @@ func (s *Store) ReadTime(now float64, key string) (end float64, err error) {
 	ts := s.tiers[t]
 	ts.mu.Lock()
 	end = ts.res.Acquire(now, size)
+	ts.tm.gets.Inc()
+	ts.tm.getBytes.Add(size)
 	ts.mu.Unlock()
 	return end, nil
 }
@@ -234,6 +283,7 @@ func (s *Store) Delete(key string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
+	s.tiers[blob.Tier].tm.deletes.Inc()
 	s.release(blob.Tier, blob.Size)
 	return nil
 }
@@ -272,6 +322,11 @@ func (s *Store) Move(now float64, key string, dst int) (end float64, err error) 
 	end = dstT.res.Acquire(readEnd, blob.Size)
 	src.used -= blob.Size
 	dstT.used += blob.Size
+	src.tm.evictions.Inc()
+	src.tm.usedGauge.Set(float64(src.used))
+	dstT.tm.puts.Inc()
+	dstT.tm.putBytes.Add(blob.Size)
+	dstT.tm.usedGauge.Set(float64(dstT.used))
 	blob.Tier = dst
 	return end, nil
 }
@@ -340,6 +395,7 @@ func (s *Store) Reset() {
 		ts.mu.Lock()
 		ts.used = 0
 		ts.res.Reset()
+		ts.tm.usedGauge.Set(0)
 		ts.mu.Unlock()
 	}
 }

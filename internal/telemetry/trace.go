@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink serializes trace records — spans, decision audits — to a single
+// writer as JSON Lines. Records passed to one Emit call are written
+// contiguously under the sink lock, so one operation's spans and audits
+// never interleave with another's even under concurrent clients.
+//
+// Records must marshal deterministically (structs, no maps) and must
+// carry only virtual-clock quantities when export determinism matters:
+// the CI contract is that the same serial workload produces byte-
+// identical JSONL regardless of the worker-pool width.
+//
+// A nil *Sink drops everything, so callers emit unconditionally.
+type Sink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSink wraps w; a nil writer yields a nil (drop-everything) sink.
+func NewSink(w io.Writer) *Sink {
+	if w == nil {
+		return nil
+	}
+	return &Sink{w: w}
+}
+
+// Emit writes each record as one JSON line. Marshal or write failures
+// drop the record — tracing is best-effort and must never fail an
+// operation that already succeeded.
+func (s *Sink) Emit(records ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range records {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		b = append(b, '\n')
+		if _, err := s.w.Write(b); err != nil {
+			return
+		}
+	}
+}

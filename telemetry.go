@@ -1,0 +1,319 @@
+package hcompress
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/codec"
+	"hcompress/internal/core"
+	"hcompress/internal/manager"
+	"hcompress/internal/telemetry"
+)
+
+// This file is the client-side face of the telemetry subsystem
+// (internal/telemetry): the public snapshot types, the per-operation
+// trace spans and HCDP decision-audit records, and the Prometheus/expvar
+// HTTP exposition. Everything here is inert unless the Config enabled
+// telemetry — the registry, sink, and instrument handles are nil and
+// every call site takes the nil fast path.
+
+// TraceSpan is one stage of one operation in the JSONL trace export.
+// Timestamps are virtual-clock seconds (the modeled timeline), never
+// wall clocks, so a serial workload exports byte-identical traces
+// regardless of the Parallelism setting.
+type TraceSpan struct {
+	Record string  `json:"record"` // always "span"
+	Op     string  `json:"op"`     // "compress" | "decompress"
+	Key    string  `json:"key"`
+	Stage  string  `json:"stage"` // "analyze" | "plan" | "execute"
+	VStart float64 `json:"vstart"`
+	VEnd   float64 `json:"vend"`
+	// Analyze attributes.
+	DataType     string `json:"type,omitempty"`
+	Distribution string `json:"dist,omitempty"`
+	Bytes        int64  `json:"bytes,omitempty"`
+	// Plan attributes.
+	SubTasks    int     `json:"subtasks,omitempty"`
+	PredSeconds float64 `json:"predSecs,omitempty"`
+	// Execute attributes (virtual-time anatomy).
+	CodecSeconds float64 `json:"codecSecs,omitempty"`
+	IOSeconds    float64 `json:"ioSecs,omitempty"`
+	StoredBytes  int64   `json:"storedBytes,omitempty"`
+}
+
+// AuditRecord captures one HCDP decision and its outcome: the (codec,
+// tier) pair the engine chose for a sub-task, the predicted compressed
+// size and modeled duration behind that choice, and — after execution —
+// the observed actuals with relative errors. This is the per-decision
+// data behind the paper's prediction-accuracy (R²) claim.
+type AuditRecord struct {
+	Record string `json:"record"` // always "audit"
+	Key    string `json:"key"`
+	Sub    int    `json:"sub"` // sub-task index within the schema
+	// The decision.
+	PlannedTier string `json:"plannedTier"`
+	Tier        string `json:"tier"` // actual tier (differs on spill)
+	Codec       string `json:"codec"`
+	// Predicted vs actual.
+	OrigBytes    int64   `json:"origBytes"`
+	PredBytes    int64   `json:"predBytes"`
+	StoredBytes  int64   `json:"storedBytes"`
+	PredSeconds  float64 `json:"predSecs"`
+	CodecSeconds float64 `json:"codecSecs"`
+	IOSeconds    float64 `json:"ioSecs"`
+	// SizeErr is (stored-predicted)/predicted; TimeErr is
+	// (actual-predicted)/predicted over the sub-task's total modeled
+	// duration. Zero predictions yield zero errors.
+	SizeErr float64 `json:"sizeErr"`
+	TimeErr float64 `json:"timeErr"`
+}
+
+// HistogramStat summarizes one histogram series in a MetricsSnapshot.
+type HistogramStat struct {
+	Count int64
+	Sum   float64
+	P50   float64
+	P90   float64
+	P99   float64
+}
+
+// MetricsSnapshot is the typed dump of every metric series, keyed by the
+// canonical Prometheus series name (`name{label="value"}`). It is the
+// test-friendly face of the registry; the same data is served in
+// Prometheus text format on MetricsAddr and by Client.WriteMetrics.
+type MetricsSnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramStat
+}
+
+// Snapshot captures the current value of every metric. With telemetry
+// off it returns empty (non-nil) maps.
+func (c *Client) Snapshot() MetricsSnapshot {
+	s := c.tel.Snapshot()
+	out := MetricsSnapshot{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramStat, len(s.Histograms)),
+	}
+	for k, h := range s.Histograms {
+		out.Histograms[k] = HistogramStat{Count: h.Count, Sum: h.Sum, P50: h.P50, P90: h.P90, P99: h.P99}
+	}
+	return out
+}
+
+// WriteMetrics renders the Prometheus text-format exposition to w — the
+// same bytes MetricsAddr serves on /metrics. A no-op with telemetry off.
+func (c *Client) WriteMetrics(w io.Writer) error {
+	return c.tel.WritePrometheus(w)
+}
+
+// Audits drains the in-memory decision-audit ring: every HCDP choice
+// recorded since the previous call, oldest first. Empty with telemetry
+// off. The ring holds Config.AuditLogSize records (default 1024);
+// overflow drops the oldest.
+func (c *Client) Audits() []AuditRecord {
+	c.audit.mu.Lock()
+	defer c.audit.mu.Unlock()
+	out := c.audit.ring
+	c.audit.ring = nil
+	return out
+}
+
+// MetricsAddr reports the bound address of the metrics listener (useful
+// with Config.MetricsAddr ":0"), or "" when none is serving.
+func (c *Client) MetricsAddr() string {
+	if c.metricsLn == nil {
+		return ""
+	}
+	return c.metricsLn.Addr().String()
+}
+
+// auditLog is the bounded decision-audit ring.
+type auditLog struct {
+	mu   sync.Mutex
+	ring []AuditRecord
+	cap  int
+}
+
+func (a *auditLog) append(recs []AuditRecord) {
+	if a.cap <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ring = append(a.ring, recs...)
+	if over := len(a.ring) - a.cap; over > 0 {
+		a.ring = append([]AuditRecord(nil), a.ring[over:]...)
+	}
+}
+
+// clientMetrics are the client-level instruments (nil when off).
+type clientMetrics struct {
+	opSeconds  map[string]*telemetry.Histogram // wall latency by op
+	ops        map[string]*telemetry.Counter
+	opErrs     map[string]*telemetry.Counter
+	sizeRelErr *telemetry.Histogram // |stored-predicted|/predicted per sub-task
+	timeRelErr *telemetry.Histogram
+	replans    *telemetry.Counter
+}
+
+func newClientMetrics(reg *telemetry.Registry) clientMetrics {
+	if reg == nil {
+		return clientMetrics{}
+	}
+	cm := clientMetrics{
+		opSeconds:  make(map[string]*telemetry.Histogram, 3),
+		ops:        make(map[string]*telemetry.Counter, 3),
+		opErrs:     make(map[string]*telemetry.Counter, 3),
+		sizeRelErr: reg.Histogram("hc_hcdp_size_relerr", "per-sub-task |stored-predicted|/predicted size error", telemetry.RelErrBuckets),
+		timeRelErr: reg.Histogram("hc_hcdp_time_relerr", "per-sub-task |actual-predicted|/predicted duration error", telemetry.RelErrBuckets),
+		replans:    reg.Counter("hc_client_replans_total", "writes that replanned after a stale-capacity failure"),
+	}
+	for _, op := range []string{"compress", "decompress", "delete"} {
+		l := telemetry.L("op", op)
+		cm.opSeconds[op] = reg.Histogram("hc_client_op_seconds", "wall-clock operation latency", telemetry.SecondsBuckets, l)
+		cm.ops[op] = reg.Counter("hc_client_ops_total", "operations completed", l)
+		cm.opErrs[op] = reg.Counter("hc_client_op_errors_total", "operations failed", l)
+	}
+	return cm
+}
+
+// compressTrace builds the spans and audit records for one executed
+// write and hands them to the ring and the sink as one contiguous batch.
+func (c *Client) compressTrace(key string, attr analyzer.Result, size int64, schema core.Schema, res manager.Result, start float64) {
+	audits := make([]AuditRecord, 0, len(res.SubResults))
+	for k, sr := range res.SubResults {
+		rec := AuditRecord{
+			Record:       "audit",
+			Key:          key,
+			Sub:          k,
+			PlannedTier:  c.hier.Tiers[sr.PlannedTier].Name,
+			Tier:         c.hier.Tiers[sr.Tier].Name,
+			Codec:        codecName(sr.Codec),
+			OrigBytes:    sr.OrigLen,
+			PredBytes:    sr.PredStored,
+			StoredBytes:  sr.Stored,
+			PredSeconds:  sr.PredTime,
+			CodecSeconds: sr.CodecTime,
+			IOSeconds:    sr.IOTime,
+		}
+		if sr.PredStored > 0 {
+			rec.SizeErr = float64(sr.Stored-sr.PredStored) / float64(sr.PredStored)
+			c.cm.sizeRelErr.Observe(abs(rec.SizeErr))
+		}
+		if sr.PredTime > 0 {
+			rec.TimeErr = (sr.CodecTime + sr.IOTime - sr.PredTime) / sr.PredTime
+			c.cm.timeRelErr.Observe(abs(rec.TimeErr))
+		}
+		audits = append(audits, rec)
+	}
+	c.audit.append(audits)
+	if c.sink == nil {
+		return
+	}
+	records := make([]any, 0, 3+len(audits))
+	records = append(records,
+		TraceSpan{Record: "span", Op: "compress", Key: key, Stage: "analyze",
+			VStart: start, VEnd: start,
+			DataType: attr.Type.String(), Distribution: attr.Dist.String(), Bytes: size},
+		TraceSpan{Record: "span", Op: "compress", Key: key, Stage: "plan",
+			VStart: start, VEnd: start,
+			SubTasks: len(schema.SubTasks), PredSeconds: schema.PredTime},
+		TraceSpan{Record: "span", Op: "compress", Key: key, Stage: "execute",
+			VStart: start, VEnd: res.End,
+			CodecSeconds: res.CodecTime, IOSeconds: res.IOTime, StoredBytes: res.Stored},
+	)
+	for i := range audits {
+		records = append(records, audits[i])
+	}
+	c.sink.Emit(records...)
+}
+
+// decompressTrace emits the read-side execute span (reads have no plan
+// stage and no decision to audit — the write-time schema governs).
+func (c *Client) decompressTrace(key string, res manager.Result, start float64) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Emit(TraceSpan{Record: "span", Op: "decompress", Key: key, Stage: "execute",
+		VStart: start, VEnd: res.End,
+		CodecSeconds: res.CodecTime, IOSeconds: res.IOTime, StoredBytes: res.Stored})
+}
+
+func codecName(id codec.ID) string {
+	if cdc, err := codec.ByID(id); err == nil {
+		return cdc.Name()
+	}
+	return "?"
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// startMetricsServer binds addr and serves /metrics (Prometheus text
+// format) and /debug/vars (expvar) until Close.
+func (c *Client) startMetricsServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("hcompress: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.tel.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	c.metricsLn, c.metricsSrv = ln, srv
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// expvar integration: one process-wide "hcompress" var aggregates the
+// snapshot of every live telemetry-enabled client, keyed client0,
+// client1, ... in creation order. Publish happens once (expvar panics on
+// duplicate names); Close unregisters the client from the aggregate.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarRegs = make(map[uint64]*telemetry.Registry)
+	expvarSeq  uint64
+)
+
+func expvarRegister(reg *telemetry.Registry) uint64 {
+	expvarOnce.Do(func() {
+		if expvar.Get("hcompress") != nil {
+			return
+		}
+		expvar.Publish("hcompress", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			out := make(map[string]telemetry.Snapshot, len(expvarRegs))
+			for id, r := range expvarRegs {
+				out[fmt.Sprintf("client%d", id)] = r.Snapshot()
+			}
+			return out
+		}))
+	})
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	expvarSeq++
+	expvarRegs[expvarSeq] = reg
+	return expvarSeq
+}
+
+func expvarUnregister(id uint64) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	delete(expvarRegs, id)
+}
