@@ -1,0 +1,94 @@
+package hcompress
+
+import (
+	"fmt"
+	"testing"
+
+	"hcompress/internal/stats"
+)
+
+// Seed allocs/op on the hot paths before the pooled data plane landed
+// (measured with the same workload as TestHotPathAllocs: 1 MiB
+// float/gamma buffers through a zero-value Config client).
+const (
+	seedCompressAllocs   = 71.0
+	seedDecompressAllocs = 39.0
+)
+
+// TestHotPathAllocs gates the allocation-free data plane: the pooled
+// buffer arena, codec scratch reuse, and plan cache together must cut
+// steady-state allocs/op on both hot paths by at least 70% versus the
+// seed baselines above.
+func TestHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is slow under -short")
+	}
+	if raceEnabled {
+		t.Skip("-race randomizes sync.Pool reuse; alloc accounting is meaningless")
+	}
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 3)
+
+	i := 0
+	compAllocs := testing.AllocsPerRun(64, func() {
+		key := fmt.Sprintf("k%d", i)
+		i++
+		if _, err := c.Compress(Task{Key: key, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if _, err := c.Compress(Task{Key: "rb", Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	readAllocs := testing.AllocsPerRun(64, func() {
+		r, err := c.Decompress("rb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	})
+
+	t.Logf("compress+delete: %.1f allocs/op (seed %.1f)", compAllocs, seedCompressAllocs)
+	t.Logf("decompress:      %.1f allocs/op (seed %.1f)", readAllocs, seedDecompressAllocs)
+	if limit := 0.30 * seedCompressAllocs; compAllocs > limit {
+		t.Errorf("compress+delete allocs/op = %.1f, want <= %.1f (70%% below the %.1f seed)",
+			compAllocs, limit, seedCompressAllocs)
+	}
+	if limit := 0.30 * seedDecompressAllocs; readAllocs > limit {
+		t.Errorf("decompress allocs/op = %.1f, want <= %.1f (70%% below the %.1f seed)",
+			readAllocs, limit, seedDecompressAllocs)
+	}
+}
+
+// BenchmarkClientReadBack measures the steady-state read path: one
+// resident task decompressed repeatedly, with the arena buffer returned
+// via Report.Release each iteration.
+func BenchmarkClientReadBack(b *testing.B) {
+	c, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 3)
+	if _, err := c.Compress(Task{Key: "rb", Data: data}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.Decompress("rb")
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Release()
+	}
+}

@@ -256,7 +256,7 @@ func BenchmarkAblationFeedback(b *testing.B) {
 					hdr := manager.Header{Offset: int64(task) * 4096, Length: 1 << 20}
 					cdc := mustCodec(b, "snappy")
 					_, stored, secs, err := oracle.Compress(
-						analyzer.Result{Type: stats.TypeInt, Dist: stats.Gamma}, cdc, nil, 1<<20, hdr)
+						nil, analyzer.Result{Type: stats.TypeInt, Dist: stats.Gamma}, cdc, nil, 1<<20, hdr)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hcompress/internal/analyzer"
+	"hcompress/internal/bufpool"
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
 	"hcompress/internal/manager"
@@ -75,8 +76,23 @@ type Report struct {
 	DataType         string // what the Input Analyzer saw
 	Distribution     string
 	SubTasks         []SubTaskReport
-	// Data carries the reassembled payload on Decompress.
+	// Data carries the reassembled payload on Decompress. The caller
+	// owns it: it is safe to read, mutate, and retain indefinitely.
+	// Callers that are done with it can hand the buffer back to the
+	// library's internal arena with Release — entirely optional; an
+	// unreleased buffer is ordinary garbage-collected memory.
 	Data []byte
+}
+
+// Release returns the report's Data buffer to the internal buffer arena
+// so a later Decompress can reuse it without allocating. It is optional
+// and idempotent; Data must not be used after Release.
+func (r *Report) Release() {
+	if r == nil || r.Data == nil {
+		return
+	}
+	bufpool.Put(r.Data)
+	r.Data = nil
 }
 
 // Client is the HCompress library handle: the public face of the IA, CCP,
@@ -146,6 +162,7 @@ func New(cfg Config) (*Client, error) {
 		reg = telemetry.New()
 	}
 	st.SetTelemetry(reg)
+	bufpool.SetTelemetry(reg)
 	pred := predictor.New(sd)
 	pred.SetTelemetry(reg)
 	mon := monitor.New(st, cfg.MonitorIntervalSec)
@@ -153,6 +170,7 @@ func New(cfg Config) (*Client, error) {
 	eng, err := core.New(pred, mon, core.Config{
 		Weights:            cfg.Priorities.toWeights(),
 		DisableCompression: cfg.DisableCompression,
+		DisablePlanCache:   cfg.DisablePlanCache,
 		Codecs:             cfg.Codecs,
 	})
 	if err != nil {
@@ -414,6 +432,10 @@ type Stats struct {
 	// MemoHits / MemoMisses describe the HCDP engine's DP cache.
 	MemoHits   int64
 	MemoMisses int64
+	// PlanCacheHits / PlanCacheMisses describe the engine's
+	// whole-schema plan cache (zero when disabled or bypassed).
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 	// VirtualSeconds is the client's modeled elapsed time.
 	VirtualSeconds float64
 	// Tasks is the number of live stored tasks.
@@ -427,12 +449,15 @@ func (c *Client) Stats() Stats {
 	defer c.mu.RUnlock()
 	q, a := c.pred.Stats()
 	h, m := c.eng.MemoStats()
+	ph, pm := c.eng.PlanCacheStats()
 	return Stats{
 		ModelAccuracy:    c.pred.R2(),
 		FeedbackQueued:   q,
 		FeedbackAbsorbed: a,
 		MemoHits:         h,
 		MemoMisses:       m,
+		PlanCacheHits:    ph,
+		PlanCacheMisses:  pm,
 		VirtualSeconds:   c.clock.Now(),
 		Tasks:            c.mgr.Tasks(),
 	}

@@ -89,6 +89,12 @@ type Config struct {
 	// DisableCompression turns HCompress into a pure multi-tier buffer
 	// (the paper's MTNC baseline).
 	DisableCompression bool
+	// DisablePlanCache turns off the HCDP engine's whole-schema plan
+	// cache (an ablation/debugging knob). With the cache on — the
+	// default — repeated tasks with the same analyzed type,
+	// distribution, and size are served the identical schema without
+	// touching the DP; results are byte-for-byte the same either way.
+	DisablePlanCache bool
 	// EnableTelemetry turns on the metrics registry, trace spans, and
 	// decision-audit records (Snapshot, WriteMetrics, Audits). Telemetry
 	// is also enabled implicitly by MetricsAddr or TraceWriter. Off, the

@@ -52,7 +52,12 @@ type Hint struct {
 }
 
 const (
-	sampleBytes   = 8192 // bytes inspected for type detection
+	// maxScanBytes caps the bytes any single detector may touch. The
+	// detectors stride across the WHOLE buffer (so a text tail in a
+	// large file is still seen) but visit at most this many bytes:
+	// analysis cost is O(maxScanBytes), independent of buffer size.
+	maxScanBytes  = 64 << 10
+	textSamples   = 4096 // byte positions inspected by looksTextual
 	distSamples   = 2048 // numeric samples for distribution classification
 	printableFrac = 0.92
 )
@@ -106,8 +111,20 @@ notJSON:
 	return FormatRaw
 }
 
+// wordStride returns the 4-byte-aligned step that visits at most
+// maxScanBytes/4 32-bit words of an n-byte buffer.
+func wordStride(n int) int {
+	const maxWords = maxScanBytes / 4
+	words := n / 4
+	if words <= maxWords {
+		return 4
+	}
+	return ((words + maxWords - 1) / maxWords) * 4
+}
+
 // detectType classifies element type from a sub-sample: text, then float32,
-// then int32, else opaque binary.
+// then int32, else opaque binary. The sample strides across the whole
+// buffer but touches at most maxScanBytes bytes.
 func detectType(buf []byte) stats.DataType {
 	if len(buf) == 0 {
 		return stats.TypeBinary
@@ -115,14 +132,14 @@ func detectType(buf []byte) stats.DataType {
 	if looksTextual(buf) {
 		return stats.TypeText
 	}
-	n := minInt(len(buf), sampleBytes)
-	sample := buf[:n&^3]
+	sample := buf[:len(buf)&^3]
 	if len(sample) < 4 {
 		return stats.TypeBinary
 	}
+	stride := wordStride(len(sample))
 	floatish, intish := 0, 0
 	total := 0
-	for i := 0; i+4 <= len(sample); i += 4 {
+	for i := 0; i+4 <= len(sample); i += stride {
 		v := binary.LittleEndian.Uint32(sample[i:])
 		total++
 		f := math.Float32frombits(v)
@@ -160,13 +177,15 @@ func detectType(buf []byte) stats.DataType {
 	}
 }
 
+// looksTextual samples byte positions across the whole buffer (at most
+// textSamples of them) and checks the printable fraction.
 func looksTextual(buf []byte) bool {
-	n := minInt(len(buf), sampleBytes)
+	n := len(buf)
 	if n == 0 {
 		return false
 	}
 	printable := 0
-	stride := maxInt(1, n/1024)
+	stride := maxInt(1, (n+textSamples-1)/textSamples)
 	seen := 0
 	for i := 0; i < n; i += stride {
 		b := buf[i]
@@ -178,18 +197,35 @@ func looksTextual(buf []byte) bool {
 	return float64(printable) >= printableFrac*float64(seen)
 }
 
+// looksCSV inspects up to maxScanBytes of contiguous text — the head
+// plus, for large buffers, a window from the middle — because the
+// comma/newline ratio test needs unbroken runs of lines to be
+// meaningful, unlike the strided byte sampling above.
 func looksCSV(buf []byte) bool {
-	n := minInt(len(buf), sampleBytes)
-	commas, newlines := 0, 0
-	for i := 0; i < n; i++ {
-		switch buf[i] {
+	const half = maxScanBytes / 2
+	head := buf[:minInt(len(buf), half)]
+	var mid []byte
+	if len(buf) > 2*half {
+		start := len(buf)/2 - half/2
+		mid = buf[start : start+half]
+	}
+	commas, newlines := countCSV(head)
+	c2, n2 := countCSV(mid)
+	commas += c2
+	newlines += n2
+	return newlines >= 2 && commas >= 2*newlines
+}
+
+func countCSV(buf []byte) (commas, newlines int) {
+	for _, b := range buf {
+		switch b {
 		case ',':
 			commas++
 		case '\n':
 			newlines++
 		}
 	}
-	return newlines >= 2 && commas >= 2*newlines
+	return
 }
 
 func minInt(a, b int) int {

@@ -3,6 +3,7 @@ package analyzer
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"hcompress/internal/stats"
 )
@@ -143,5 +144,87 @@ func BenchmarkAnalyze1MB(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Analyze(buf)
+	}
+}
+
+// touchedByDetectType computes, from the stride math alone, how many bytes
+// the detectType word loop reads for an n-byte buffer.
+func touchedByDetectType(n int) int {
+	sample := n &^ 3
+	if sample < 4 {
+		return sample
+	}
+	stride := wordStride(sample)
+	return 4 * ((sample-4)/stride + 1)
+}
+
+// touchedByLooksTextual computes how many byte positions looksTextual visits.
+func touchedByLooksTextual(n int) int {
+	if n == 0 {
+		return 0
+	}
+	stride := maxInt(1, (n+textSamples-1)/textSamples)
+	return (n-1)/stride + 1
+}
+
+// touchedByLooksCSV computes how many bytes looksCSV scans.
+func touchedByLooksCSV(n int) int {
+	const half = maxScanBytes / 2
+	t := minInt(n, half)
+	if n > 2*half {
+		t += half
+	}
+	return t
+}
+
+// TestScanBudget proves, by stride accounting, that every detector touches
+// O(maxScanBytes) bytes regardless of buffer size — up to 1 GiB here
+// without allocating anything.
+func TestScanBudget(t *testing.T) {
+	sizes := []int{0, 1, 3, 4, 100, 4096, 64 << 10, 64<<10 + 1,
+		1 << 20, 16 << 20, 100 << 20, 1 << 30}
+	for _, n := range sizes {
+		if got := touchedByDetectType(n); got > maxScanBytes+4 {
+			t.Errorf("detectType touches %d bytes of a %d-byte buffer", got, n)
+		}
+		if got := touchedByLooksTextual(n); got > textSamples {
+			t.Errorf("looksTextual visits %d positions of a %d-byte buffer", got, n)
+		}
+		if got := touchedByLooksCSV(n); got > maxScanBytes {
+			t.Errorf("looksCSV scans %d bytes of a %d-byte buffer", got, n)
+		}
+	}
+	// The budget must also actually be *used* on large buffers: striding
+	// across the whole buffer, not a fixed prefix.
+	if s := wordStride(1 << 30); s <= 4 {
+		t.Errorf("wordStride(1GiB) = %d: large buffers are not strided", s)
+	}
+}
+
+// TestLargeBufferAnalysisBounded checks end to end that analyzing a 16 MiB
+// buffer costs about the same as analyzing 1 MiB — i.e. the detectors are
+// O(sample), not O(n). An O(n) scan would be ~16x slower; we allow 8x of
+// timing noise.
+func TestLargeBufferAnalysisBounded(t *testing.T) {
+	small := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 7)
+	large := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 16<<20, 7)
+	if r := Analyze(large); r.Type != stats.TypeFloat {
+		t.Fatalf("16MiB float buffer detected as %v", r.Type)
+	}
+	best := func(buf []byte) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < 7; i++ {
+			start := time.Now()
+			Analyze(buf)
+			if d := time.Since(start); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	Analyze(small) // warm up
+	bs, bl := best(small), best(large)
+	if bl > 8*bs && bl > 2*time.Millisecond {
+		t.Errorf("16MiB analysis took %v vs %v for 1MiB: not O(sample)", bl, bs)
 	}
 }

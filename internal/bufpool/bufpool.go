@@ -1,0 +1,180 @@
+// Package bufpool is the data plane's buffer arena: a size-classed
+// sync.Pool allocator for the byte buffers that flow between codecs, the
+// Compression Manager, and the store, plus the per-worker Scratch that
+// owns every reusable codec work buffer (see scratch.go).
+//
+// The arena serves power-of-two classes from 4 KiB to 1 MiB. Requests
+// above the largest class fall through to a plain make (counted as
+// "outsize") and are dropped on Put, so the pool never retains
+// pathological buffers. Requests below 4 KiB round up to the smallest
+// class — sub-task payloads are 4096-aligned by the HCDP engine, so in
+// practice nothing smaller reaches the arena.
+//
+// The arena is process-global, like sync.Pool itself: buffers released by
+// one client are reusable by another, and idle classes are reclaimed by
+// the garbage collector through the usual sync.Pool victim mechanism.
+// Hit/miss/outsize counters are kept in atomics and optionally mirrored
+// into a telemetry registry via SetTelemetry.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"hcompress/internal/telemetry"
+)
+
+const (
+	// MinClass and MaxClass bound the pooled buffer sizes.
+	MinClass = 4 << 10 // 4 KiB: the HCDP alignment quantum
+	MaxClass = 1 << 20 // 1 MiB: the largest codec block size
+	minBits  = 12
+	numClass = 9 // 4K, 8K, ..., 1M
+)
+
+// classes[i] holds buffers of exactly ClassSize(i) bytes. Pools store the
+// raw base pointer (one word, so Get/Put never allocate an interface box);
+// the slice is reconstructed from the class size on Get.
+var classes [numClass]sync.Pool
+
+var (
+	hits    atomic.Int64
+	misses  atomic.Int64
+	outsize atomic.Int64
+	puts    atomic.Int64
+
+	tmMu sync.Mutex
+	tm   struct {
+		hits    *telemetry.Counter
+		misses  *telemetry.Counter
+		outsize *telemetry.Counter
+		puts    *telemetry.Counter
+	}
+)
+
+// SetTelemetry mirrors the arena's counters into reg. The arena is
+// process-global, so when several clients run in one process the most
+// recently registered registry receives the deltas; nil detaches.
+func SetTelemetry(reg *telemetry.Registry) {
+	tmMu.Lock()
+	defer tmMu.Unlock()
+	if reg == nil {
+		tm.hits, tm.misses, tm.outsize, tm.puts = nil, nil, nil, nil
+		return
+	}
+	tm.hits = reg.Counter("hc_bufpool_hits_total", "arena gets served from a pool class")
+	tm.misses = reg.Counter("hc_bufpool_misses_total", "arena gets that allocated a fresh class buffer")
+	tm.outsize = reg.Counter("hc_bufpool_outsize_total", "arena gets larger than the biggest class (plain make)")
+	tm.puts = reg.Counter("hc_bufpool_puts_total", "buffers returned to the arena")
+}
+
+// Stats reports the arena's lifetime counters.
+func Stats() (hit, miss, out, put int64) {
+	return hits.Load(), misses.Load(), outsize.Load(), puts.Load()
+}
+
+// ClassSize returns the buffer size of class i.
+func ClassSize(i int) int { return 1 << (minBits + i) }
+
+// classFor returns the smallest class holding n bytes, or -1 when n
+// exceeds MaxClass.
+func classFor(n int) int {
+	if n > MaxClass {
+		return -1
+	}
+	if n <= MinClass {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minBits
+}
+
+// Get returns a buffer with len n. The buffer comes from the arena when
+// n fits a size class (its capacity is the class size) and from a plain
+// make otherwise. Contents are unspecified — callers must overwrite.
+func Get(n int) []byte {
+	if n < 0 {
+		panic("bufpool: negative size")
+	}
+	ci := classFor(n)
+	if ci < 0 {
+		outsize.Add(1)
+		tm.outsize.Inc()
+		return make([]byte, n)
+	}
+	if p, _ := classes[ci].Get().(unsafe.Pointer); p != nil {
+		hits.Add(1)
+		tm.hits.Inc()
+		if debugging() {
+			debugGot(p)
+		}
+		return unsafe.Slice((*byte)(p), ClassSize(ci))[:n]
+	}
+	misses.Add(1)
+	tm.misses.Inc()
+	return make([]byte, n, ClassSize(ci))
+}
+
+// Put returns buf to the arena. Only buffers whose capacity is exactly a
+// class size are pooled (anything the arena handed out qualifies); other
+// buffers — including oversize ones — are left to the garbage collector.
+// buf must not be used after Put.
+func Put(buf []byte) {
+	c := cap(buf)
+	if c < MinClass || c > MaxClass || c&(c-1) != 0 {
+		return
+	}
+	ci := classFor(c)
+	puts.Add(1)
+	tm.puts.Inc()
+	p := unsafe.Pointer(&buf[:c][0])
+	if debugging() {
+		debugPut(p)
+	}
+	classes[ci].Put(p)
+}
+
+// --- double-put guard (tests only) ---
+
+var (
+	debugOn  atomic.Bool
+	debugMu  sync.Mutex
+	debugSet map[unsafe.Pointer]struct{}
+)
+
+func debugging() bool { return debugOn.Load() }
+
+// SetDebug toggles the double-put guard: with it on, returning the same
+// buffer twice without an intervening Get panics. Intended for tests; the
+// guard costs a map operation per arena call.
+func SetDebug(on bool) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	if on {
+		debugSet = make(map[unsafe.Pointer]struct{})
+	} else {
+		debugSet = nil
+	}
+	debugOn.Store(on)
+}
+
+func debugPut(p unsafe.Pointer) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	if debugSet == nil {
+		return
+	}
+	if _, dup := debugSet[p]; dup {
+		panic("bufpool: double Put of the same buffer")
+	}
+	debugSet[p] = struct{}{}
+}
+
+func debugGot(p unsafe.Pointer) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	if debugSet != nil {
+		delete(debugSet, p)
+	}
+}

@@ -1,0 +1,167 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassSizes(t *testing.T) {
+	if ClassSize(0) != MinClass {
+		t.Fatalf("class 0 = %d, want %d", ClassSize(0), MinClass)
+	}
+	if ClassSize(numClass-1) != MaxClass {
+		t.Fatalf("last class = %d, want %d", ClassSize(numClass-1), MaxClass)
+	}
+}
+
+func TestClassForRounding(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {MinClass - 1, 0}, {MinClass, 0},
+		{MinClass + 1, 1}, {8 << 10, 1}, {(8 << 10) + 1, 2},
+		{1 << 19, 7}, {(1 << 19) + 1, 8}, {MaxClass, 8},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	if got := classFor(MaxClass + 1); got != -1 {
+		t.Errorf("classFor(MaxClass+1) = %d, want -1", got)
+	}
+}
+
+func TestGetRoundsUpCapacity(t *testing.T) {
+	for _, n := range []int{1, 100, MinClass, MinClass + 1, 1<<16 + 3, MaxClass} {
+		buf := Get(n)
+		if len(buf) != n {
+			t.Fatalf("Get(%d): len %d", n, len(buf))
+		}
+		want := ClassSize(classFor(n))
+		if cap(buf) != want {
+			t.Fatalf("Get(%d): cap %d, want class size %d", n, cap(buf), want)
+		}
+		Put(buf)
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	_, _, outBefore, putBefore := Stats()
+	buf := Get(MaxClass + 1)
+	if len(buf) != MaxClass+1 {
+		t.Fatalf("oversize len %d", len(buf))
+	}
+	_, _, outAfter, _ := Stats()
+	if outAfter != outBefore+1 {
+		t.Fatalf("outsize counter: %d -> %d", outBefore, outAfter)
+	}
+	// Putting an oversize buffer is a no-op (not pooled, not counted).
+	Put(buf)
+	_, _, _, putAfter := Stats()
+	if putAfter != putBefore {
+		t.Fatalf("oversize Put was counted: %d -> %d", putBefore, putAfter)
+	}
+}
+
+func TestPutRejectsOddCapacity(t *testing.T) {
+	_, _, _, putBefore := Stats()
+	Put(make([]byte, 5000))            // cap not a power of two
+	Put(make([]byte, 100))             // below MinClass
+	Put(make([]byte, 2*MaxClass))      // above MaxClass
+	Put(nil)                           // empty
+	Put(make([]byte, 0, MinClass)[:0]) // zero length but exact class cap: pooled
+	_, _, _, putAfter := Stats()
+	if putAfter != putBefore+1 {
+		t.Fatalf("puts %d -> %d, want exactly one accepted", putBefore, putAfter)
+	}
+}
+
+func TestRecycleHit(t *testing.T) {
+	// A Put/Get pair in the same class should be served from the pool.
+	// sync.Pool may drop items under GC pressure, so retry a few times
+	// before declaring the pool broken.
+	const n = 3 << 10
+	for attempt := 0; attempt < 10; attempt++ {
+		buf := Get(n)
+		Put(buf)
+		hitsBefore, _, _, _ := Stats()
+		again := Get(n)
+		hitsAfter, _, _, _ := Stats()
+		Put(again)
+		if hitsAfter > hitsBefore {
+			return
+		}
+	}
+	t.Fatal("no pool hit across 10 Put/Get cycles")
+}
+
+func TestDoublePutGuard(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+	buf := Get(MinClass)
+	Put(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic under SetDebug")
+		}
+	}()
+	Put(buf)
+}
+
+func TestDebugGetClearsGuard(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+	buf := Get(MinClass)
+	Put(buf)
+	// Keep getting until the pool hands the same base pointer back (it may
+	// serve fresh buffers); a re-Put of the re-Got buffer must not panic.
+	for i := 0; i < 64; i++ {
+		b := Get(MinClass)
+		Put(b)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sizes := []int{1 << 12, 1 << 14, 1 << 16, 9000, 1 << 20}
+			for i := 0; i < 500; i++ {
+				n := sizes[(seed+i)%len(sizes)]
+				buf := Get(n)
+				if len(buf) != n {
+					t.Errorf("len %d != %d", len(buf), n)
+					return
+				}
+				buf[0] = byte(i)
+				buf[n-1] = byte(i)
+				Put(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestScratchGrowRetainsCapacity(t *testing.T) {
+	var s Scratch
+	b := GrowBytes(&s.Comp, 100)
+	if len(b) != 100 {
+		t.Fatalf("len %d", len(b))
+	}
+	big := GrowBytes(&s.Comp, 5000)
+	big[4999] = 1
+	small := GrowBytes(&s.Comp, 10)
+	if cap(small) < 5000 {
+		t.Fatalf("capacity shrank: %d", cap(small))
+	}
+	i := GrowI32(&s.SA, 33)
+	i[32] = 7
+	u := GrowU16(&s.Probs, 17)
+	u[16] = 9
+	if len(GrowI32(&s.SA, 2)) != 2 || len(GrowU16(&s.Probs, 3)) != 3 {
+		t.Fatal("grow length contract violated")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hcompress/internal/bits"
+	"hcompress/internal/bufpool"
 )
 
 // brotliCodec is the pool's medium-speed / medium-ratio codec: LZSS over a
@@ -56,28 +57,39 @@ func slotBase(slot, base int) int {
 	return base
 }
 
-func (brotliCodec) Compress(dst, src []byte) ([]byte, error) {
+func (c brotliCodec) Compress(dst, src []byte) ([]byte, error) {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	return c.CompressScratch(s, dst, src)
+}
+
+func (c brotliCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	// Decompression uses only stack tables, but route through the scratch
+	// path for symmetry with the interface contract.
+	return c.DecompressScratch(nil, dst, src, srcLen)
+}
+
+func (brotliCodec) CompressScratch(s *bufpool.Scratch, dst, src []byte) ([]byte, error) {
 	for len(src) > 0 {
 		n := len(src)
 		if n > brBlockSize {
 			n = brBlockSize
 		}
-		dst = brCompressBlock(dst, src[:n])
+		dst = brCompressBlock(s, dst, src[:n])
 		src = src[n:]
 	}
 	return dst, nil
 }
 
-// brToken encodes a literal (value < 256) or a match:
-// bit 63 set, length in bits 32..46, distance in bits 0..31.
-type brToken uint64
-
-func brMatchToken(length, dist int) brToken {
-	return brToken(1<<63 | uint64(length)<<32 | uint64(dist))
+// Tokens encode a literal (value < 256) or a match:
+// bit 63 set, length in bits 32..46, distance in bits 0..31. They live in
+// the Scratch's uint64 token buffer.
+func brMatchToken(length, dist int) uint64 {
+	return 1<<63 | uint64(length)<<32 | uint64(dist)
 }
 
-func brCompressBlock(dst, src []byte) []byte {
-	tokens := brParse(src)
+func brCompressBlock(s *bufpool.Scratch, dst, src []byte) []byte {
+	tokens := brParse(s, src)
 
 	var litFreq [brAlphabet]int
 	var dstFreq [brNumDstSlot]int
@@ -93,10 +105,14 @@ func brCompressBlock(dst, src []byte) []byte {
 		litFreq[256+ls]++
 		dstFreq[ds]++
 	}
-	litLens := buildCodeLengths(litFreq[:], brMaxCodeLen)
-	dstLens := buildCodeLengths(dstFreq[:], brMaxCodeLen)
-	litCodes := canonicalCodes(litLens)
-	dstCodes := canonicalCodes(dstLens)
+	var litLens [brAlphabet]uint8
+	var dstLens [brNumDstSlot]uint8
+	buildCodeLengths(litLens[:], litFreq[:], brMaxCodeLen)
+	buildCodeLengths(dstLens[:], dstFreq[:], brMaxCodeLen)
+	var litCodes [brAlphabet]uint32
+	var dstCodes [brNumDstSlot]uint32
+	canonicalCodes(litCodes[:], litLens[:])
+	canonicalCodes(dstCodes[:], dstLens[:])
 
 	hdr := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
@@ -109,7 +125,8 @@ func brCompressBlock(dst, src []byte) []byte {
 	for i := 0; i < brNumDstSlot; i += 2 {
 		dst = append(dst, dstLens[i]|dstLens[i+1]<<4)
 	}
-	w := bits.NewWriter(dst)
+	var w bits.Writer
+	w.Reset(dst)
 	for _, t := range tokens {
 		if t < 256 {
 			w.WriteBits(uint64(litCodes[t]), uint(litLens[t]))
@@ -135,67 +152,72 @@ func brCompressBlock(dst, src []byte) []byte {
 	return dst
 }
 
-// brParse tokenizes src with hash chains and one-step lazy matching.
-func brParse(src []byte) []brToken {
-	tokens := make([]brToken, 0, len(src)/3+8)
+func brHashU32(v uint32) uint32 { return (v * 2654435761) >> (32 - brHashLog) }
+
+func brInsert(src []byte, head, prev []int32, i int) {
+	h := brHashU32(binary.LittleEndian.Uint32(src[i:]))
+	prev[i] = head[h]
+	head[h] = int32(i)
+}
+
+func brFind(src []byte, head, prev []int32, i int) (length, dist int) {
+	v := binary.LittleEndian.Uint32(src[i:])
+	cand := head[brHashU32(v)]
+	maxMatch := len(src) - 4 - i
+	if maxMatch > 8190 {
+		maxMatch = 8190
+	}
+	for depth := 0; depth < brChainDepth && cand >= 0 && i-int(cand) <= brWindow; depth++ {
+		c := int(cand)
+		cand = prev[c]
+		if binary.LittleEndian.Uint32(src[c:]) != v {
+			continue
+		}
+		mlen := 4
+		for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
+			mlen++
+		}
+		if mlen > length {
+			length, dist = mlen, i-c
+		}
+	}
+	return length, dist
+}
+
+// brParse tokenizes src with hash chains and one-step lazy matching into
+// the Scratch token buffer.
+func brParse(s *bufpool.Scratch, src []byte) []uint64 {
+	tokens := s.Tokens[:0]
 	if len(src) < 12 {
 		for _, b := range src {
-			tokens = append(tokens, brToken(b))
+			tokens = append(tokens, uint64(b))
 		}
+		s.Tokens = tokens
 		return tokens
 	}
-	head := make([]int32, 1<<brHashLog)
+	head := bufpool.GrowI32(&s.Head, 1<<brHashLog)
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
-	hash := func(v uint32) uint32 { return (v * 2654435761) >> (32 - brHashLog) }
-	insert := func(i int) {
-		h := hash(binary.LittleEndian.Uint32(src[i:]))
-		prev[i] = head[h]
-		head[h] = int32(i)
-	}
-	find := func(i int) (length, dist int) {
-		v := binary.LittleEndian.Uint32(src[i:])
-		cand := head[hash(v)]
-		maxMatch := len(src) - 4 - i
-		if maxMatch > 8190 {
-			maxMatch = 8190
-		}
-		for depth := 0; depth < brChainDepth && cand >= 0 && i-int(cand) <= brWindow; depth++ {
-			c := int(cand)
-			cand = prev[c]
-			if binary.LittleEndian.Uint32(src[c:]) != v {
-				continue
-			}
-			mlen := 4
-			for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
-				mlen++
-			}
-			if mlen > length {
-				length, dist = mlen, i-c
-			}
-		}
-		return length, dist
-	}
+	prev := bufpool.GrowI32(&s.Prev, len(src))
 
 	i := 0
 	limit := len(src) - 8
 	for i < limit {
-		length, dist := find(i)
-		insert(i)
+		length, dist := brFind(src, head, prev, i)
+		brInsert(src, head, prev, i)
 		if length < brMinMatch {
-			tokens = append(tokens, brToken(src[i]))
+			tokens = append(tokens, uint64(src[i]))
 			i++
 			continue
 		}
 		// Lazy: a longer match one byte later wins.
 		if i+1 < limit {
-			l2, d2 := find(i + 1)
+			l2, d2 := brFind(src, head, prev, i+1)
 			if l2 > length+1 {
-				tokens = append(tokens, brToken(src[i]))
+				tokens = append(tokens, uint64(src[i]))
 				i++
-				insert(i)
+				brInsert(src, head, prev, i)
 				length, dist = l2, d2
 			}
 		}
@@ -205,17 +227,18 @@ func brParse(src []byte) []brToken {
 			end = limit
 		}
 		for j := i + 1; j < end; j += 3 {
-			insert(j)
+			brInsert(src, head, prev, j)
 		}
 		i += length
 	}
 	for ; i < len(src); i++ {
-		tokens = append(tokens, brToken(src[i]))
+		tokens = append(tokens, uint64(src[i]))
 	}
+	s.Tokens = tokens
 	return tokens
 }
 
-func (brotliCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+func (brotliCodec) DecompressScratch(s *bufpool.Scratch, dst, src []byte, srcLen int) ([]byte, error) {
 	base := len(dst)
 	for len(src) > 0 {
 		if len(src) < 8 {
@@ -259,15 +282,16 @@ func brDecompressBlock(dst, payload []byte, rawLen, base int) ([]byte, error) {
 		dstLens[2*i] = payload[off+i] & 0x0F
 		dstLens[2*i+1] = payload[off+i] >> 4
 	}
-	litTable, err := buildDecodeTable(litLens[:], brMaxCodeLen)
-	if err != nil {
+	var litTable [1 << brMaxCodeLen]uint32
+	if err := buildDecodeTable(litTable[:], litLens[:], brMaxCodeLen); err != nil {
 		return nil, err
 	}
-	dstTable, err := buildDecodeTable(dstLens[:], brMaxCodeLen)
-	if err != nil {
+	var dstTable [1 << brMaxCodeLen]uint32
+	if err := buildDecodeTable(dstTable[:], dstLens[:], brMaxCodeLen); err != nil {
 		return nil, err
 	}
-	r := bits.NewReader(payload[hdrLen:])
+	var r bits.Reader
+	r.Reset(payload[hdrLen:])
 	produced := 0
 	for produced < rawLen {
 		e := litTable[r.Peek(brMaxCodeLen)]

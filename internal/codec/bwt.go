@@ -4,19 +4,27 @@ package codec
 // Manber-Myers suffix array (prefix doubling with radix sort, O(n log n)),
 // the forward and inverse BWT with an implicit sentinel, move-to-front
 // coding, and zero-run-length coding of the MTF output.
+//
+// Every stage draws its work buffers from the caller's bufpool.Scratch, so
+// a worker that keeps one Scratch across blocks runs the whole pipeline
+// without per-call allocation. Returned slices alias Scratch fields (or
+// the caller's dst) and are only valid until the next call that uses the
+// same field.
 
-// suffixArray returns the suffix array of src: sa[j] is the start of the
-// j-th smallest suffix, with shorter suffixes ordering before longer ones
-// at equal prefixes (implicit smallest sentinel).
-func suffixArray(src []byte) []int32 {
+import "hcompress/internal/bufpool"
+
+// suffixArray returns the suffix array of src in s.SA: sa[j] is the start
+// of the j-th smallest suffix, with shorter suffixes ordering before longer
+// ones at equal prefixes (implicit smallest sentinel).
+func suffixArray(s *bufpool.Scratch, src []byte) []int32 {
 	n := len(src)
-	sa := make([]int32, n)
+	sa := bufpool.GrowI32(&s.SA, n)
 	if n == 0 {
 		return sa
 	}
-	rank := make([]int32, n)
-	tmp := make([]int32, n)
-	cnt := make([]int32, n+257)
+	rank := bufpool.GrowI32(&s.Rank, n)
+	tmp := bufpool.GrowI32(&s.Tmp, n)
+	cnt := bufpool.GrowI32(&s.Cnt, n+257)
 
 	// Initial sort by first byte (counting sort).
 	for i := range cnt[:257] {
@@ -99,34 +107,38 @@ func suffixArray(src []byte) []int32 {
 }
 
 // bwtForward computes the Burrows-Wheeler transform of src with an
-// implicit sentinel. It returns the n-byte transform and ptr, the row
-// index (in the (n+1)-row conceptual matrix) at which the sentinel
+// implicit sentinel into s.BWT. It returns the n-byte transform and ptr,
+// the row index (in the (n+1)-row conceptual matrix) at which the sentinel
 // character was elided.
-func bwtForward(src []byte) (bwt []byte, ptr int) {
+func bwtForward(s *bufpool.Scratch, src []byte) (bwt []byte, ptr int) {
 	n := len(src)
 	if n == 0 {
 		return nil, 0
 	}
-	sa := suffixArray(src)
-	bwt = make([]byte, 0, n)
+	sa := suffixArray(s, src)
+	bwt = bufpool.GrowBytes(&s.BWT, n)
 	// Row 0 is the empty (sentinel) suffix; its L-column char is the last
 	// byte of the text.
-	bwt = append(bwt, src[n-1])
+	bwt[0] = src[n-1]
+	w := 1
 	for j, pos := range sa {
 		if pos == 0 {
 			ptr = j + 1 // +1 for the implicit row 0
 			continue
 		}
-		bwt = append(bwt, src[pos-1])
+		bwt[w] = src[pos-1]
+		w++
 	}
 	return bwt, ptr
 }
 
-// bwtInverse reconstructs the original text from its transform and ptr.
-func bwtInverse(bwt []byte, ptr int) ([]byte, error) {
+// bwtInverse reconstructs the original text from its transform and ptr,
+// appending it to dst. The LF mapping lives in s.LF; bwt may alias any
+// Scratch field other than LF and Dec.
+func bwtInverse(s *bufpool.Scratch, dst, bwt []byte, ptr int) ([]byte, error) {
 	n := len(bwt)
 	if n == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	if ptr <= 0 || ptr > n {
 		return nil, ErrCorrupt
@@ -144,7 +156,7 @@ func bwtInverse(bwt []byte, ptr int) ([]byte, error) {
 		sum += count[v]
 	}
 	// lf[i]: the row whose suffix is (suffix of row i) prepended with L[i].
-	lf := make([]int32, n+1)
+	lf := bufpool.GrowI32(&s.LF, n+1)
 	var occ [256]int
 	for i := 0; i <= n; i++ {
 		if i == ptr {
@@ -159,7 +171,9 @@ func bwtInverse(bwt []byte, ptr int) ([]byte, error) {
 		lf[i] = int32(c[b] + occ[b])
 		occ[b]++
 	}
-	out := make([]byte, n)
+	base := len(dst)
+	dst = extendSlice(dst, n)
+	out := dst[base:]
 	row := 0 // row 0 = empty suffix; L[0] is the last text byte
 	for k := n - 1; k >= 0; k-- {
 		j := row
@@ -172,51 +186,57 @@ func bwtInverse(bwt []byte, ptr int) ([]byte, error) {
 		out[k] = bwt[j]
 		row = int(lf[row])
 	}
-	return out, nil
+	return dst, nil
 }
 
-// mtfEncode applies move-to-front coding in place semantics (allocates the
-// output).
-func mtfEncode(src []byte) []byte {
+// extendSlice lengthens dst by n bytes (unspecified contents), reallocating
+// only when capacity is short.
+func extendSlice(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	grown := make([]byte, len(dst)+n)
+	copy(grown, dst)
+	return grown
+}
+
+// mtfEncode applies move-to-front coding in place.
+func mtfEncode(buf []byte) {
 	var order [256]byte
 	for i := range order {
 		order[i] = byte(i)
 	}
-	out := make([]byte, len(src))
-	for k, b := range src {
+	for k, b := range buf {
 		var idx int
 		for order[idx] != b {
 			idx++
 		}
-		out[k] = byte(idx)
+		buf[k] = byte(idx)
 		copy(order[1:idx+1], order[:idx])
 		order[0] = b
 	}
-	return out
 }
 
-// mtfDecode inverts mtfEncode.
-func mtfDecode(src []byte) []byte {
+// mtfDecode inverts mtfEncode, also in place.
+func mtfDecode(buf []byte) {
 	var order [256]byte
 	for i := range order {
 		order[i] = byte(i)
 	}
-	out := make([]byte, len(src))
-	for k, idx := range src {
+	for k, idx := range buf {
 		b := order[idx]
-		out[k] = b
+		buf[k] = b
 		copy(order[1:int(idx)+1], order[:idx])
 		order[0] = b
 	}
-	return out
 }
 
-// rle0Encode run-length-codes zeros in an MTF stream: a zero byte is
-// followed by a varint-style continuation of (runLength-1); other bytes
-// pass through. MTF output of BWT text is zero-dominated, so this is where
-// most of the bzip2-family ratio comes from.
-func rle0Encode(src []byte) []byte {
-	out := make([]byte, 0, len(src)/2+16)
+// rle0Encode run-length-codes zeros in an MTF stream into s.RLE: a zero
+// byte is followed by a varint-style continuation of (runLength-1); other
+// bytes pass through. MTF output of BWT text is zero-dominated, so this is
+// where most of the bzip2-family ratio comes from.
+func rle0Encode(s *bufpool.Scratch, src []byte) []byte {
+	out := s.RLE[:0]
 	i := 0
 	for i < len(src) {
 		b := src[i]
@@ -238,13 +258,14 @@ func rle0Encode(src []byte) []byte {
 		out = append(out, byte(v))
 		i += run
 	}
+	s.RLE = out
 	return out
 }
 
-// rle0Decode inverts rle0Encode. wantLen bounds the output as a corruption
-// guard.
-func rle0Decode(src []byte, wantLen int) ([]byte, error) {
-	out := make([]byte, 0, wantLen)
+// rle0Decode inverts rle0Encode into s.MTF. wantLen bounds the output as a
+// corruption guard.
+func rle0Decode(s *bufpool.Scratch, src []byte, wantLen int) ([]byte, error) {
+	out := bufpool.GrowBytes(&s.MTF, wantLen)[:0]
 	i := 0
 	for i < len(src) {
 		b := src[i]

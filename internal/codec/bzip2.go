@@ -3,6 +3,8 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
+
+	"hcompress/internal/bufpool"
 )
 
 // bzip2Codec is the from-scratch block-sorting compressor: BWT (suffix
@@ -25,54 +27,68 @@ const (
 	bwtRawMarker = 0xFFFFFFFF
 )
 
-func (bzip2Codec) Compress(dst, src []byte) ([]byte, error) {
-	return bwtPipelineCompress(dst, src, bz2BlockSize, huffEntropy{})
+func (c bzip2Codec) Compress(dst, src []byte) ([]byte, error) {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	return c.CompressScratch(s, dst, src)
 }
 
-func (bzip2Codec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
-	return bwtPipelineDecompress(dst, src, srcLen, bz2BlockSize, huffEntropy{}, "bzip2")
+func (c bzip2Codec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	return c.DecompressScratch(s, dst, src, srcLen)
+}
+
+func (bzip2Codec) CompressScratch(s *bufpool.Scratch, dst, src []byte) ([]byte, error) {
+	return bwtPipelineCompress(s, dst, src, bz2BlockSize, huffEntropy{})
+}
+
+func (bzip2Codec) DecompressScratch(s *bufpool.Scratch, dst, src []byte, srcLen int) ([]byte, error) {
+	return bwtPipelineDecompress(s, dst, src, srcLen, bz2BlockSize, huffEntropy{}, "bzip2")
 }
 
 // entropyStage abstracts the final entropy coder of the BWT pipeline so
 // bzip2 (Huffman) and bsc (adaptive range coder) share the block framing.
+// Stages draw work buffers from s; they must not touch the Scratch fields
+// the pipeline itself uses (BWT, MTF, RLE, LF, and the suffix-array set).
 type entropyStage interface {
-	encode(dst, src []byte) []byte
-	decode(dst, src []byte, rawLen int) ([]byte, error)
+	encode(s *bufpool.Scratch, dst, src []byte) []byte
+	decode(s *bufpool.Scratch, dst, src []byte, rawLen int) ([]byte, error)
 }
 
 type huffEntropy struct{}
 
-func (huffEntropy) encode(dst, src []byte) []byte {
-	out, _ := huffmanCodec{}.Compress(dst, src) // never fails
+func (huffEntropy) encode(s *bufpool.Scratch, dst, src []byte) []byte {
+	out, _ := huffmanCodec{}.Compress(dst, src) // never fails; stack tables only
 	return out
 }
 
-func (huffEntropy) decode(dst, src []byte, rawLen int) ([]byte, error) {
+func (huffEntropy) decode(s *bufpool.Scratch, dst, src []byte, rawLen int) ([]byte, error) {
 	return huffmanCodec{}.Decompress(dst, src, rawLen)
 }
 
-func bwtPipelineCompress(dst, src []byte, blockSize int, ent entropyStage) ([]byte, error) {
+func bwtPipelineCompress(s *bufpool.Scratch, dst, src []byte, blockSize int, ent entropyStage) ([]byte, error) {
 	for len(src) > 0 {
 		n := len(src)
 		if n > blockSize {
 			n = blockSize
 		}
-		dst = bwtCompressBlock(dst, src[:n], ent)
+		dst = bwtCompressBlock(s, dst, src[:n], ent)
 		src = src[n:]
 	}
 	return dst, nil
 }
 
-func bwtCompressBlock(dst, block []byte, ent entropyStage) []byte {
-	bwt, ptr := bwtForward(block)
-	mtf := mtfEncode(bwt)
-	rle := rle0Encode(mtf)
+func bwtCompressBlock(s *bufpool.Scratch, dst, block []byte, ent entropyStage) []byte {
+	bwt, ptr := bwtForward(s, block)
+	mtfEncode(bwt) // in place: s.BWT now holds the MTF stream
+	rle := rle0Encode(s, bwt)
 
 	hdr := len(dst)
-	dst = append(dst, make([]byte, 16)...)
+	dst = extendSlice(dst, 16)
 	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(block)))
 	payloadStart := len(dst)
-	dst = ent.encode(dst, rle)
+	dst = ent.encode(s, dst, rle)
 
 	if len(dst)-payloadStart >= len(block) {
 		dst = append(dst[:payloadStart], block...)
@@ -87,7 +103,7 @@ func bwtCompressBlock(dst, block []byte, ent entropyStage) []byte {
 	return dst
 }
 
-func bwtPipelineDecompress(dst, src []byte, srcLen, blockSize int, ent entropyStage, name string) ([]byte, error) {
+func bwtPipelineDecompress(s *bufpool.Scratch, dst, src []byte, srcLen, blockSize int, ent entropyStage, name string) ([]byte, error) {
 	base := len(dst)
 	for len(src) > 0 {
 		if len(src) < 16 {
@@ -98,7 +114,10 @@ func bwtPipelineDecompress(dst, src []byte, srcLen, blockSize int, ent entropySt
 		rleLen := int(binary.LittleEndian.Uint32(src[8:]))
 		compLen := int(binary.LittleEndian.Uint32(src[12:]))
 		src = src[16:]
-		if compLen > len(src) || rawLen > blockSize {
+		// rleLen is bounded by 2x the block: RLE0 expands a lone zero to two
+		// bytes and never expands anything else. Guarding it keeps corrupt
+		// headers from driving a huge scratch-buffer grow below.
+		if compLen > len(src) || rawLen > blockSize || rleLen > 2*blockSize+8 {
 			return nil, fmt.Errorf("%w: %s block lengths", ErrCorrupt, name)
 		}
 		if ptr == bwtRawMarker {
@@ -109,21 +128,20 @@ func bwtPipelineDecompress(dst, src []byte, srcLen, blockSize int, ent entropySt
 			src = src[compLen:]
 			continue
 		}
-		rle, err := ent.decode(nil, src[:compLen], rleLen)
+		rle, err := ent.decode(s, bufpool.GrowBytes(&s.RLE, rleLen)[:0], src[:compLen], rleLen)
 		if err != nil {
 			return nil, err
 		}
 		src = src[compLen:]
-		mtf, err := rle0Decode(rle, rawLen)
+		mtf, err := rle0Decode(s, rle, rawLen)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s rle0", ErrCorrupt, name)
 		}
-		bwt := mtfDecode(mtf)
-		block, err := bwtInverse(bwt, int(ptr))
+		mtfDecode(mtf) // in place: s.MTF now holds the BWT transform
+		dst, err = bwtInverse(s, dst, mtf, int(ptr))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s inverse bwt", ErrCorrupt, name)
 		}
-		dst = append(dst, block...)
 	}
 	if len(dst)-base != srcLen {
 		return nil, fmt.Errorf("%w: %s produced %d bytes, want %d", ErrCorrupt, name, len(dst)-base, srcLen)

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"hcompress/internal/bufpool"
 )
 
 // ID identifies a codec in sub-task headers. IDs are stable on-disk values;
@@ -61,6 +63,49 @@ type Codec interface {
 	// the original (uncompressed) length recorded in the sub-task header;
 	// implementations use it to size buffers and to validate output.
 	Decompress(dst, src []byte, srcLen int) ([]byte, error)
+}
+
+// ScratchCodec is implemented by codecs whose work buffers (suffix
+// arrays, hash chains, probability tables, token streams) can live in a
+// caller-owned bufpool.Scratch instead of per-call allocations. The
+// Compression Manager keeps one Scratch per fan-out worker and routes
+// every call through CompressWith/DecompressWith; the plain Codec
+// methods remain for external callers and borrow a pooled Scratch.
+//
+// Implementations must be deterministic and leave no state in the
+// Scratch beyond buffer capacity: output is byte-identical whether a
+// Scratch is fresh, reused, or shared across different codecs.
+type ScratchCodec interface {
+	CompressScratch(s *bufpool.Scratch, dst, src []byte) ([]byte, error)
+	DecompressScratch(s *bufpool.Scratch, dst, src []byte, srcLen int) ([]byte, error)
+}
+
+// CompressWith compresses src with c, reusing s's work buffers when the
+// codec supports it. s may be nil (a pooled Scratch is borrowed); dst
+// follows the same append contract as Codec.Compress.
+func CompressWith(s *bufpool.Scratch, c Codec, dst, src []byte) ([]byte, error) {
+	sc, ok := c.(ScratchCodec)
+	if !ok {
+		return c.Compress(dst, src)
+	}
+	if s == nil {
+		s = bufpool.GetScratch()
+		defer bufpool.PutScratch(s)
+	}
+	return sc.CompressScratch(s, dst, src)
+}
+
+// DecompressWith is CompressWith's inverse.
+func DecompressWith(s *bufpool.Scratch, c Codec, dst, src []byte, srcLen int) ([]byte, error) {
+	sc, ok := c.(ScratchCodec)
+	if !ok {
+		return c.Decompress(dst, src, srcLen)
+	}
+	if s == nil {
+		s = bufpool.GetScratch()
+		defer bufpool.PutScratch(s)
+	}
+	return sc.DecompressScratch(s, dst, src, srcLen)
 }
 
 var registry [numIDs]Codec

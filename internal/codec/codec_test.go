@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"hcompress/internal/bufpool"
 )
 
 // corpus returns named inputs spanning the data classes the paper's Input
@@ -325,8 +327,10 @@ func TestSuffixArray(t *testing.T) {
 		"", "a", "banana", "mississippi", "aaaaaaaa", "abababab",
 		"the quick brown fox", "zyxwvu",
 	}
+	scr := bufpool.GetScratch()
+	defer bufpool.PutScratch(scr)
 	for _, s := range cases {
-		sa := suffixArray([]byte(s))
+		sa := suffixArray(scr, []byte(s))
 		if len(sa) != len(s) {
 			t.Fatalf("%q: len %d", s, len(sa))
 		}
@@ -341,13 +345,15 @@ func TestSuffixArray(t *testing.T) {
 
 func TestSuffixArrayRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
+	scr := bufpool.GetScratch()
+	defer bufpool.PutScratch(scr)
 	for trial := 0; trial < 20; trial++ {
 		n := rng.Intn(3000) + 1
 		s := make([]byte, n)
 		for i := range s {
 			s[i] = byte(rng.Intn(4)) // small alphabet stresses ties
 		}
-		sa := suffixArray(s)
+		sa := suffixArray(scr, s)
 		seen := make(map[int32]bool, n)
 		for j := 1; j < len(sa); j++ {
 			if bytes.Compare(s[sa[j-1]:], s[sa[j]:]) >= 0 {
@@ -376,9 +382,11 @@ func TestBWTRoundTrip(t *testing.T) {
 		}
 		cases = append(cases, s)
 	}
+	scr := bufpool.GetScratch()
+	defer bufpool.PutScratch(scr)
 	for i, s := range cases {
-		bwt, ptr := bwtForward(s)
-		back, err := bwtInverse(bwt, ptr)
+		bwt, ptr := bwtForward(scr, s)
+		back, err := bwtInverse(scr, nil, bwt, ptr)
 		if err != nil && len(s) > 0 {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -391,7 +399,9 @@ func TestBWTRoundTrip(t *testing.T) {
 func TestBWTKnownVector(t *testing.T) {
 	// BWT of "banana" with sentinel: rows sorted: $banana, a$, ana$, anana$,
 	// banana$, na$, nana$ -> L = a,n,n,b,$,a,a -> with $ elided: "annbaa", ptr=4.
-	bwt, ptr := bwtForward([]byte("banana"))
+	scr := bufpool.GetScratch()
+	defer bufpool.PutScratch(scr)
+	bwt, ptr := bwtForward(scr, []byte("banana"))
 	if string(bwt) != "annbaa" || ptr != 4 {
 		t.Fatalf("got %q ptr=%d, want %q ptr=4", bwt, ptr, "annbaa")
 	}
@@ -399,7 +409,10 @@ func TestBWTKnownVector(t *testing.T) {
 
 func TestMTFRoundTrip(t *testing.T) {
 	f := func(in []byte) bool {
-		return bytes.Equal(mtfDecode(mtfEncode(in)), in)
+		buf := append([]byte(nil), in...)
+		mtfEncode(buf)
+		mtfDecode(buf)
+		return bytes.Equal(buf, in)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -407,20 +420,24 @@ func TestMTFRoundTrip(t *testing.T) {
 }
 
 func TestMTFKnown(t *testing.T) {
-	out := mtfEncode([]byte{0, 0, 0})
+	out := []byte{0, 0, 0}
+	mtfEncode(out)
 	if !bytes.Equal(out, []byte{0, 0, 0}) {
 		t.Fatalf("mtf of zeros = %v", out)
 	}
-	out = mtfEncode([]byte{1, 1, 2, 2})
+	out = []byte{1, 1, 2, 2}
+	mtfEncode(out)
 	if !bytes.Equal(out, []byte{1, 0, 2, 0}) {
 		t.Fatalf("got %v want [1 0 2 0]", out)
 	}
 }
 
 func TestRLE0RoundTrip(t *testing.T) {
+	scr := bufpool.GetScratch()
+	defer bufpool.PutScratch(scr)
 	f := func(in []byte) bool {
-		enc := rle0Encode(in)
-		dec, err := rle0Decode(enc, len(in))
+		enc := rle0Encode(scr, in)
+		dec, err := rle0Decode(scr, enc, len(in))
 		return err == nil && bytes.Equal(dec, in)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -428,11 +445,11 @@ func TestRLE0RoundTrip(t *testing.T) {
 	}
 	// Long zero run exercises the varint continuation.
 	long := make([]byte, 1<<18)
-	enc := rle0Encode(long)
+	enc := rle0Encode(scr, long)
 	if len(enc) > 8 {
 		t.Fatalf("rle0 of %d zeros took %d bytes", len(long), len(enc))
 	}
-	dec, err := rle0Decode(enc, len(long))
+	dec, err := rle0Decode(scr, enc, len(long))
 	if err != nil || !bytes.Equal(dec, long) {
 		t.Fatal("long zero run round-trip failed")
 	}
@@ -447,8 +464,10 @@ func TestRangeCoderBits(t *testing.T) {
 			bitsIn[i] = 1
 		}
 	}
-	e := newRCEncoder(nil)
-	p := newProbs(1)
+	var e rcEncoder
+	e.init(nil)
+	p := make([]uint16, 1)
+	initProbs(p)
 	for _, b := range bitsIn {
 		e.encodeBit(&p[0], b)
 	}
@@ -457,8 +476,10 @@ func TestRangeCoderBits(t *testing.T) {
 	if len(out)*8 > len(bitsIn)/2 {
 		t.Errorf("range coder: %d bits -> %d bytes (no compression?)", len(bitsIn), len(out))
 	}
-	d := newRCDecoder(out)
-	p2 := newProbs(1)
+	var d rcDecoder
+	d.init(out)
+	p2 := make([]uint16, 1)
+	initProbs(p2)
 	for i, want := range bitsIn {
 		if got := d.decodeBit(&p2[0]); got != want {
 			t.Fatalf("bit %d: got %d want %d", i, got, want)
@@ -474,8 +495,10 @@ func TestRangeCoderDirectAndTree(t *testing.T) {
 		tree bool
 	}
 	var items []item
-	e := newRCEncoder(nil)
-	probs := newProbs(256)
+	var e rcEncoder
+	e.init(nil)
+	probs := make([]uint16, 256)
+	initProbs(probs)
 	for i := 0; i < 5000; i++ {
 		if rng.Intn(2) == 0 {
 			n := uint(rng.Intn(24) + 1)
@@ -489,8 +512,10 @@ func TestRangeCoderDirectAndTree(t *testing.T) {
 		}
 	}
 	out := e.flush()
-	d := newRCDecoder(out)
-	probs2 := newProbs(256)
+	var d rcDecoder
+	d.init(out)
+	probs2 := make([]uint16, 256)
+	initProbs(probs2)
 	for i, it := range items {
 		var got uint32
 		if it.tree {
@@ -512,7 +537,8 @@ func TestBuildCodeLengthsKraft(t *testing.T) {
 		for i := 0; i < nsyms; i++ {
 			freq[rng.Intn(256)] = rng.Intn(100000) + 1
 		}
-		lengths := buildCodeLengths(freq, huffMaxLen)
+		var lengths [256]uint8
+		buildCodeLengths(lengths[:], freq, huffMaxLen)
 		kraft := 0
 		used := 0
 		for s, l := range lengths {
@@ -542,8 +568,10 @@ func TestCanonicalCodesPrefixFree(t *testing.T) {
 	for i := range freq {
 		freq[i] = rng.Intn(1000) + 1
 	}
-	lengths := buildCodeLengths(freq, huffMaxLen)
-	codes := canonicalCodes(lengths)
+	var lengths [256]uint8
+	buildCodeLengths(lengths[:], freq, huffMaxLen)
+	var codes [256]uint32
+	canonicalCodes(codes[:], lengths[:])
 	// No code may be a prefix of another (in the LSB-first sense:
 	// code_a == code_b mod 2^len_a implies a == b).
 	for a := 0; a < 256; a++ {

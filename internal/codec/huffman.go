@@ -3,7 +3,7 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"hcompress/internal/bits"
 )
@@ -19,6 +19,10 @@ import (
 //	if compLen == rawLen the block is stored raw (entropy expansion guard);
 //	otherwise: 128 bytes of nibble-packed code lengths (256 x 4 bits),
 //	then the LSB-first bitstream of codes.
+//
+// All work tables (symbol sort keys, tree nodes, code and decode tables)
+// are fixed-size stack arrays, so compression and decompression allocate
+// nothing beyond dst growth.
 type huffmanCodec struct{}
 
 func (huffmanCodec) Name() string { return "huffman" }
@@ -27,6 +31,9 @@ func (huffmanCodec) ID() ID       { return Huffman }
 const (
 	huffBlockSize = 1 << 17
 	huffMaxLen    = 12
+	// huffMaxAlphabet bounds every alphabet coded through this machinery:
+	// 256 byte values here, 256+brNumLenSlot symbols for brotli.
+	huffMaxAlphabet = 280
 )
 
 func (huffmanCodec) Compress(dst, src []byte) ([]byte, error) {
@@ -46,8 +53,10 @@ func huffCompressBlock(dst, src []byte) []byte {
 	for _, b := range src {
 		freq[b]++
 	}
-	lengths := buildCodeLengths(freq[:], huffMaxLen)
-	codes := canonicalCodes(lengths)
+	var lengths [256]uint8
+	buildCodeLengths(lengths[:], freq[:], huffMaxLen)
+	var codes [256]uint32
+	canonicalCodes(codes[:], lengths[:])
 
 	hdr := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // rawLen, compLen placeholders
@@ -58,7 +67,8 @@ func huffCompressBlock(dst, src []byte) []byte {
 	for i := 0; i < 256; i += 2 {
 		dst = append(dst, lengths[i]|lengths[i+1]<<4)
 	}
-	w := bits.NewWriter(dst)
+	var w bits.Writer
+	w.Reset(dst)
 	for _, b := range src {
 		w.WriteBits(uint64(codes[b]), uint(lengths[b]))
 	}
@@ -111,11 +121,12 @@ func huffDecompressBlock(dst, payload []byte, rawLen int) ([]byte, error) {
 		lengths[2*i] = payload[i] & 0x0F
 		lengths[2*i+1] = payload[i] >> 4
 	}
-	table, err := buildDecodeTable(lengths[:], huffMaxLen)
-	if err != nil {
+	var table [1 << huffMaxLen]uint32
+	if err := buildDecodeTable(table[:], lengths[:], huffMaxLen); err != nil {
 		return nil, err
 	}
-	r := bits.NewReader(payload[128:])
+	var r bits.Reader
+	r.Reset(payload[128:])
 	for i := 0; i < rawLen; i++ {
 		e := table[r.Peek(huffMaxLen)]
 		l := uint(e & 0x0F)
@@ -129,66 +140,77 @@ func huffDecompressBlock(dst, payload []byte, rawLen int) ([]byte, error) {
 }
 
 // buildCodeLengths computes length-limited Huffman code lengths for the
-// given symbol frequencies. Lengths never exceed maxLen; symbols with zero
+// given symbol frequencies into lengths (len(lengths) == len(freq), at most
+// huffMaxAlphabet). Lengths never exceed maxLen; symbols with zero
 // frequency get length 0. The construction builds optimal Huffman depths,
 // clamps them to maxLen, repairs the Kraft sum, and assigns shorter codes
-// to more frequent symbols.
-func buildCodeLengths(freq []int, maxLen int) []uint8 {
-	type sym struct {
-		s int
-		f int
+// to more frequent symbols (ties broken by symbol order).
+func buildCodeLengths(lengths []uint8, freq []int, maxLen int) {
+	for i := range lengths {
+		lengths[i] = 0
 	}
-	used := make([]sym, 0, len(freq))
+	// Used symbols as packed sort keys: frequency in the high bits, symbol
+	// index in the low 10, so one flat sort orders by (freq, symbol).
+	var keys [huffMaxAlphabet]uint64
+	nu := 0
 	for s, f := range freq {
 		if f > 0 {
-			used = append(used, sym{s, f})
+			keys[nu] = uint64(f)<<10 | uint64(s)
+			nu++
 		}
 	}
-	lengths := make([]uint8, len(freq))
-	switch len(used) {
+	switch nu {
 	case 0:
-		return lengths
+		return
 	case 1:
-		lengths[used[0].s] = 1
-		return lengths
+		lengths[keys[0]&0x3FF] = 1
+		return
 	}
-	sort.Slice(used, func(i, j int) bool { return used[i].f < used[j].f })
+	slices.Sort(keys[:nu])
 
 	// Two-queue Huffman merge over the sorted leaves: O(n).
-	type node struct {
-		f     int
-		left  int // index into nodes, -1 for leaf
-		right int
-		depth int
+	type hnode struct {
+		f           int32
+		left, right int16 // node indices, -1 for leaf
+		depth       int16
 	}
-	nodes := make([]node, 0, 2*len(used))
-	for _, u := range used {
-		nodes = append(nodes, node{f: u.f, left: -1, right: -1})
+	var nodes [2 * huffMaxAlphabet]hnode
+	for i := 0; i < nu; i++ {
+		nodes[i] = hnode{f: int32(keys[i] >> 10), left: -1, right: -1}
 	}
-	leafQ, innerQ := 0, len(used)
-	innerEnd := len(used)
-	pop := func() int {
-		if leafQ < len(used) && (innerQ >= innerEnd || nodes[leafQ].f <= nodes[innerQ].f) {
+	nn := nu
+	leafQ, innerQ := 0, nu
+	innerEnd := nu
+	for leafQ < nu || innerEnd-innerQ > 1 {
+		var a, b int
+		if leafQ < nu && (innerQ >= innerEnd || nodes[leafQ].f <= nodes[innerQ].f) {
+			a = leafQ
 			leafQ++
-			return leafQ - 1
+		} else {
+			a = innerQ
+			innerQ++
 		}
-		innerQ++
-		return innerQ - 1
+		if leafQ < nu && (innerQ >= innerEnd || nodes[leafQ].f <= nodes[innerQ].f) {
+			b = leafQ
+			leafQ++
+		} else {
+			b = innerQ
+			innerQ++
+		}
+		nodes[nn] = hnode{f: nodes[a].f + nodes[b].f, left: int16(a), right: int16(b)}
+		nn++
+		innerEnd = nn
 	}
-	for leafQ < len(used) || innerEnd-innerQ > 1 {
-		a := pop()
-		b := pop()
-		nodes = append(nodes, node{f: nodes[a].f + nodes[b].f, left: a, right: b})
-		innerEnd = len(nodes)
-	}
-	// BFS to assign depths.
-	root := len(nodes) - 1
-	stack := []int{root}
+	// DFS to assign depths.
+	root := nn - 1
+	var stack [2 * huffMaxAlphabet]int16
+	stack[0] = int16(root)
+	sp := 1
 	nodes[root].depth = 0
 	var numAtLen [64]int
-	for len(stack) > 0 {
-		i := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for sp > 0 {
+		sp--
+		i := stack[sp]
 		n := nodes[i]
 		if n.left < 0 {
 			d := n.depth
@@ -200,10 +222,12 @@ func buildCodeLengths(freq []int, maxLen int) []uint8 {
 		}
 		nodes[n.left].depth = n.depth + 1
 		nodes[n.right].depth = n.depth + 1
-		stack = append(stack, n.left, n.right)
+		stack[sp] = n.left
+		stack[sp+1] = n.right
+		sp += 2
 	}
 	// Clamp depths beyond maxLen into maxLen, then repair the Kraft sum.
-	counts := make([]int, maxLen+1)
+	var counts [64]int
 	for d := 1; d < len(numAtLen); d++ {
 		if d <= maxLen {
 			counts[d] += numAtLen[d]
@@ -227,19 +251,18 @@ func buildCodeLengths(freq []int, maxLen int) []uint8 {
 		total--
 	}
 	// Assign: most frequent symbol gets the shortest length.
-	idx := len(used) - 1
+	idx := nu - 1
 	for d := 1; d <= maxLen; d++ {
 		for k := 0; k < counts[d]; k++ {
-			lengths[used[idx].s] = uint8(d)
+			lengths[keys[idx]&0x3FF] = uint8(d)
 			idx--
 		}
 	}
-	return lengths
 }
 
-// canonicalCodes derives LSB-first (bit-reversed) canonical codes from
-// code lengths, DEFLATE-style.
-func canonicalCodes(lengths []uint8) []uint32 {
+// canonicalCodes derives LSB-first (bit-reversed) canonical codes from code
+// lengths into codes (len(codes) == len(lengths)), DEFLATE-style.
+func canonicalCodes(codes []uint32, lengths []uint8) {
 	maxLen := 0
 	var blCount [64]int
 	for _, l := range lengths {
@@ -255,15 +278,14 @@ func canonicalCodes(lengths []uint8) []uint32 {
 		code = (code + uint32(blCount[l-1])) << 1
 		nextCode[l] = code
 	}
-	codes := make([]uint32, len(lengths))
 	for s, l := range lengths {
+		codes[s] = 0
 		if l == 0 {
 			continue
 		}
 		codes[s] = reverseBits(nextCode[l], int(l))
 		nextCode[l]++
 	}
-	return codes
 }
 
 func reverseBits(v uint32, n int) uint32 {
@@ -275,18 +297,18 @@ func reverseBits(v uint32, n int) uint32 {
 	return r
 }
 
-// buildDecodeTable builds a single-level decode table of 1<<maxLen entries.
+// buildDecodeTable fills a single-level decode table of 1<<maxLen entries.
 // Each entry packs symbol<<4 | codeLength; zero-length entries mark invalid
-// codes.
-func buildDecodeTable(lengths []uint8, maxLen int) ([]uint32, error) {
-	table := make([]uint32, 1<<maxLen)
-	codes := canonicalCodes(lengths)
+// codes. table must arrive zeroed (a fresh stack array qualifies).
+func buildDecodeTable(table []uint32, lengths []uint8, maxLen int) error {
+	var codes [huffMaxAlphabet]uint32
+	canonicalCodes(codes[:len(lengths)], lengths)
 	for s, l := range lengths {
 		if l == 0 {
 			continue
 		}
 		if int(l) > maxLen {
-			return nil, fmt.Errorf("%w: code length %d > %d", ErrCorrupt, l, maxLen)
+			return fmt.Errorf("%w: code length %d > %d", ErrCorrupt, l, maxLen)
 		}
 		entry := uint32(s)<<4 | uint32(l)
 		step := 1 << l
@@ -294,5 +316,5 @@ func buildDecodeTable(lengths []uint8, maxLen int) ([]uint32, error) {
 			table[i] = entry
 		}
 	}
-	return table, nil
+	return nil
 }

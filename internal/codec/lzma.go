@@ -3,6 +3,8 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
+
+	"hcompress/internal/bufpool"
 )
 
 // lzmaCodec is a from-scratch mini-LZMA: LZ77 over a 1 MiB window with
@@ -33,8 +35,17 @@ const (
 	lzmaMaxMatch   = lzmaMinMatch + 255
 	lzmaNumSlots   = 42 // covers distances beyond the 1 MiB window
 	lzmaLitCtx     = 8
+
+	// Probability-slab layout: literal trees, then length tree, then slot
+	// tree. isMatch stays a stack pair.
+	lzmaLitOff   = 0
+	lzmaLenOff   = lzmaLitCtx * 256
+	lzmaSlotOff  = lzmaLenOff + 256
+	lzmaNumProbs = lzmaSlotOff + 64
 )
 
+// lzmaProbs is a view over the Scratch probability slab. The struct itself
+// is a stack value; only the slab is (re)used memory.
 type lzmaProbs struct {
 	isMatch [2]uint16
 	lit     []uint16 // lzmaLitCtx contexts x 256-entry trees
@@ -42,18 +53,77 @@ type lzmaProbs struct {
 	slot    []uint16 // one 64-entry tree
 }
 
-func newLZMAProbs() *lzmaProbs {
-	p := &lzmaProbs{
-		lit:    newProbs(lzmaLitCtx * 256),
-		length: newProbs(256),
-		slot:   newProbs(64),
+func lzmaProbsFrom(s *bufpool.Scratch) lzmaProbs {
+	slab := bufpool.GrowU16(&s.Probs, lzmaNumProbs)
+	initProbs(slab)
+	return lzmaProbs{
+		isMatch: [2]uint16{rcProbInit, rcProbInit},
+		lit:     slab[lzmaLitOff:lzmaLenOff],
+		length:  slab[lzmaLenOff:lzmaSlotOff],
+		slot:    slab[lzmaSlotOff:lzmaNumProbs],
 	}
-	p.isMatch[0] = rcProbInit
-	p.isMatch[1] = rcProbInit
-	return p
 }
 
-func (lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
+func lzmaHashU32(v uint32) uint32 { return (v * 2654435761) >> (32 - lzmaHashLog) }
+
+func lzmaInsert(src []byte, head, prev []int32, i int) {
+	if i+4 > len(src) {
+		return
+	}
+	h := lzmaHashU32(binary.LittleEndian.Uint32(src[i:]))
+	prev[i] = head[h]
+	head[h] = int32(i)
+}
+
+func lzmaFind(src []byte, head, prev []int32, i int) (length, dist int) {
+	if i+4 > len(src) {
+		return 0, 0
+	}
+	v := binary.LittleEndian.Uint32(src[i:])
+	cand := head[lzmaHashU32(v)]
+	maxMatch := len(src) - i
+	if maxMatch > lzmaMaxMatch {
+		maxMatch = lzmaMaxMatch
+	}
+	for depth := 0; depth < lzmaChainDepth && cand >= 0 && i-int(cand) <= lzmaWindow; depth++ {
+		c := int(cand)
+		cand = prev[c]
+		if binary.LittleEndian.Uint32(src[c:]) != v {
+			continue
+		}
+		mlen := 4
+		for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
+			mlen++
+		}
+		if mlen > length {
+			length, dist = mlen, i-c
+		}
+	}
+	return length, dist
+}
+
+func (e *rcEncoder) lzmaEmitLiteral(p *lzmaProbs, src []byte, i, state int) {
+	e.encodeBit(&p.isMatch[state], 0)
+	ctx := 0
+	if i > 0 {
+		ctx = int(src[i-1] >> 5)
+	}
+	e.encodeTree(p.lit[ctx*256:(ctx+1)*256], uint32(src[i]), 8)
+}
+
+func (c lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	return c.CompressScratch(s, dst, src)
+}
+
+func (c lzmaCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	return c.DecompressScratch(s, dst, src, srcLen)
+}
+
+func (lzmaCodec) CompressScratch(s *bufpool.Scratch, dst, src []byte) ([]byte, error) {
 	hdr := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
 	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(src)))
@@ -61,78 +131,36 @@ func (lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
 		return dst, nil
 	}
 
-	e := newRCEncoder(dst)
-	p := newLZMAProbs()
+	var e rcEncoder
+	e.init(dst)
+	p := lzmaProbsFrom(s)
 
-	head := make([]int32, 1<<lzmaHashLog)
+	head := bufpool.GrowI32(&s.Head, 1<<lzmaHashLog)
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
-	hash := func(v uint32) uint32 { return (v * 2654435761) >> (32 - lzmaHashLog) }
-	insert := func(i int) {
-		if i+4 > len(src) {
-			return
-		}
-		h := hash(binary.LittleEndian.Uint32(src[i:]))
-		prev[i] = head[h]
-		head[h] = int32(i)
-	}
-	find := func(i int) (length, dist int) {
-		if i+4 > len(src) {
-			return 0, 0
-		}
-		v := binary.LittleEndian.Uint32(src[i:])
-		cand := head[hash(v)]
-		maxMatch := len(src) - i
-		if maxMatch > lzmaMaxMatch-lzmaMinMatch+lzmaMinMatch {
-			maxMatch = lzmaMaxMatch
-		}
-		for depth := 0; depth < lzmaChainDepth && cand >= 0 && i-int(cand) <= lzmaWindow; depth++ {
-			c := int(cand)
-			cand = prev[c]
-			if binary.LittleEndian.Uint32(src[c:]) != v {
-				continue
-			}
-			mlen := 4
-			for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
-				mlen++
-			}
-			if mlen > length {
-				length, dist = mlen, i-c
-			}
-		}
-		return length, dist
-	}
-
-	emitLiteral := func(i int, state int) int {
-		e.encodeBit(&p.isMatch[state], 0)
-		ctx := 0
-		if i > 0 {
-			ctx = int(src[i-1] >> 5)
-		}
-		e.encodeTree(p.lit[ctx*256:(ctx+1)*256], uint32(src[i]), 8)
-		return 0
-	}
+	prev := bufpool.GrowI32(&s.Prev, len(src))
 
 	state := 0 // 0 = after literal, 1 = after match
 	i := 0
 	for i < len(src) {
-		length, dist := find(i)
+		length, dist := lzmaFind(src, head, prev, i)
 		if length >= lzmaMinMatch && i+1 < len(src) {
 			// Lazy one-step lookahead.
-			l2, _ := find(i + 1)
+			l2, _ := lzmaFind(src, head, prev, i+1)
 			if l2 > length+1 {
-				insert(i)
-				state = emitLiteral(i, state)
+				lzmaInsert(src, head, prev, i)
+				e.lzmaEmitLiteral(&p, src, i, state)
+				state = 0
 				i++
 				continue
 			}
 			_ = dist
 		}
 		if length < lzmaMinMatch {
-			insert(i)
-			state = emitLiteral(i, state)
+			lzmaInsert(src, head, prev, i)
+			e.lzmaEmitLiteral(&p, src, i, state)
+			state = 0
 			i++
 			continue
 		}
@@ -145,7 +173,7 @@ func (lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
 		}
 		end := i + length
 		for j := i; j < end && j < len(src); j += 2 {
-			insert(j)
+			lzmaInsert(src, head, prev, j)
 		}
 		i = end
 		state = 1
@@ -153,7 +181,7 @@ func (lzmaCodec) Compress(dst, src []byte) ([]byte, error) {
 	return e.flush(), nil
 }
 
-func (lzmaCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
+func (lzmaCodec) DecompressScratch(s *bufpool.Scratch, dst, src []byte, srcLen int) ([]byte, error) {
 	if len(src) < 4 {
 		return nil, fmt.Errorf("%w: lzma truncated header", ErrCorrupt)
 	}
@@ -165,8 +193,9 @@ func (lzmaCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
 	if rawLen == 0 {
 		return dst, nil
 	}
-	d := newRCDecoder(src)
-	p := newLZMAProbs()
+	var d rcDecoder
+	d.init(src)
+	p := lzmaProbsFrom(s)
 	base := len(dst)
 	state := 0
 	for len(dst)-base < rawLen {

@@ -3,6 +3,8 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
+
+	"hcompress/internal/bufpool"
 )
 
 // lzoCodec is a byte-aligned LZ with hash-chain match search (depth-bounded),
@@ -28,15 +30,25 @@ const (
 	lzoWindow     = 65535
 )
 
-func (lzoCodec) Compress(dst, src []byte) ([]byte, error) {
+func (c lzoCodec) Compress(dst, src []byte) ([]byte, error) {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	return c.CompressScratch(s, dst, src)
+}
+
+func (lzoCodec) DecompressScratch(s *bufpool.Scratch, dst, src []byte, srcLen int) ([]byte, error) {
+	return lzoCodec{}.Decompress(dst, src, srcLen)
+}
+
+func (lzoCodec) CompressScratch(s *bufpool.Scratch, dst, src []byte) ([]byte, error) {
 	if len(src) < 8 {
 		return lzoEmitLiterals(dst, src), nil
 	}
-	head := make([]int32, 1<<lzoHashLog)
+	head := bufpool.GrowI32(&s.Head, 1<<lzoHashLog)
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
+	prev := bufpool.GrowI32(&s.Prev, len(src))
 	hash := func(v uint32) uint32 { return (v * 2654435761) >> (32 - lzoHashLog) }
 
 	anchor := 0

@@ -34,7 +34,7 @@ func (quicklzCodec) Compress(dst, src []byte) ([]byte, error) {
 	if len(src) < 12 {
 		return qlzEmitLiterals(dst, src), nil
 	}
-	table := make([]int32, 1<<qlzHashLog)
+	var table [1 << qlzHashLog]int32 // stack: no per-call allocation
 	for i := range table {
 		table[i] = -1
 	}

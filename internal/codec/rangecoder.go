@@ -20,8 +20,14 @@ type rcEncoder struct {
 	out       []byte
 }
 
-func newRCEncoder(dst []byte) *rcEncoder {
-	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: dst}
+// init readies e for encoding into dst. Encoders are used by value on the
+// caller's stack; there is no constructor allocation.
+func (e *rcEncoder) init(dst []byte) {
+	e.low = 0
+	e.rng = 0xFFFFFFFF
+	e.cache = 0
+	e.cacheSize = 1
+	e.out = dst
 }
 
 func (e *rcEncoder) shiftLow() {
@@ -98,12 +104,16 @@ type rcDecoder struct {
 	pos  int
 }
 
-func newRCDecoder(src []byte) *rcDecoder {
-	d := &rcDecoder{rng: 0xFFFFFFFF, src: src}
+// init readies d for decoding from src. Decoders are used by value on the
+// caller's stack; there is no constructor allocation.
+func (d *rcDecoder) init(src []byte) {
+	d.rng = 0xFFFFFFFF
+	d.code = 0
+	d.src = src
+	d.pos = 0
 	for i := 0; i < 5; i++ {
 		d.code = d.code<<8 | uint32(d.next())
 	}
-	return d
 }
 
 func (d *rcDecoder) next() byte {
@@ -168,10 +178,10 @@ func (d *rcDecoder) overran() bool {
 	return d.pos > len(d.src)+5 // allow the flush tail
 }
 
-func newProbs(n int) []uint16 {
-	p := make([]uint16, n)
+// initProbs resets every adaptive probability in p to 0.5. Callers carve p
+// out of a Scratch slab so repeated calls reuse one allocation.
+func initProbs(p []uint16) {
 	for i := range p {
 		p[i] = rcProbInit
 	}
-	return p
 }

@@ -44,11 +44,13 @@ var (
 )
 
 func (snappyCodec) Compress(dst, src []byte) ([]byte, error) {
-	return snapCompress(dst, src, snappyParams), nil
+	var table [1 << 14]int32 // snappyParams.hashLog
+	return snapCompress(dst, src, snappyParams, table[:]), nil
 }
 
 func (pithyCodec) Compress(dst, src []byte) ([]byte, error) {
-	return snapCompress(dst, src, pithyParams), nil
+	var table [1 << 11]int32 // pithyParams.hashLog
+	return snapCompress(dst, src, pithyParams, table[:]), nil
 }
 
 func (snappyCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
@@ -59,24 +61,26 @@ func (pithyCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
 	return snapDecompress(dst, src, srcLen, "pithy")
 }
 
-func snapCompress(dst, src []byte, p snapParams) []byte {
+// snapCompress compresses src into dst using the caller's hash table
+// (len(table) == 1<<p.hashLog) — a stack array in both codecs, so the
+// encoder allocates nothing beyond dst growth.
+func snapCompress(dst, src []byte, p snapParams, table []int32) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(src)))
 	for len(src) > 0 {
 		n := len(src)
 		if n > snapFragment {
 			n = snapFragment
 		}
-		dst = snapCompressFragment(dst, src[:n], p)
+		dst = snapCompressFragment(dst, src[:n], p, table)
 		src = src[n:]
 	}
 	return dst
 }
 
-func snapCompressFragment(dst, src []byte, p snapParams) []byte {
+func snapCompressFragment(dst, src []byte, p snapParams, table []int32) []byte {
 	if len(src) < p.minMatch+4 {
 		return snapEmitLiteral(dst, src)
 	}
-	table := make([]int32, 1<<p.hashLog)
 	for i := range table {
 		table[i] = -1
 	}

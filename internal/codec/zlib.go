@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"hcompress/internal/bufpool"
 )
 
 // zlibCodec wraps the standard library's DEFLATE at maximum compression.
@@ -18,50 +20,97 @@ type zlibCodec struct{}
 func (zlibCodec) Name() string { return "zlib" }
 func (zlibCodec) ID() ID       { return Zlib }
 
-// Writers are expensive to construct (large internal state), so pool them.
-var zlibWriterPool = sync.Pool{
+// sliceWriter adapts the append-style dst contract to io.Writer so the
+// flate writer streams straight into the caller's buffer with no
+// intermediate bytes.Buffer + copy.
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// zlibEnc bundles the expensive flate writer with its destination adapter
+// so a pooled Get yields everything Compress needs without allocating.
+type zlibEnc struct {
+	sw sliceWriter
+	w  *flate.Writer
+}
+
+var zlibEncPool = sync.Pool{
 	New: func() any {
 		w, err := flate.NewWriter(io.Discard, flate.BestCompression)
 		if err != nil {
 			panic(err)
 		}
-		return w
+		return &zlibEnc{w: w}
+	},
+}
+
+// zlibDec pairs a reusable flate reader with the bytes.Reader it draws
+// from; flate reader state is large, so pooling it matters as much as
+// pooling the writer.
+type zlibDec struct {
+	br bytes.Reader
+	r  io.ReadCloser
+}
+
+var zlibDecPool = sync.Pool{
+	New: func() any {
+		d := &zlibDec{}
+		d.br.Reset(nil)
+		d.r = flate.NewReader(&d.br)
+		return d
 	},
 }
 
 func (zlibCodec) Compress(dst, src []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Grow(len(src)/2 + 64)
-	w := zlibWriterPool.Get().(*flate.Writer)
-	w.Reset(&buf)
-	if _, err := w.Write(src); err != nil {
-		zlibWriterPool.Put(w)
+	e := zlibEncPool.Get().(*zlibEnc)
+	e.sw.b = dst
+	e.w.Reset(&e.sw)
+	if _, err := e.w.Write(src); err != nil {
+		e.sw.b = nil
+		zlibEncPool.Put(e)
 		return nil, fmt.Errorf("zlib: %w", err)
 	}
-	if err := w.Close(); err != nil {
-		zlibWriterPool.Put(w)
+	if err := e.w.Close(); err != nil {
+		e.sw.b = nil
+		zlibEncPool.Put(e)
 		return nil, fmt.Errorf("zlib: %w", err)
 	}
-	zlibWriterPool.Put(w)
-	return append(dst, buf.Bytes()...), nil
+	out := e.sw.b
+	e.sw.b = nil // drop the reference so the pool doesn't pin caller buffers
+	zlibEncPool.Put(e)
+	return out, nil
 }
 
 func (zlibCodec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(src))
-	defer r.Close()
+	d := zlibDecPool.Get().(*zlibDec)
+	d.br.Reset(src)
+	if err := d.r.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		zlibDecPool.Put(d)
+		return nil, fmt.Errorf("zlib: %w", err)
+	}
 	base := len(dst)
-	if cap(dst)-len(dst) < srcLen {
-		grown := make([]byte, len(dst), len(dst)+srcLen)
-		copy(grown, dst)
+	if cap(dst)-base < srcLen {
+		// Size once from srcLen via the arena; the old backing array is the
+		// caller's and stays theirs.
+		grown := bufpool.Get(base + srcLen)
+		copy(grown, dst[:base])
 		dst = grown
 	}
 	dst = dst[:base+srcLen]
-	if _, err := io.ReadFull(r, dst[base:]); err != nil {
+	if _, err := io.ReadFull(d.r, dst[base:]); err != nil {
+		d.br.Reset(nil)
+		zlibDecPool.Put(d)
 		return nil, fmt.Errorf("%w: zlib: %v", ErrCorrupt, err)
 	}
 	// The stream must end exactly here.
 	var one [1]byte
-	if n, _ := r.Read(one[:]); n != 0 {
+	n, _ := d.r.Read(one[:])
+	d.br.Reset(nil)
+	zlibDecPool.Put(d)
+	if n != 0 {
 		return nil, fmt.Errorf("%w: zlib trailing data", ErrCorrupt)
 	}
 	return dst, nil

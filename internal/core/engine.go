@@ -24,6 +24,7 @@
 package core
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"math"
@@ -35,6 +36,7 @@ import (
 	"hcompress/internal/monitor"
 	"hcompress/internal/predictor"
 	"hcompress/internal/seed"
+	"hcompress/internal/stats"
 	"hcompress/internal/store"
 	"hcompress/internal/telemetry"
 )
@@ -122,6 +124,13 @@ type Config struct {
 	DisableCompression bool
 	// LoadAware adds the tier's queue backlog to the modeled I/O time.
 	LoadAware bool
+	// DisablePlanCache turns off the whole-schema plan cache that sits
+	// in front of the DP memo (ablation / debugging). The cache is also
+	// bypassed automatically when it cannot be correct: under
+	// DisableMemo (plans are recomputed each call by design) and under
+	// LoadAware (the cost depends on continuously-varying backlog that
+	// no fingerprint captures).
+	DisablePlanCache bool
 	// Codecs restricts selection to these library names (default: all
 	// registered codecs).
 	Codecs []string
@@ -141,11 +150,16 @@ type Engine struct {
 	pool  []codec.Codec // candidate codecs, None excluded; immutable
 	price []float64     // per-tier displacement price (sec/byte); immutable
 
-	mu        sync.RWMutex // guards w, memo, memoStamp, memoGen
+	mu        sync.RWMutex // guards w, memo, memoStamp, memoGen, memoEpoch
 	w         seed.Weights
 	memo      map[memoKey]planVal
 	memoStamp []int64 // bucketed remaining-capacity fingerprint
 	memoGen   int64   // generation the memo was built under
+	memoEpoch int64   // bumped every time the memo table is rebuilt
+
+	// Plan cache: finished schemas keyed by the analysis fingerprint
+	// and task size, valid for exactly one memo epoch (see planCache).
+	pc planCache
 
 	gen         atomic.Int64 // bumped whenever weights change
 	memoHits    atomic.Int64
@@ -155,14 +169,92 @@ type Engine struct {
 	tm engineMetrics // nil instruments when telemetry is off
 }
 
+// planCacheSize bounds the schema cache; plans are keyed by (type, dist,
+// size), so steady-state workloads touch a handful of entries.
+const planCacheSize = 128
+
+// planKey is the analysis fingerprint a schema depends on: of the
+// analyzer's verdict only Type and Dist feed the cost model (via the
+// CCP), and the task size selects the DP root. Capacity fingerprint and
+// weight generation are carried by the memo epoch, not the key.
+type planKey struct {
+	typ  stats.DataType
+	dist stats.Dist
+	size int64
+}
+
+type planEntry struct {
+	key    planKey
+	epoch  int64  // memo epoch the schema was reconstructed under
+	schema Schema // shared, read-only
+	hits   int64  // memo entries the original reconstruction consumed
+}
+
+// planCache is a small LRU of finished schemas in front of the DP memo.
+// An entry is valid only while the memo table it was reconstructed from
+// is still live (same epoch): the epoch bumps whenever the memo is
+// rebuilt — weight-generation change, capacity-bucket drift — so a hit
+// returns byte-for-byte the schema the memo path would have produced.
+// It has its own lock (never held together with Engine.mu ordering
+// concerns: callers never take Engine.mu while holding it).
+type planCache struct {
+	mu  sync.Mutex
+	lru list.List // of *planEntry, front = most recent
+	idx map[planKey]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func (p *planCache) get(key planKey, epoch int64) (Schema, int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.idx[key]
+	if !ok {
+		return Schema{}, 0, false
+	}
+	e := el.Value.(*planEntry)
+	if e.epoch != epoch {
+		// Stale epoch: the memo was rebuilt since this schema was
+		// cached. Drop it eagerly.
+		p.lru.Remove(el)
+		delete(p.idx, key)
+		return Schema{}, 0, false
+	}
+	p.lru.MoveToFront(el)
+	return e.schema, e.hits, true
+}
+
+func (p *planCache) put(key planKey, epoch int64, schema Schema, hits int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.idx == nil {
+		p.idx = make(map[planKey]*list.Element, planCacheSize)
+	}
+	if el, ok := p.idx[key]; ok {
+		e := el.Value.(*planEntry)
+		e.epoch, e.schema, e.hits = epoch, schema, hits
+		p.lru.MoveToFront(el)
+		return
+	}
+	for p.lru.Len() >= planCacheSize {
+		back := p.lru.Back()
+		delete(p.idx, back.Value.(*planEntry).key)
+		p.lru.Remove(back)
+	}
+	p.idx[key] = p.lru.PushFront(&planEntry{key: key, epoch: epoch, schema: schema, hits: hits})
+}
+
 // engineMetrics are the HCDP engine's instruments; all fields nil when
 // telemetry is off (instrument methods no-op on nil).
 type engineMetrics struct {
-	memoHits    *telemetry.Counter
-	memoMisses  *telemetry.Counter
-	plans       *telemetry.Counter
-	weightBumps *telemetry.Counter
-	planDepth   *telemetry.Histogram
+	memoHits      *telemetry.Counter
+	memoMisses    *telemetry.Counter
+	plans         *telemetry.Counter
+	weightBumps   *telemetry.Counter
+	planDepth     *telemetry.Histogram
+	planCacheHits *telemetry.Counter
+	planCacheMiss *telemetry.Counter
 }
 
 // SetTelemetry registers the engine's instruments on reg: memo
@@ -174,11 +266,13 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	e.tm = engineMetrics{
-		memoHits:    reg.Counter("hc_hcdp_memo_hits_total", "DP memo entries reused"),
-		memoMisses:  reg.Counter("hc_hcdp_memo_misses_total", "DP sub-problems solved from scratch"),
-		plans:       reg.Counter("hc_hcdp_plans_total", "schemas planned"),
-		weightBumps: reg.Counter("hc_hcdp_weight_generation_total", "runtime priority-weight changes"),
-		planDepth:   reg.Histogram("hc_hcdp_plan_subtasks", "sub-tasks per planned schema", telemetry.DepthBuckets),
+		memoHits:      reg.Counter("hc_hcdp_memo_hits_total", "DP memo entries reused"),
+		memoMisses:    reg.Counter("hc_hcdp_memo_misses_total", "DP sub-problems solved from scratch"),
+		plans:         reg.Counter("hc_hcdp_plans_total", "schemas planned"),
+		weightBumps:   reg.Counter("hc_hcdp_weight_generation_total", "runtime priority-weight changes"),
+		planDepth:     reg.Histogram("hc_hcdp_plan_subtasks", "sub-tasks per planned schema", telemetry.DepthBuckets),
+		planCacheHits: reg.Counter("hc_hcdp_plan_cache_hits_total", "whole schemas served from the plan cache"),
+		planCacheMiss: reg.Counter("hc_hcdp_plan_cache_misses_total", "plans that had to run reconstruction or the DP"),
 	}
 }
 
@@ -273,6 +367,18 @@ func (e *Engine) MemoStats() (hits, misses int64) {
 	return e.memoHits.Load(), e.memoMisses.Load()
 }
 
+// PlanCacheStats reports whole-schema cache behaviour (hits, misses).
+// Both stay zero when the cache is disabled or bypassed.
+func (e *Engine) PlanCacheStats() (hits, misses int64) {
+	return e.pc.hits.Load(), e.pc.misses.Load()
+}
+
+// planCacheUsable reports whether the plan cache can be consulted at
+// all under this configuration (see Config.DisablePlanCache).
+func (e *Engine) planCacheUsable() bool {
+	return !e.cfg.DisableMemo && !e.cfg.DisablePlanCache && !e.cfg.LoadAware
+}
+
 // alignUp rounds n up to the alignment quantum.
 func alignUp(n int64) int64 {
 	if n <= 0 {
@@ -285,11 +391,15 @@ func alignDown(n int64) int64 { return n / Align * Align }
 
 // Plan produces the compression + placement schema for a task of the given
 // size and analyzed attributes at virtual time now. It is safe for
-// concurrent callers: when the full decision chain for this size is
-// already memoized under the current capacity fingerprint and weight
+// concurrent callers: a task whose schema is already in the plan cache is
+// served without touching the DP at all; when the full decision chain for
+// this size is memoized under the current capacity fingerprint and weight
 // generation, the schema is reconstructed under the shared read lock with
-// no exclusive section at all; otherwise the planner takes the write lock
-// and runs the Match/Place recursion.
+// no exclusive section; otherwise the planner takes the write lock and
+// runs the Match/Place recursion.
+//
+// The returned Schema may be shared with other callers (the plan cache
+// hands out one value); callers must treat it as read-only.
 func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, error) {
 	if size <= 0 {
 		return Schema{}, fmt.Errorf("hcdp: non-positive task size %d", size)
@@ -301,12 +411,35 @@ func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, er
 	// The DP plans in aligned size quanta; the true size is restored on
 	// the final sub-task.
 	asize := alignUp(size)
+	useCache := e.planCacheUsable()
+	key := planKey{typ: attr.Type, dist: attr.Dist, size: size}
+	var stampArr [8]int64 // stack space for the common hierarchy depths
+	stamp := e.capacityStampInto(stampArr[:0], statuses)
 
 	if !e.cfg.DisableMemo {
 		e.mu.RLock()
-		if e.memoGen == e.gen.Load() && stampEqual(e.capacityStamp(statuses), e.memoStamp) {
+		if e.memoGen == e.gen.Load() && stampEqual(stamp, e.memoStamp) {
+			epoch := e.memoEpoch
+			if useCache {
+				if schema, hits, ok := e.pc.get(key, epoch); ok {
+					e.mu.RUnlock()
+					e.pc.hits.Add(1)
+					e.tm.planCacheHits.Inc()
+					e.memoHits.Add(hits)
+					e.plansServed.Add(1)
+					e.tm.memoHits.Add(hits)
+					e.tm.plans.Inc()
+					e.tm.planDepth.Observe(float64(len(schema.SubTasks)))
+					return schema, nil
+				}
+			}
 			if schema, hits, ok := e.reconstructLocked(size, asize, len(statuses)); ok {
 				e.mu.RUnlock()
+				if useCache {
+					e.pc.misses.Add(1)
+					e.tm.planCacheMiss.Inc()
+					e.pc.put(key, epoch, schema, hits)
+				}
 				e.memoHits.Add(hits)
 				e.plansServed.Add(1)
 				e.tm.memoHits.Add(hits)
@@ -325,9 +458,14 @@ func (e *Engine) Plan(now float64, attr analyzer.Result, size int64) (Schema, er
 	if _, err := e.match(asize, 0, attr, statuses); err != nil {
 		return Schema{}, err
 	}
-	schema, _, ok := e.reconstructLocked(size, asize, len(statuses))
+	schema, hits, ok := e.reconstructLocked(size, asize, len(statuses))
 	if !ok {
 		return Schema{}, errors.New("hcdp: internal: missing memo entry during reconstruction")
+	}
+	if useCache {
+		e.pc.misses.Add(1)
+		e.tm.planCacheMiss.Inc()
+		e.pc.put(key, e.memoEpoch, schema, hits)
 	}
 	e.tm.plans.Inc()
 	e.tm.planDepth.Observe(float64(len(schema.SubTasks)))
@@ -510,15 +648,20 @@ func (e *Engine) compressedTime(size int64, l int, cost seed.CodecCost, statuses
 // the slight staleness is bounded by the bucket size and corrected by the
 // placement path, which re-checks true capacity.
 func (e *Engine) capacityStamp(statuses []store.TierStatus) []int64 {
-	stamp := make([]int64, len(statuses))
-	for i, st := range statuses {
+	return e.capacityStampInto(make([]int64, 0, len(statuses)), statuses)
+}
+
+// capacityStampInto appends the stamp to dst, letting hot callers keep
+// the fingerprint on the stack.
+func (e *Engine) capacityStampInto(dst []int64, statuses []store.TierStatus) []int64 {
+	for _, st := range statuses {
 		bucket := st.Capacity / 64
 		if bucket == 0 {
 			bucket = 1
 		}
-		stamp[i] = st.Remaining / bucket
+		dst = append(dst, st.Remaining/bucket)
 	}
-	return stamp
+	return dst
 }
 
 func stampEqual(a, b []int64) bool {
@@ -541,6 +684,7 @@ func (e *Engine) refreshMemoStamp(statuses []store.TierStatus) {
 	if e.cfg.DisableMemo {
 		e.memo = make(map[memoKey]planVal)
 		e.memoStamp = nil
+		e.memoEpoch++
 		return
 	}
 	gen := e.gen.Load()
@@ -549,5 +693,9 @@ func (e *Engine) refreshMemoStamp(statuses []store.TierStatus) {
 		e.memo = make(map[memoKey]planVal)
 		e.memoStamp = stamp
 		e.memoGen = gen
+		// New table, new epoch: every plan-cache entry reconstructed
+		// from the old table is now stale (SetWeights invalidation
+		// flows through here via the generation counter).
+		e.memoEpoch++
 	}
 }

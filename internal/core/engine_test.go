@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"hcompress/internal/analyzer"
@@ -447,5 +448,122 @@ func BenchmarkPlanUnmemoized(b *testing.B) {
 		if _, err := e.Plan(0, attr, 1<<20); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestPlanCacheHits(t *testing.T) {
+	f := newFixture(t, tier.GB, tier.GB, tier.GB, tier.TB)
+	e := f.engine(t, Config{Weights: seed.WeightsEqual})
+	for i := 0; i < 20; i++ {
+		if _, err := e.Plan(0, textAttr(), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := e.PlanCacheStats()
+	if hits == 0 {
+		t.Error("repeated identical plans produced no plan-cache hits")
+	}
+	if misses == 0 {
+		t.Error("first plan must be a plan-cache miss")
+	}
+	// A cache hit must replay the memo hits of the original
+	// reconstruction, keeping MemoStats equivalent to the uncached path.
+	mh, _ := e.MemoStats()
+	if mh == 0 {
+		t.Error("cache hits did not replay memo-hit accounting")
+	}
+}
+
+func TestPlanCacheDeterminism(t *testing.T) {
+	// The cache must be invisible: byte-identical schemas with it on or
+	// off, across repeats, varied keys, and a weight change mid-stream.
+	mk := func(disable bool) *Engine {
+		f := newFixture(t, tier.GB, tier.GB, tier.GB, tier.TB)
+		return f.engine(t, Config{Weights: seed.WeightsEqual, DisablePlanCache: disable})
+	}
+	on, off := mk(false), mk(true)
+	type step struct {
+		attr analyzer.Result
+		size int64
+	}
+	var steps []step
+	for i := 0; i < 40; i++ {
+		a := textAttr()
+		if i%3 == 1 {
+			a = floatAttr()
+		}
+		steps = append(steps, step{a, 1 << (18 + uint(i%6))})
+	}
+	for i, s := range steps {
+		if i == 25 {
+			on.SetWeights(seed.WeightsArchival)
+			off.SetWeights(seed.WeightsArchival)
+		}
+		a, err1 := on.Plan(0, s.attr, s.size)
+		b, err2 := off.Plan(0, s.attr, s.size)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d: error divergence %v vs %v", i, err1, err2)
+		}
+		if !reflect.DeepEqual(a.SubTasks, b.SubTasks) || a.PredTime != b.PredTime {
+			t.Fatalf("step %d: cached schema differs from uncached:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+	if h, _ := on.PlanCacheStats(); h == 0 {
+		t.Error("determinism run exercised no cache hits")
+	}
+	if h, m := off.PlanCacheStats(); h != 0 || m != 0 {
+		t.Errorf("disabled cache recorded traffic: %d hits %d misses", h, m)
+	}
+}
+
+func TestPlanCacheInvalidatedBySetWeights(t *testing.T) {
+	f := newFixture(t, tier.GB, tier.GB, tier.GB, tier.TB)
+	e := f.engine(t, Config{Weights: seed.WeightsAsync})
+	e.Plan(0, textAttr(), 16<<20)
+	e.Plan(0, textAttr(), 16<<20)
+	hits1, _ := e.PlanCacheStats()
+	if hits1 == 0 {
+		t.Fatal("no hit before weight change")
+	}
+	e.SetWeights(seed.WeightsArchival)
+	e.Plan(0, textAttr(), 16<<20)
+	hits2, misses := e.PlanCacheStats()
+	if hits2 != hits1 {
+		t.Errorf("plan after SetWeights served from stale cache (hits %d -> %d)", hits1, hits2)
+	}
+	if misses < 2 {
+		t.Errorf("expected a fresh miss after SetWeights, misses=%d", misses)
+	}
+}
+
+func TestPlanCacheInvalidatedByCapacityDrift(t *testing.T) {
+	f := newFixture(t, 8*tier.MB, tier.GB, tier.GB, tier.TB)
+	e := f.engine(t, Config{Weights: seed.WeightsEqual, DisableCompression: true})
+	// Warm the cache with a plan that places 4MB in RAM.
+	for i := 0; i < 3; i++ {
+		if _, err := e.Plan(0, floatAttr(), 4<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.st.Put(0, 0, "fill", nil, 7<<20); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := e.Plan(0, floatAttr(), 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SubTasks[0].Tier == 0 && sc.SubTasks[0].PredSize > 1<<20 {
+		t.Errorf("stale cached plan served after capacity drift: %d bytes into 1MB free", sc.SubTasks[0].PredSize)
+	}
+}
+
+func TestPlanCacheBypassedWithMemoDisabled(t *testing.T) {
+	f := newFixture(t, tier.GB, tier.GB, tier.GB, tier.TB)
+	e := f.engine(t, Config{Weights: seed.WeightsEqual, DisableMemo: true})
+	for i := 0; i < 5; i++ {
+		e.Plan(0, textAttr(), 1<<20)
+	}
+	if h, m := e.PlanCacheStats(); h != 0 || m != 0 {
+		t.Errorf("plan cache active under DisableMemo: %d hits %d misses", h, m)
 	}
 }

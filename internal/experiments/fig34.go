@@ -88,7 +88,7 @@ func Fig3Anatomy(o Fig3Options) (Table, error) {
 		t0 = time.Now()
 		for _, p := range preps {
 			hdr := manager.Header{Offset: p.sub.Offset, Length: p.sub.Length, Codec: p.sub.Codec}
-			payload, _, _, err := oracle.Compress(attr, p.c, data[p.sub.Offset:p.sub.Offset+p.sub.Length], p.sub.Length, hdr)
+			payload, _, _, err := oracle.Compress(nil, attr, p.c, data[p.sub.Offset:p.sub.Offset+p.sub.Length], p.sub.Length, hdr)
 			if err != nil {
 				return Table{}, err
 			}
@@ -150,7 +150,7 @@ func Fig3Anatomy(o Fig3Options) (Table, error) {
 
 		t0 = time.Now()
 		for k := range preps {
-			if _, _, err := oracle.Decompress(attr, rCodecs[k], payloads[k][manager.HeaderSize:], rHdrs[k]); err != nil {
+			if _, _, err := oracle.Decompress(nil, attr, rCodecs[k], payloads[k][manager.HeaderSize:], nil, rHdrs[k]); err != nil {
 				return Table{}, err
 			}
 		}
@@ -304,7 +304,7 @@ func Fig4bCCP(o Fig4bOptions) (Table, error) {
 			name := names[i%len(names)]
 			c, _ := codec.ByName(name)
 			hdr := manager.Header{Offset: int64(i) * 4096, Length: int64(o.TaskSize)}
-			_, stored, secs, err := oracle.Compress(analyzer.Result{Type: stats.TypeFloat, Dist: dist}, c, nil, int64(o.TaskSize), hdr)
+			_, stored, secs, err := oracle.Compress(nil, analyzer.Result{Type: stats.TypeFloat, Dist: dist}, c, nil, int64(o.TaskSize), hdr)
 			if err != nil {
 				return t, err
 			}

@@ -19,6 +19,14 @@ import (
 // items; the returned error is the lowest-indexed one, matching the serial
 // execution a caller would otherwise perform.
 func ForEach(n, par int, fn func(int) error) error {
+	return ForEachWorker(n, par, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity exposed: fn is
+// called as fn(worker, i) where worker is a stable index in [0, par).
+// Each worker runs on one goroutine, so per-worker state (scratch
+// buffers, arenas) indexed by the worker id needs no locking.
+func ForEachWorker(n, par int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,7 +36,7 @@ func ForEach(n, par int, fn func(int) error) error {
 	if par <= 1 || n == 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			if err := fn(0, i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -39,16 +47,16 @@ func ForEach(n, par int, fn func(int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(par)
 	for w := 0; w < par; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"hcompress/internal/analyzer"
+	"hcompress/internal/bufpool"
 	"hcompress/internal/codec"
 	"hcompress/internal/manager"
 	"hcompress/internal/store"
@@ -149,7 +150,7 @@ func (b *Baseline) Write(now float64, key string, data []byte, size int64, attr 
 		var blobData []byte
 		if cdc.ID() != codec.None {
 			var err error
-			blobData, stored, compSecs, err = b.oracle.Compress(attr, cdc, payload, p.length, hdr)
+			blobData, stored, compSecs, err = b.oracle.Compress(nil, attr, cdc, payload, p.length, hdr)
 			if err != nil {
 				return manager.Result{}, err
 			}
@@ -166,6 +167,11 @@ func (b *Baseline) Write(now float64, key string, data []byte, size int64, attr 
 		for err != nil && errorsIsNoCapacity(err) && tierIdx+1 < hier.Len() {
 			tierIdx++
 			end, err = b.st.Put(t, tierIdx, sk, blobData, stored)
+		}
+		if cdc.ID() != codec.None {
+			// The oracle's payload is an arena buffer and the store
+			// copied it; hand it back.
+			bufpool.Put(blobData)
 		}
 		if err != nil {
 			return manager.Result{}, fmt.Errorf("hermes: placing piece %d: %w", k, err)
@@ -234,7 +240,7 @@ func (b *Baseline) Read(now float64, key string) (manager.Result, error) {
 				}
 				_ = hdr
 			}
-			piece, decompSecs, err = b.oracle.Decompress(s.attr, cdc, payload, s.hdr)
+			piece, decompSecs, err = b.oracle.Decompress(nil, s.attr, cdc, payload, nil, s.hdr)
 			if err != nil {
 				return manager.Result{}, err
 			}

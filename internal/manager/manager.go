@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"hcompress/internal/analyzer"
+	"hcompress/internal/bufpool"
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
 	"hcompress/internal/fanout"
@@ -37,39 +39,58 @@ import (
 )
 
 // Oracle abstracts how sub-task compression is performed and costed.
+// The scratch parameter carries the calling worker's reusable buffers;
+// implementations may pass nil to fall back to a pooled scratch.
 type Oracle interface {
 	// Compress produces the stored payload for piece (nil in modeled
-	// mode), its stored size, and the compression time in seconds.
-	Compress(attr analyzer.Result, c codec.Codec, piece []byte, pieceLen int64, hdr Header) (payload []byte, stored int64, secs float64, err error)
+	// mode), its stored size, and the compression time in seconds. A
+	// non-nil payload is an arena buffer whose ownership transfers to
+	// the caller (the manager hands it to Store.PutOwned).
+	Compress(s *bufpool.Scratch, attr analyzer.Result, c codec.Codec, piece []byte, pieceLen int64, hdr Header) (payload []byte, stored int64, secs float64, err error)
 	// Decompress recovers the piece (nil in modeled mode) from payload
-	// and returns the decompression time in seconds.
-	Decompress(attr analyzer.Result, c codec.Codec, payload []byte, hdr Header) (piece []byte, secs float64, err error)
+	// and returns the decompression time in seconds. When dst is
+	// non-nil the piece is appended to it (the manager passes a region
+	// of the task's reassembly buffer so decompression lands in place).
+	Decompress(s *bufpool.Scratch, attr analyzer.Result, c codec.Codec, payload, dst []byte, hdr Header) (piece []byte, secs float64, err error)
 }
 
 // RealOracle executes codecs on real bytes and measures wall time.
 type RealOracle struct{}
 
-// Compress implements Oracle.
-func (RealOracle) Compress(_ analyzer.Result, c codec.Codec, piece []byte, pieceLen int64, hdr Header) ([]byte, int64, float64, error) {
+// Compress implements Oracle. The compressed stream is built in the
+// scratch's Comp buffer (reused across calls by the same worker); only
+// the returned payload — header plus stream, in one arena buffer the
+// caller takes ownership of — is a fresh allocation, and a pooled one.
+func (RealOracle) Compress(s *bufpool.Scratch, _ analyzer.Result, c codec.Codec, piece []byte, pieceLen int64, hdr Header) ([]byte, int64, float64, error) {
+	if s == nil {
+		s = bufpool.GetScratch()
+		defer bufpool.PutScratch(s)
+	}
 	start := time.Now()
-	comp, err := c.Compress(nil, piece)
+	comp, err := codec.CompressWith(s, c, s.Comp[:0], piece)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("manager: %s compress: %w", c.Name(), err)
 	}
 	secs := time.Since(start).Seconds()
+	s.Comp = comp // retain the (possibly grown) buffer for the next call
 	hdr.Stored = int64(len(comp))
-	payload, err := hdr.Encode(make([]byte, 0, HeaderSize+len(comp)))
-	if err != nil {
+	payload := bufpool.Get(HeaderSize + len(comp))
+	if _, err := hdr.Encode(payload[:0]); err != nil {
+		bufpool.Put(payload)
 		return nil, 0, 0, err
 	}
-	payload = append(payload, comp...)
+	copy(payload[HeaderSize:], comp)
 	return payload, int64(len(payload)), secs, nil
 }
 
 // Decompress implements Oracle.
-func (RealOracle) Decompress(_ analyzer.Result, c codec.Codec, payload []byte, hdr Header) ([]byte, float64, error) {
+func (RealOracle) Decompress(s *bufpool.Scratch, _ analyzer.Result, c codec.Codec, payload, dst []byte, hdr Header) ([]byte, float64, error) {
+	if s == nil {
+		s = bufpool.GetScratch()
+		defer bufpool.PutScratch(s)
+	}
 	start := time.Now()
-	piece, err := c.Decompress(nil, payload, int(hdr.Length))
+	piece, err := codec.DecompressWith(s, c, dst, payload, int(hdr.Length))
 	if err != nil {
 		return nil, 0, fmt.Errorf("manager: %s decompress: %w", c.Name(), err)
 	}
@@ -117,7 +138,7 @@ func (o ModelOracle) cost(attr analyzer.Result, c codec.Codec) (seed.CodecCost, 
 }
 
 // Compress implements Oracle.
-func (o ModelOracle) Compress(attr analyzer.Result, c codec.Codec, _ []byte, pieceLen int64, hdr Header) ([]byte, int64, float64, error) {
+func (o ModelOracle) Compress(_ *bufpool.Scratch, attr analyzer.Result, c codec.Codec, _ []byte, pieceLen int64, hdr Header) ([]byte, int64, float64, error) {
 	cost, err := o.cost(attr, c)
 	if err != nil {
 		return nil, 0, 0, err
@@ -136,7 +157,7 @@ func (o ModelOracle) Compress(attr analyzer.Result, c codec.Codec, _ []byte, pie
 }
 
 // Decompress implements Oracle.
-func (o ModelOracle) Decompress(attr analyzer.Result, c codec.Codec, _ []byte, hdr Header) ([]byte, float64, error) {
+func (o ModelOracle) Decompress(_ *bufpool.Scratch, attr analyzer.Result, c codec.Codec, _, _ []byte, hdr Header) ([]byte, float64, error) {
 	cost, err := o.cost(attr, c)
 	if err != nil {
 		return nil, 0, err
@@ -166,11 +187,15 @@ type taskMeta struct {
 
 // Result reports one executed task with the paper's Fig. 3 time anatomy.
 type Result struct {
-	End        float64 // virtual completion time
-	CodecTime  float64 // compression or decompression seconds
-	IOTime     float64 // storage I/O seconds
-	Stored     int64   // bytes occupying the hierarchy (writes)
-	Data       []byte  // reassembled data (reads, real mode only)
+	End       float64 // virtual completion time
+	CodecTime float64 // compression or decompression seconds
+	IOTime    float64 // storage I/O seconds
+	Stored    int64   // bytes occupying the hierarchy (writes)
+	// Data is the reassembled task (reads, real mode only). It is an
+	// arena buffer whose ownership transfers to the caller; return it
+	// with bufpool.Put when finished (Report.Release at the API layer)
+	// or let the GC take it.
+	Data       []byte
 	SubResults []SubResult
 }
 
@@ -271,11 +296,12 @@ func New(st *store.Store, pred *predictor.CCP, oracle Oracle) *Manager {
 	if oracle == nil {
 		oracle = RealOracle{}
 	}
-	return &Manager{
+	m := &Manager{
 		st: st, pred: pred, oracle: oracle,
-		par:   runtime.GOMAXPROCS(0),
 		tasks: make(map[string]*taskMeta),
 	}
+	m.SetParallelism(0)
+	return m
 }
 
 // SetParallelism bounds the worker pool fanning a task's sub-task codec
@@ -291,6 +317,39 @@ func (m *Manager) SetParallelism(n int) {
 
 // Parallelism reports the configured worker-pool width.
 func (m *Manager) Parallelism() int { return m.par }
+
+// leaseScratches borrows one codec workspace per fan-out worker from the
+// process-wide pool. Scratches must be leased per call — concurrent
+// ExecuteWrite/ExecuteRead fan-outs reuse worker indexes, so workspaces
+// cached on the Manager would be shared across goroutines.
+func leaseScratches(n, par int) []*bufpool.Scratch {
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	ss, _ := scratchSlices.Get().([]*bufpool.Scratch)
+	if cap(ss) < par {
+		ss = make([]*bufpool.Scratch, par)
+	}
+	ss = ss[:par]
+	for i := range ss {
+		ss[i] = bufpool.GetScratch()
+	}
+	return ss
+}
+
+// scratchSlices recycles the small per-fan-out lease slices themselves.
+var scratchSlices sync.Pool
+
+func returnScratches(ss []*bufpool.Scratch) {
+	for i, s := range ss {
+		bufpool.PutScratch(s)
+		ss[i] = nil
+	}
+	scratchSlices.Put(ss[:0]) //nolint:staticcheck // slice header copy is fine here
+}
 
 // Drain is the asynchronous flushing path of a multi-tiered buffer: during
 // an idle window (e.g. the application's compute phase) it trickles the
@@ -334,7 +393,13 @@ func (m *Manager) Drain(now, window float64) int64 {
 // Store returns the underlying store.
 func (m *Manager) Store() *store.Store { return m.st }
 
-func subKey(key string, k int) string { return fmt.Sprintf("%s#%d", key, k) }
+func subKey(key string, k int) string {
+	var buf [64]byte
+	b := append(buf[:0], key...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(k), 10)
+	return string(b)
+}
 
 // ExecuteWrite runs a write schema in two stages. Stage one fans the
 // per-sub-task codec work — pure CPU over the caller's buffer — across
@@ -363,7 +428,9 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
-	err := fanout.ForEach(n, m.par, func(k int) error {
+	scratches := leaseScratches(n, m.par)
+	defer returnScratches(scratches)
+	err := fanout.ForEachWorker(n, m.par, func(w, k int) error {
 		if m.tm.queueWait != nil {
 			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
 		}
@@ -377,7 +444,7 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 		if data != nil {
 			piece = data[st.Offset : st.Offset+st.Length]
 		}
-		payload, stored, secs, err := m.oracle.Compress(attr, c, piece, st.Length, hdr)
+		payload, stored, secs, err := m.oracle.Compress(scratches[w], attr, c, piece, st.Length, hdr)
 		if err != nil {
 			return err
 		}
@@ -385,6 +452,9 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 		return nil
 	})
 	if err != nil {
+		for i := range outs { // payloads were never handed to the store
+			bufpool.Put(outs[i].payload)
+		}
 		return Result{}, err
 	}
 
@@ -403,14 +473,18 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 		// real payload, spill down the hierarchy — the same repair a real
 		// deployment performs when the System Monitor's view was stale.
 		tierIdx := st.Tier
-		end, err := m.st.Put(t, tierIdx, sk, o.payload, o.stored)
+		end, err := m.st.PutOwned(t, tierIdx, sk, o.payload, o.stored)
 		for err != nil && errorsIsNoCapacity(err) && tierIdx+1 < m.st.Hierarchy().Len() {
 			tierIdx++
-			end, err = m.st.Put(t, tierIdx, sk, o.payload, o.stored)
+			end, err = m.st.PutOwned(t, tierIdx, sk, o.payload, o.stored)
 		}
 		if err != nil {
+			for i := k; i < len(outs); i++ { // unplaced payloads go back to the arena
+				bufpool.Put(outs[i].payload)
+			}
 			return Result{}, fmt.Errorf("manager: placing sub-task %d: %w", k, err)
 		}
+		o.payload = nil // owned by the store now
 		ioSecs := end - t
 		t = end
 		res.CodecTime += o.secs
@@ -494,33 +568,49 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 
 	// Stage 1: fetch payloads without modeling I/O (the timed reads are
 	// replayed in stage 3 with the correct interleaved start times).
+	// Peek pins arena-owned payloads; the pins are dropped as soon as
+	// the decompression fan-out finishes.
 	blobs := make([]store.Blob, n)
 	for k := range subs {
 		blob, err := m.st.Peek(subs[k].key)
 		if err != nil {
+			for j := 0; j < k; j++ {
+				m.st.Release(blobs[j])
+			}
 			return Result{}, err
 		}
 		blobs[k] = blob
 	}
 
+	// One arena buffer holds the whole reassembled task; each worker
+	// decompresses straight into its region, so the read path performs
+	// no per-piece allocation and no reassembly copy. Ownership of the
+	// buffer passes to the caller via Result.Data.
+	var resData []byte
+	if real {
+		resData = bufpool.Get(int(meta.size))
+	}
+
 	// Stage 2: decompression fan-out — pure CPU, no locks held.
 	type readOut struct {
-		c     codec.Codec
-		hdr   Header
-		piece []byte
-		secs  float64
+		c    codec.Codec
+		hdr  Header
+		secs float64
 	}
 	outs := make([]readOut, n)
 	var fanStart time.Time
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
-	err := fanout.ForEach(n, m.par, func(k int) error {
+	scratches := leaseScratches(n, m.par)
+	defer returnScratches(scratches)
+	err := fanout.ForEachWorker(n, m.par, func(w, k int) error {
 		if m.tm.queueWait != nil {
 			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
 		}
 		hdr := subs[k].hdr
 		payload := blobs[k].Data
+		var dst []byte
 		if real {
 			// Real mode: trust the on-media header, not the in-memory
 			// metadata — this is the "identify the compression library
@@ -532,33 +622,60 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 				return err
 			}
 			payload = rest
+			// Workers write disjoint regions of the shared buffer, so
+			// the decoded range must agree with the write-time metadata
+			// before a region is carved out for it.
+			if hdr.Offset != subs[k].hdr.Offset || hdr.Length != subs[k].hdr.Length {
+				return fmt.Errorf("manager: sub-task %d header range (%d,%d) disagrees with metadata (%d,%d)",
+					k, hdr.Offset, hdr.Length, subs[k].hdr.Offset, subs[k].hdr.Length)
+			}
+			if hdr.Offset+hdr.Length > int64(len(resData)) {
+				return fmt.Errorf("manager: sub-task exceeds task bounds")
+			}
+			// Full-slice expression: an overrunning codec reallocates
+			// instead of clobbering the neighbouring region.
+			dst = resData[hdr.Offset : hdr.Offset : hdr.Offset+hdr.Length]
 		}
 		c, err := codec.ByID(hdr.Codec)
 		if err != nil {
 			return err
 		}
-		piece, secs, err := m.oracle.Decompress(meta.attr, c, payload, hdr)
+		piece, secs, err := m.oracle.Decompress(scratches[w], meta.attr, c, payload, dst, hdr)
 		if err != nil {
 			return err
 		}
-		outs[k] = readOut{c: c, hdr: hdr, piece: piece, secs: secs}
+		if real {
+			if int64(len(piece)) != hdr.Length {
+				return fmt.Errorf("manager: sub-task %d decompressed to %d bytes, want %d", k, len(piece), hdr.Length)
+			}
+			if len(piece) > 0 && &piece[0] != &resData[hdr.Offset] {
+				// The codec outgrew its region transiently and
+				// reallocated; land the piece with one copy.
+				copy(resData[hdr.Offset:hdr.Offset+hdr.Length], piece)
+			}
+		}
+		outs[k] = readOut{c: c, hdr: hdr, secs: secs}
 		return nil
 	})
+	for k := range blobs {
+		m.st.Release(blobs[k]) // stage 3 only needs sizes, not payloads
+	}
 	if err != nil {
+		bufpool.Put(resData)
 		return Result{}, err
 	}
 
-	// Stage 3: serial timeline replay, reassembly, and feedback.
+	// Stage 3: serial timeline replay and feedback (reassembly already
+	// happened in place during stage 2).
 	res := Result{End: now}
-	if real {
-		res.Data = make([]byte, meta.size)
-	}
+	res.Data = resData
 	t := now
 	for k := range subs {
 		sm := &subs[k]
 		o := &outs[k]
 		end, err := m.st.ReadTime(t, sm.key)
 		if err != nil {
+			bufpool.Put(resData)
 			return Result{}, err
 		}
 		ioSecs := end - t
@@ -573,12 +690,6 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 		})
 		if m.tm.readBytes != nil {
 			m.tm.readBytes[o.hdr.Codec].Add(o.hdr.Length)
-		}
-		if real {
-			if o.hdr.Offset+o.hdr.Length > int64(len(res.Data)) {
-				return Result{}, fmt.Errorf("manager: sub-task exceeds task bounds")
-			}
-			copy(res.Data[o.hdr.Offset:], o.piece)
 		}
 		if o.hdr.Codec != codec.None && o.secs > 0 {
 			m.pred.Feedback(meta.attr.Type, meta.attr.Dist, o.c.Name(), seed.CodecCost{

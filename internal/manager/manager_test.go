@@ -476,3 +476,38 @@ func TestParallelWriteRealRoundTrip(t *testing.T) {
 		t.Fatal("parallel round-trip mismatch")
 	}
 }
+
+// BenchmarkManagerCompress measures the write hot path at the manager
+// layer: plan, fan-out codec work into pooled scratches, assemble
+// arena-backed payloads, and hand ownership to the store.
+func BenchmarkManagerCompress(b *testing.B) {
+	h := tier.Ares(tier.GB, tier.GB, 4*tier.GB, tier.TB)
+	st, err := store.New(h, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := predictor.New(seed.Builtin(h))
+	mgr := New(st, pred, RealOracle{})
+	eng, err := core.New(pred, monitor.New(st, 0), core.Config{Weights: seed.WeightsEqual})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 3)
+	attr := analyzer.Analyze(data)
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("b%d", i)
+		sc, err := eng.Plan(0, attr, int64(len(data)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mgr.ExecuteWrite(0, key, data, int64(len(data)), attr, sc); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.Delete(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -109,7 +109,7 @@ func GenBuffer(dtype DataType, dist Dist, n int, seed int64) []byte {
 // SampleFloats extracts up to max float64 samples from a buffer interpreted
 // per dtype; used by the distribution classifier.
 func SampleFloats(buf []byte, dtype DataType, max int) []float64 {
-	var out []float64
+	out := make([]float64, 0, minInt(max, len(buf)))
 	switch dtype {
 	case TypeInt:
 		stride := 4 * maxInt(1, len(buf)/4/max)
@@ -131,6 +131,13 @@ func SampleFloats(buf []byte, dtype DataType, max int) []float64 {
 		}
 	}
 	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func maxInt(a, b int) int {

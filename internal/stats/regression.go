@@ -259,6 +259,10 @@ type RLS struct {
 	// predictive R^2 it stays meaningful when the target is near-constant.
 	acc     float64
 	accInit bool
+	// Scratch vectors reused by Observe. Observe mutates theta/pmat and
+	// therefore already requires external synchronization; reusing the
+	// scratch under the same discipline keeps the update allocation-free.
+	phi, pphi, gain []float64
 }
 
 // NewRLS creates an estimator for k predictors (plus intercept).
@@ -266,7 +270,10 @@ type RLS struct {
 // let the model track drift — the "reinforcement" in the paper's loop.
 func NewRLS(k int, lambda float64) *RLS {
 	p := k + 1
-	r := &RLS{p: p, lambda: lambda, theta: make([]float64, p)}
+	r := &RLS{
+		p: p, lambda: lambda, theta: make([]float64, p),
+		phi: make([]float64, p), pphi: make([]float64, p), gain: make([]float64, p),
+	}
 	r.pmat = make([][]float64, p)
 	for i := range r.pmat {
 		r.pmat[i] = make([]float64, p)
@@ -301,9 +308,12 @@ func (r *RLS) Predict(x []float64) float64 {
 
 // Observe folds in one (x, y) observation.
 func (r *RLS) Observe(x []float64, y float64) {
-	phi := make([]float64, r.p)
+	phi := r.phi
 	phi[0] = 1
-	copy(phi[1:], x)
+	n := copy(phi[1:], x)
+	for i := 1 + n; i < r.p; i++ {
+		phi[i] = 0
+	}
 
 	// Track accuracy against the pre-update prediction.
 	pred := r.Predict(x)
@@ -327,8 +337,9 @@ func (r *RLS) Observe(x []float64, y float64) {
 	}
 
 	// Standard RLS update.
-	pphi := make([]float64, r.p)
+	pphi := r.pphi
 	for i := 0; i < r.p; i++ {
+		pphi[i] = 0
 		for j := 0; j < r.p; j++ {
 			pphi[i] += r.pmat[i][j] * phi[j]
 		}
@@ -337,7 +348,7 @@ func (r *RLS) Observe(x []float64, y float64) {
 	for i := 0; i < r.p; i++ {
 		den += phi[i] * pphi[i]
 	}
-	gain := make([]float64, r.p)
+	gain := r.gain
 	for i := 0; i < r.p; i++ {
 		gain[i] = pphi[i] / den
 	}

@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"hcompress/internal/bufpool"
 	"hcompress/internal/des"
 	"hcompress/internal/telemetry"
 	"hcompress/internal/tier"
@@ -40,7 +42,39 @@ type Blob struct {
 	Tier int
 	Size int64  // bytes occupied on the tier (compressed size)
 	Data []byte // nil when data retention is off
+
+	// ref tracks the payload's lifetime when it came from the buffer
+	// arena via PutOwned; nil for copied (Put) payloads. Blob copies
+	// share the same ref.
+	ref *payloadRef
 }
+
+// payloadRef is the reference count of one arena-owned payload. The
+// store holds one reference while the blob is resident; every Peek of
+// an owned blob adds one, balanced by Release. When the count reaches
+// zero the backing buffer returns to the arena.
+type payloadRef struct {
+	refs atomic.Int32
+	data []byte
+}
+
+func (r *payloadRef) retain() {
+	if r != nil {
+		r.refs.Add(1)
+	}
+}
+
+func (r *payloadRef) release() {
+	if r != nil && r.refs.Add(-1) == 0 {
+		bufpool.Put(r.data)
+	}
+}
+
+// Release returns a Peek'd blob's pin on its arena-owned payload. It is
+// a no-op for copied payloads and for the zero Blob, so callers can
+// Release unconditionally. After Release the blob's Data must not be
+// touched again.
+func (s *Store) Release(b Blob) { b.ref.release() }
 
 // tierState is one tier's capacity ledger and virtual timeline, guarded by
 // its own lock so tiers never contend with each other.
@@ -135,8 +169,24 @@ func (s *Store) release(t int, size int64) {
 
 // Put stores size bytes under key on tier t, beginning at virtual time
 // now, and returns the completion time. data may be nil when retention is
-// off (or to model a write without materializing it).
+// off (or to model a write without materializing it). The store copies
+// data; the caller keeps ownership of its buffer.
 func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (end float64, err error) {
+	return s.put(now, t, key, data, size, false)
+}
+
+// PutOwned is Put for arena-owned payloads: on success the store takes
+// ownership of data — storing it without Put's defensive copy and
+// recycling it into the buffer arena once the blob is deleted,
+// overwritten, or the store is reset (and no Peek pin remains). On
+// error, ownership stays with the caller so spill/retry paths can reuse
+// the same buffer. data must come from the bufpool arena and must not
+// be touched by the caller after a successful PutOwned.
+func (s *Store) PutOwned(now float64, t int, key string, data []byte, size int64) (end float64, err error) {
+	return s.put(now, t, key, data, size, true)
+}
+
+func (s *Store) put(now float64, t int, key string, data []byte, size int64, owned bool) (end float64, err error) {
 	if size < 0 {
 		return now, fmt.Errorf("store: negative size for %q", key)
 	}
@@ -174,6 +224,7 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 			s.mu.Unlock()
 			if raced {
 				s.release(old.Tier, old.Size)
+				old.ref.release()
 			}
 		}
 		return now, fmt.Errorf("%w: %s (%d used, %d cap, %d requested)",
@@ -188,7 +239,17 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 
 	b := &Blob{Key: key, Tier: t, Size: size}
 	if s.keepData && data != nil {
-		b.Data = append([]byte(nil), data...)
+		if owned {
+			b.Data = data
+			b.ref = &payloadRef{data: data}
+			b.ref.refs.Store(1)
+		} else {
+			b.Data = append([]byte(nil), data...)
+		}
+	} else if owned && data != nil {
+		// Retention off: the payload is consumed here, so the arena
+		// buffer can go straight back.
+		bufpool.Put(data)
 	}
 	s.mu.Lock()
 	prev, raced := s.blobs[key] // a concurrent same-key Put got here first
@@ -196,6 +257,12 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 	s.mu.Unlock()
 	if raced {
 		s.release(prev.Tier, prev.Size)
+		prev.ref.release()
+	}
+	// The displaced blob (overwrite path) is gone for good once the new
+	// payload is in place.
+	if hadOld {
+		old.ref.release()
 	}
 	return end, nil
 }
@@ -207,6 +274,13 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 	blob, ok := s.blobs[key]
 	if ok {
 		b = *blob
+		if b.ref != nil {
+			// Get callers do not participate in refcounting, so owned
+			// payloads are copied out defensively: the original may be
+			// recycled by a Delete the moment the lock drops.
+			b.Data = append([]byte(nil), b.Data...)
+			b.ref = nil
+		}
 	}
 	s.mu.RUnlock()
 	if !ok {
@@ -223,9 +297,11 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 
 // Peek returns the blob under key without modeling an I/O or advancing any
 // tier timeline. The returned Data (if any) shares the stored buffer and
-// must not be mutated. It exists so the Compression Manager can fetch
-// payloads for parallel decompression and replay the timed reads
-// afterwards, keeping virtual-time accounting deterministic.
+// must not be mutated. For arena-owned payloads the blob is pinned: the
+// caller must pass the returned Blob to Release when done with Data, or
+// the buffer can never return to the arena. It exists so the Compression
+// Manager can fetch payloads for parallel decompression and replay the
+// timed reads afterwards, keeping virtual-time accounting deterministic.
 func (s *Store) Peek(key string) (Blob, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -233,7 +309,9 @@ func (s *Store) Peek(key string) (Blob, error) {
 	if !ok {
 		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	return *blob, nil
+	b := *blob
+	b.ref.retain()
+	return b, nil
 }
 
 // ReadTime models the timed read of key's blob at virtual time now without
@@ -269,6 +347,7 @@ func (s *Store) Stat(key string) (Blob, error) {
 	}
 	b := *blob
 	b.Data = nil
+	b.ref = nil
 	return b, nil
 }
 
@@ -285,6 +364,7 @@ func (s *Store) Delete(key string) error {
 	}
 	s.tiers[blob.Tier].tm.deletes.Inc()
 	s.release(blob.Tier, blob.Size)
+	blob.ref.release()
 	return nil
 }
 
@@ -387,10 +467,15 @@ func (s *Store) Remaining(t int) int64 {
 }
 
 // Reset clears all blobs and virtual-time state, keeping the hierarchy.
+// Arena-owned payloads are recycled (modulo outstanding Peek pins).
 func (s *Store) Reset() {
 	s.mu.Lock()
+	old := s.blobs
 	s.blobs = make(map[string]*Blob)
 	s.mu.Unlock()
+	for _, b := range old {
+		b.ref.release()
+	}
 	for _, ts := range s.tiers {
 		ts.mu.Lock()
 		ts.used = 0

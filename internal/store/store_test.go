@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"hcompress/internal/bufpool"
 	"hcompress/internal/tier"
 )
 
@@ -252,5 +253,136 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() != 1600 {
 		t.Fatalf("len %d want 1600", s.Len())
+	}
+}
+
+// arenaPuts reports the arena's lifetime recycle counter.
+func arenaPuts() int64 {
+	_, _, _, put := bufpool.Stats()
+	return put
+}
+
+func TestPutOwnedRecyclesOnDelete(t *testing.T) {
+	s, _ := New(testHier(), true)
+	data := bufpool.Get(100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := s.PutOwned(0, 0, "k", data, 100); err != nil {
+		t.Fatal(err)
+	}
+	before := arenaPuts()
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if arenaPuts() <= before {
+		t.Error("delete of owned blob did not recycle its payload")
+	}
+}
+
+func TestPutOwnedRecyclesOnOverwrite(t *testing.T) {
+	s, _ := New(testHier(), true)
+	old := bufpool.Get(64)
+	if _, err := s.PutOwned(0, 0, "k", old, 64); err != nil {
+		t.Fatal(err)
+	}
+	before := arenaPuts()
+	if _, err := s.Put(0, 0, "k", []byte("replacement"), 11); err != nil {
+		t.Fatal(err)
+	}
+	if arenaPuts() <= before {
+		t.Error("overwrite did not recycle the old owned payload")
+	}
+}
+
+func TestPutOwnedRecyclesOnReset(t *testing.T) {
+	s, _ := New(testHier(), true)
+	if _, err := s.PutOwned(0, 0, "k", bufpool.Get(64), 64); err != nil {
+		t.Fatal(err)
+	}
+	before := arenaPuts()
+	s.Reset()
+	if arenaPuts() <= before {
+		t.Error("reset did not recycle owned payloads")
+	}
+}
+
+func TestPutOwnedErrorLeavesCallerOwnership(t *testing.T) {
+	s, _ := New(testHier(), true)
+	data := bufpool.Get(64)
+	copy(data, "precious")
+	before := arenaPuts()
+	// Tier 0 capacity is 1000: oversize placement must fail.
+	if _, err := s.PutOwned(0, 0, "big", data, 4000); err == nil {
+		t.Fatal("oversize PutOwned accepted")
+	}
+	if arenaPuts() != before {
+		t.Error("failed PutOwned recycled the caller's buffer")
+	}
+	if string(data[:8]) != "precious" {
+		t.Error("failed PutOwned corrupted the caller's buffer")
+	}
+	bufpool.Put(data)
+}
+
+func TestPutOwnedRetentionOffRecyclesImmediately(t *testing.T) {
+	s, _ := New(testHier(), false)
+	before := arenaPuts()
+	if _, err := s.PutOwned(0, 0, "k", bufpool.Get(64), 64); err != nil {
+		t.Fatal(err)
+	}
+	if arenaPuts() <= before {
+		t.Error("retention-off PutOwned did not recycle the payload")
+	}
+}
+
+func TestPeekPinSurvivesDelete(t *testing.T) {
+	s, _ := New(testHier(), true)
+	data := bufpool.Get(32)
+	copy(data, "pinned payload bytes")
+	if _, err := s.PutOwned(0, 0, "k", data, 32); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Peek("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := arenaPuts()
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	// The peek pin must keep the payload out of the arena...
+	if arenaPuts() != before {
+		t.Fatal("payload recycled while still pinned by Peek")
+	}
+	if string(b.Data[:6]) != "pinned" {
+		t.Error("pinned payload corrupted after delete")
+	}
+	// ...until Release drops the last reference.
+	s.Release(b)
+	if arenaPuts() <= before {
+		t.Error("Release of last pin did not recycle the payload")
+	}
+}
+
+func TestGetCopiesOwnedPayload(t *testing.T) {
+	s, _ := New(testHier(), true)
+	data := bufpool.Get(16)
+	copy(data, "owned-payload")
+	if _, err := s.PutOwned(0, 0, "k", data, 16); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.Get(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Data[0] = 'X' // caller may mutate a Get result freely
+	b2, err := s.Peek("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release(b2)
+	if string(b2.Data[:5]) != "owned" {
+		t.Error("mutating a Get result corrupted the stored payload")
 	}
 }

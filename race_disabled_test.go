@@ -1,0 +1,5 @@
+//go:build !race
+
+package hcompress
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package hcompress
+
+// raceEnabled reports that this binary was built with -race, which
+// deliberately randomizes sync.Pool reuse and so breaks allocation
+// accounting.
+const raceEnabled = true
