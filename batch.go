@@ -1,0 +1,212 @@
+package hcompress
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/bufpool"
+	"hcompress/internal/core"
+	"hcompress/internal/manager"
+	"hcompress/internal/stats"
+)
+
+// batchGroupKey identifies one HCDP planning equivalence class within a
+// batch: tasks with the same analyzed type, distribution, and size get
+// the same schema, so the engine is consulted once per group.
+type batchGroupKey struct {
+	typ  stats.DataType
+	dist stats.Dist
+	size int64
+}
+
+// CompressBatch writes many tasks as one schedule. All tasks are
+// analyzed up front (fanned across the shared worker pool), grouped by
+// analyzed {type, distribution, size} so the HCDP engine plans once per
+// group instead of once per task, and every sub-task of the batch is
+// submitted to the pool as a single job — one submission, one
+// directory pass, one virtual-clock round-trip for the whole burst.
+//
+// Tasks fail independently: the returned slice has one report per task
+// in input order, nil where that task failed, and the error joins every
+// per-task failure (each naming its task). Virtual timelines start at
+// the same clock reading for every task — exactly as the same tasks
+// issued concurrently through Compress would — and the clock advances to
+// the latest completion.
+func (c *Client) CompressBatch(tasks []Task) ([]*Report, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
+	reps := make([]*Report, len(tasks))
+	errs := make([]error, len(tasks))
+	attrs := make([]analyzer.Result, len(tasks))
+	for i := range tasks {
+		if tasks[i].Key == "" {
+			errs[i] = fmt.Errorf("hcompress: task %d: task key required", i)
+		} else if len(tasks[i].Data) == 0 {
+			errs[i] = fmt.Errorf("hcompress: task %d (%q): empty task data", i, tasks[i].Key)
+		}
+	}
+
+	// Stage 1: analyze every task up front. No lock held; the scans fan
+	// across the shared pool like codec work.
+	_ = c.pool.Run(len(tasks), func(_ *bufpool.Scratch, i int) error {
+		if errs[i] == nil {
+			attrs[i] = c.attrFor(tasks[i])
+		}
+		return nil
+	})
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	start := c.clock.Now()
+
+	// Stage 2: plan once per {type, dist, size} group. A group leader's
+	// planning failure marks only that task; the next member retries.
+	schemas := make(map[batchGroupKey]core.Schema, len(tasks))
+	reqs := make([]manager.WriteReq, 0, len(tasks))
+	reqIdx := make([]int, 0, len(tasks))
+	for i := range tasks {
+		if errs[i] != nil {
+			continue
+		}
+		size := int64(len(tasks[i].Data))
+		gk := batchGroupKey{typ: attrs[i].Type, dist: attrs[i].Dist, size: size}
+		schema, ok := schemas[gk]
+		if !ok {
+			var err error
+			schema, err = c.eng.Plan(start, attrs[i], size)
+			if err != nil {
+				errs[i] = fmt.Errorf("hcompress: planning %q: %w", tasks[i].Key, err)
+				continue
+			}
+			schemas[gk] = schema
+		}
+		reqs = append(reqs, manager.WriteReq{
+			Key: tasks[i].Key, Data: tasks[i].Data, Size: size,
+			Attr: attrs[i], Schema: schema,
+		})
+		reqIdx = append(reqIdx, i)
+	}
+
+	// Stage 3: execute the whole batch as one pool schedule.
+	results, rerrs := c.mgr.ExecuteWriteBatch(start, reqs)
+	maxEnd := start
+	for r := range reqs {
+		i := reqIdx[r]
+		res := results[r]
+		if rerrs[r] != nil {
+			// The monitor's view may have been stale; refresh and replan
+			// this task once, mirroring Compress.
+			c.mon.ForceRefresh()
+			c.cm.replans.Inc()
+			schema2, err2 := c.eng.Plan(start, attrs[i], reqs[r].Size)
+			if err2 != nil {
+				errs[i] = fmt.Errorf("hcompress: replanning %q: %w (after %v)", tasks[i].Key, err2, rerrs[r])
+				continue
+			}
+			res, err2 = c.mgr.ExecuteWrite(start, reqs[r].Key, reqs[r].Data, reqs[r].Size, attrs[i], schema2)
+			if err2 != nil {
+				errs[i] = fmt.Errorf("hcompress: executing %q: %w", tasks[i].Key, err2)
+				continue
+			}
+			reqs[r].Schema = schema2
+		}
+		if res.End > maxEnd {
+			maxEnd = res.End
+		}
+		rep := c.report(tasks[i].Key, reqs[r].Size, attrs[i], res, start)
+		rep.PredictedSeconds = reqs[r].Schema.PredTime
+		reps[i] = rep
+		if c.tel != nil {
+			c.compressTrace(tasks[i].Key, attrs[i], reqs[r].Size, reqs[r].Schema, res, start)
+		}
+	}
+	c.clock.AdvanceTo(maxEnd)
+	if c.tel != nil {
+		c.cm.batchTasks.Observe(float64(len(tasks)))
+		c.cm.ops["compress_batch"].Inc()
+		c.cm.opSeconds["compress_batch"].Observe(time.Since(wall).Seconds())
+		for i := range errs {
+			if errs[i] != nil {
+				c.cm.opErrs["compress_batch"].Inc()
+			}
+		}
+	}
+	return reps, errors.Join(errs...)
+}
+
+// DecompressBatch reads many tasks as one schedule: one directory pass
+// captures every task's metadata and every sub-task of the batch is
+// decompressed through a single pool submission. Like CompressBatch,
+// tasks fail independently, reports come back in input order (nil on
+// failure), and all timelines start at the same clock reading.
+func (c *Client) DecompressBatch(keys []string) ([]*Report, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	reps := make([]*Report, len(keys))
+	errs := make([]error, len(keys))
+	sizes := make([]int64, len(keys))
+	attrs := make([]analyzer.Result, len(keys))
+	for i, key := range keys {
+		size, attr, ok := c.mgr.TaskInfo(key)
+		if !ok {
+			errs[i] = fmt.Errorf("hcompress: unknown task %q", key)
+			continue
+		}
+		sizes[i], attrs[i] = size, attr
+	}
+
+	start := c.clock.Now()
+	results, rerrs := c.mgr.ExecuteReadBatch(start, keys)
+	maxEnd := start
+	for i := range keys {
+		if errs[i] != nil {
+			continue
+		}
+		if rerrs[i] != nil {
+			errs[i] = rerrs[i]
+			continue
+		}
+		res := results[i]
+		if res.End > maxEnd {
+			maxEnd = res.End
+		}
+		rep := c.report(keys[i], sizes[i], attrs[i], res, start)
+		rep.Data = res.Data
+		reps[i] = rep
+		if c.tel != nil {
+			c.decompressTrace(keys[i], res, start)
+		}
+	}
+	c.clock.AdvanceTo(maxEnd)
+	if c.tel != nil {
+		c.cm.batchTasks.Observe(float64(len(keys)))
+		c.cm.ops["decompress_batch"].Inc()
+		c.cm.opSeconds["decompress_batch"].Observe(time.Since(wall).Seconds())
+		for i := range errs {
+			if errs[i] != nil {
+				c.cm.opErrs["decompress_batch"].Inc()
+			}
+		}
+	}
+	return reps, errors.Join(errs...)
+}

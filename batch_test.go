@@ -1,0 +1,156 @@
+package hcompress
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hcompress/internal/stats"
+)
+
+func TestCompressBatchRoundTrip(t *testing.T) {
+	c := newClient(t, Config{})
+	var tasks []Task
+	var want [][]byte
+	for i := 0; i < 6; i++ {
+		var data []byte
+		if i%2 == 0 {
+			data = stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, int64(i))
+		} else {
+			data = []byte(strings.Repeat(fmt.Sprintf("tiered storage burst %d. ", i), 20000))
+		}
+		tasks = append(tasks, Task{Key: fmt.Sprintf("batch%d", i), Data: data})
+		want = append(want, data)
+	}
+	reps, err := c.CompressBatch(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(tasks) {
+		t.Fatalf("%d reports for %d tasks", len(reps), len(tasks))
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("report %d is nil", i)
+		}
+		if rep.Key != tasks[i].Key {
+			t.Errorf("report %d key %q, want %q (input order)", i, rep.Key, tasks[i].Key)
+		}
+		if rep.OriginalBytes != int64(len(want[i])) || rep.StoredBytes <= 0 {
+			t.Errorf("report %d: orig %d stored %d", i, rep.OriginalBytes, rep.StoredBytes)
+		}
+	}
+
+	keys := make([]string, len(tasks))
+	for i := range tasks {
+		keys[i] = tasks[i].Key
+	}
+	rreps, err := c.DecompressBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range rreps {
+		if rep == nil {
+			t.Fatalf("read report %d is nil", i)
+		}
+		if !bytes.Equal(rep.Data, want[i]) {
+			t.Fatalf("read %d: %d bytes, want %d", i, len(rep.Data), len(want[i]))
+		}
+		rep.Release()
+	}
+}
+
+// TestBatchMatchesSingleOpResults: a batch of one task must make the
+// same decisions the single-op path makes for the same data — same
+// schema, same placement, same stored bytes. Times are excluded: the
+// real oracle measures codec wall clocks, which never repeat exactly
+// (the virtual-time byte-identical contract is asserted in the manager
+// package under the deterministic model oracle).
+func TestBatchMatchesSingleOpResults(t *testing.T) {
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 7)
+	single := newClient(t, Config{})
+	batch := newClient(t, Config{})
+
+	srep, err := single.Compress(Task{Key: "k", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	breps, err := batch.CompressBatch([]Task{{Key: "k", Data: data}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brep := breps[0]
+	if srep.StoredBytes != brep.StoredBytes || srep.Ratio != brep.Ratio ||
+		srep.PredictedSeconds != brep.PredictedSeconds ||
+		srep.DataType != brep.DataType || srep.Distribution != brep.Distribution ||
+		len(srep.SubTasks) != len(brep.SubTasks) {
+		t.Fatalf("batch result differs from single-op:\nsingle %+v\nbatch  %+v", srep, brep)
+	}
+	for i := range srep.SubTasks {
+		s, b := srep.SubTasks[i], brep.SubTasks[i]
+		s.CodecSeconds, b.CodecSeconds = 0, 0 // wall-clock measured, not comparable
+		s.IOSeconds, b.IOSeconds = 0, 0       // offset by codec wall time, ulp-different
+		if s != b {
+			t.Fatalf("sub-task %d differs: single %+v batch %+v", i, s, b)
+		}
+	}
+}
+
+func TestCompressBatchFailsIndependently(t *testing.T) {
+	c := newClient(t, Config{})
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<19, 3)
+	reps, err := c.CompressBatch([]Task{
+		{Key: "ok0", Data: data},
+		{Key: "", Data: data},      // invalid: no key
+		{Key: "nodata", Data: nil}, // invalid: empty data
+		{Key: "ok1", Data: data},
+	})
+	if err == nil {
+		t.Fatal("batch with invalid tasks returned nil error")
+	}
+	if reps[0] == nil || reps[3] == nil {
+		t.Fatal("valid tasks did not produce reports")
+	}
+	if reps[1] != nil || reps[2] != nil {
+		t.Fatal("invalid tasks produced reports")
+	}
+	for _, key := range []string{"ok0", "ok1"} {
+		rep, err := c.Decompress(key)
+		if err != nil {
+			t.Fatalf("valid task %q unreadable after mixed batch: %v", key, err)
+		}
+		if !bytes.Equal(rep.Data, data) {
+			t.Fatalf("%q round-trip mismatch", key)
+		}
+		rep.Release()
+	}
+
+	rreps, err := c.DecompressBatch([]string{"ok0", "missing", "ok1"})
+	if err == nil {
+		t.Fatal("batch read with unknown key returned nil error")
+	}
+	if rreps[0] == nil || rreps[2] == nil || rreps[1] != nil {
+		t.Fatalf("read independence violated: %v", rreps)
+	}
+}
+
+func TestBatchOnClosedClient(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("x")
+	if _, err := c.CompressBatch([]Task{{Key: "k", Data: data}}); err != ErrClosed {
+		t.Errorf("CompressBatch on closed client: %v, want ErrClosed", err)
+	}
+	if _, err := c.DecompressBatch([]string{"k"}); err != ErrClosed {
+		t.Errorf("DecompressBatch on closed client: %v, want ErrClosed", err)
+	}
+	if _, err := c.CompressBatch(nil); err != nil {
+		t.Errorf("empty batch: %v, want nil", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"hcompress/internal/bufpool"
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
+	"hcompress/internal/fanout"
 	"hcompress/internal/manager"
 	"hcompress/internal/monitor"
 	"hcompress/internal/predictor"
@@ -118,7 +119,12 @@ type Client struct {
 	eng   *core.Engine
 	mgr   *manager.Manager
 	st    *store.Store
-	clock vclock // virtual time, self-locked
+	pool  *fanout.Pool // shared persistent worker pool for codec fan-outs
+	clock vclock       // virtual time, self-locked
+
+	// Background demoter (nil channels when DemotionInterval is zero).
+	demoteStop chan struct{}
+	demoteDone chan struct{}
 
 	// Telemetry (all nil/zero when off — the nil-registry fast path).
 	tel        *telemetry.Registry
@@ -184,6 +190,9 @@ func New(cfg Config) (*Client, error) {
 	mgr := manager.New(st, pred, oracle)
 	mgr.SetParallelism(cfg.Parallelism)
 	mgr.SetTelemetry(reg)
+	pool := fanout.NewPool(mgr.Parallelism())
+	pool.SetTelemetry(reg)
+	mgr.SetPool(pool)
 	c := &Client{
 		hier:     h,
 		sd:       sd,
@@ -192,6 +201,7 @@ func New(cfg Config) (*Client, error) {
 		eng:      eng,
 		mgr:      mgr,
 		st:       st,
+		pool:     pool,
 		tel:      reg,
 		sink:     telemetry.NewSink(cfg.TraceWriter),
 		cm:       newClientMetrics(reg),
@@ -208,10 +218,91 @@ func New(cfg Config) (*Client, error) {
 	if cfg.MetricsAddr != "" {
 		if err := c.startMetricsServer(cfg.MetricsAddr); err != nil {
 			expvarUnregister(c.expvarID)
+			pool.Close()
 			return nil, err
 		}
 	}
+	if cfg.DemotionInterval > 0 {
+		high, low := cfg.DemotionHighWater, cfg.DemotionLowWater
+		if high == 0 {
+			high = 0.85
+		}
+		if low == 0 {
+			low = 0.70
+		}
+		if !(0 < low && low < high && high <= 1) {
+			if c.metricsSrv != nil {
+				_ = c.metricsSrv.Close()
+			}
+			expvarUnregister(c.expvarID)
+			pool.Close()
+			return nil, fmt.Errorf("hcompress: demotion watermarks low=%v high=%v: need 0 < low < high <= 1", low, high)
+		}
+		c.demoteStop = make(chan struct{})
+		c.demoteDone = make(chan struct{})
+		go c.demoteLoop(cfg.DemotionInterval, high, low, cfg.DemotionSliceSubTasks)
+	}
 	return c, nil
+}
+
+// demoteLoop is the background demoter: every interval it drains any
+// tier filled past its high watermark down to the low watermark, one
+// bounded DemoteSlice at a time. It never takes the lifecycle lock —
+// Close stops the loop before tearing the store down, and each slice
+// synchronizes on the manager lock like any data-path operation — so
+// demotion can never deadlock with or stall behind Close.
+func (c *Client) demoteLoop(interval time.Duration, high, low float64, sliceN int) {
+	defer close(c.demoteDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.demoteStop:
+			return
+		case <-tick.C:
+			c.demoteOnce(high, low, sliceN)
+		}
+	}
+}
+
+// demoteOnce runs one demotion pass over every tier that has something
+// below it to demote into.
+func (c *Client) demoteOnce(high, low float64, sliceN int) {
+	for i := 0; i < c.hier.Len()-1; i++ {
+		capB := float64(c.hier.Tiers[i].Capacity)
+		if capB <= 0 || float64(c.st.Used(i)) < high*capB {
+			continue
+		}
+		// Above the high watermark: drain to the low watermark in
+		// bounded slices. A full cursor wrap that moves nothing means
+		// everything left is pinned above a full tier — give up until
+		// the next tick rather than spin.
+		var sinceWrap int64
+		for float64(c.st.Used(i)) > low*capB {
+			select {
+			case <-c.demoteStop:
+				return
+			default:
+			}
+			var wall time.Time
+			if c.tel != nil {
+				wall = time.Now()
+			}
+			moved, wrapped := c.mgr.DemoteSlice(c.clock.Now(), i, sliceN)
+			if c.tel != nil {
+				c.cm.demoteSlices.Inc()
+				c.cm.demoteBytes.Add(moved)
+				c.cm.demoteSeconds.Observe(time.Since(wall).Seconds())
+			}
+			sinceWrap += moved
+			if wrapped {
+				if sinceWrap == 0 {
+					break
+				}
+				sinceWrap = 0
+			}
+		}
+	}
 }
 
 func (c *Client) attrFor(t Task) analyzer.Result {
@@ -474,6 +565,14 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	// Stop the background demoter first (it never takes c.mu, so waiting
+	// under the write lock is safe), then the worker pool, so nothing
+	// touches the store once teardown begins.
+	if c.demoteStop != nil {
+		close(c.demoteStop)
+		<-c.demoteDone
+	}
+	c.pool.Close()
 	if c.metricsSrv != nil {
 		_ = c.metricsSrv.Close()
 		c.metricsSrv, c.metricsLn = nil, nil

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -38,10 +39,13 @@ func main() {
 		profile  = flag.Bool("profile", false, "profile this build's codecs for the truth table (slower start)")
 		seedOut  = flag.String("seed", "", "optional path to write the truth seed as JSON")
 		parallel = flag.Int("parallel", 0, "instead of experiments: drive N goroutines through one client and print aggregate throughput")
-		tasks    = flag.Int("tasks", 64, "with -parallel: write+read+delete cycles per goroutine")
+		tasks    = flag.Int("tasks", 64, "with -parallel: operations per goroutine")
 		taskSize = flag.Int("tasksize", 1<<20, "with -parallel/-n: bytes per task")
-		cycles   = flag.Int("n", 0, "total write+read+delete cycles through one client (implies the throughput harness; default -parallel 1)")
-		metrics  = flag.Bool("metrics", false, "with the throughput harness: enable telemetry, print per-op latency quantiles, and dump the Prometheus exposition at exit")
+		cycles   = flag.Int("n", 0, "total operations through one client (implies the throughput harness; default -parallel 1)")
+		batch    = flag.Int("batch", 1, "with the throughput harness: submit writes/reads in CompressBatch/DecompressBatch groups of this size (1 = per-op)")
+		mix      = flag.Float64("mix", 1.0, "with the throughput harness: fraction of operations that are writes (1.0 = write-only, 0.7 = 70% writes / 30% reads)")
+		demote   = flag.Duration("demote", 0, "with the throughput harness: background demotion interval (0 = off), e.g. 5ms")
+		metrics  = flag.Bool("metrics", false, "with the throughput harness: enable telemetry and dump the Prometheus exposition at exit")
 	)
 	flag.Parse()
 	var err error
@@ -50,6 +54,10 @@ func main() {
 		err = fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	case *cycles < 0:
 		err = fmt.Errorf("-n must be >= 1, got %d", *cycles)
+	case *batch < 1:
+		err = fmt.Errorf("-batch must be >= 1, got %d", *batch)
+	case *mix < 0 || *mix > 1:
+		err = fmt.Errorf("-mix must be in [0, 1], got %g", *mix)
 	case *parallel > 0 || *cycles > 0:
 		p := *parallel
 		if p == 0 {
@@ -59,7 +67,7 @@ func main() {
 		if *cycles > 0 {
 			tasksPer = (*cycles + p - 1) / p
 		}
-		err = runParallel(p, tasksPer, *taskSize, *metrics)
+		err = runParallel(p, tasksPer, *taskSize, *batch, *mix, *demote, *metrics)
 	default:
 		err = run(*exp, *scale, *profile, *seedOut)
 	}
@@ -70,41 +78,144 @@ func main() {
 }
 
 // runParallel stresses the concurrent client pipeline: n goroutines share
-// one Client, each running write+read+delete cycles on its own key space,
-// and the aggregate wall-clock throughput is printed. Run with -parallel 1
-// first for a serial baseline. With metrics, the client's telemetry
-// registry is on: per-op wall-latency quantiles are printed after the run
-// and the full Prometheus exposition is dumped to stdout.
-func runParallel(n, tasksPer, taskSize int, metrics bool) error {
-	c, err := hcompress.New(hcompress.Config{EnableTelemetry: metrics})
+// one Client, each performing tasksPer operations on its own key space. mix
+// selects the write fraction (reads replay previously written keys); batch
+// groups submissions through the CompressBatch/DecompressBatch APIs; demote
+// turns on the background demoter at that interval. Each goroutine keeps a
+// sliding window of live keys and deletes the oldest as it advances, so
+// occupancy stays flat without deletes dominating the op stream. Aggregate
+// ops/s, MB/s and client-side latency quantiles are printed; with metrics,
+// the full Prometheus exposition is dumped to stdout as well.
+func runParallel(n, tasksPer, taskSize, batch int, mix float64, demote time.Duration, metrics bool) error {
+	c, err := hcompress.New(hcompress.Config{
+		EnableTelemetry:  metrics,
+		DemotionInterval: demote,
+	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 3)
 
+	const window = 64 // live keys per goroutine before the oldest is deleted
 	var wg sync.WaitGroup
 	errs := make([]error, n)
+	writeLats := make([][]time.Duration, n)
+	readLats := make([][]time.Duration, n)
+	writeOps := make([]int, n)
+	readOps := make([]int, n)
 	begin := time.Now()
 	for g := 0; g < n; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			var live []string // keys written and not yet deleted, oldest first
+			var pendW []hcompress.Task
+			var pendR []string
+			next := 0 // key sequence number
+			flushW := func() error {
+				if len(pendW) == 0 {
+					return nil
+				}
+				op := time.Now()
+				if batch <= 1 {
+					if _, err := c.Compress(pendW[0]); err != nil {
+						return err
+					}
+				} else if _, err := c.CompressBatch(pendW); err != nil {
+					return err
+				}
+				writeLats[g] = append(writeLats[g], time.Since(op))
+				writeOps[g] += len(pendW)
+				pendW = pendW[:0]
+				return nil
+			}
+			flushR := func() error {
+				if len(pendR) == 0 {
+					return nil
+				}
+				op := time.Now()
+				if batch <= 1 {
+					rep, err := c.Decompress(pendR[0])
+					if err != nil {
+						return err
+					}
+					rep.Release()
+				} else {
+					reps, err := c.DecompressBatch(pendR)
+					if err != nil {
+						return err
+					}
+					for _, rep := range reps {
+						rep.Release()
+					}
+				}
+				readLats[g] = append(readLats[g], time.Since(op))
+				readOps[g] += len(pendR)
+				pendR = pendR[:0]
+				return nil
+			}
+			writes := 0
 			for i := 0; i < tasksPer; i++ {
-				key := fmt.Sprintf("p%d-%d", g, i)
-				if _, err := c.Compress(hcompress.Task{Key: key, Data: data}); err != nil {
-					errs[g] = err
-					return
-				}
-				if _, err := c.Decompress(key); err != nil {
-					errs[g] = err
-					return
-				}
-				if err := c.Delete(key); err != nil {
-					errs[g] = err
-					return
+				if float64(writes) < mix*float64(i+1) || len(live) == 0 {
+					key := fmt.Sprintf("p%d-%d", g, next)
+					next++
+					writes++
+					pendW = append(pendW, hcompress.Task{Key: key, Data: data})
+					live = append(live, key)
+					if len(pendW) >= batch {
+						if errs[g] = flushW(); errs[g] != nil {
+							return
+						}
+					}
+					// Slide the window: drop the oldest key. Flush only if
+					// that key is still a pending (unflushed) write or read —
+					// with window >> batch this almost never fires, so batches
+					// stay full.
+					if len(live) > window {
+						old := live[0]
+						live = live[1:]
+						for _, t := range pendW {
+							if t.Key == old {
+								if errs[g] = flushW(); errs[g] != nil {
+									return
+								}
+								break
+							}
+						}
+						for _, k := range pendR {
+							if k == old {
+								if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
+									return
+								}
+								if errs[g] = flushR(); errs[g] != nil {
+									return
+								}
+								break
+							}
+						}
+						if errs[g] = c.Delete(old); errs[g] != nil {
+							return
+						}
+					}
+				} else {
+					// Read a recently written key (round-robin over the window).
+					key := live[len(live)/2]
+					pendR = append(pendR, key)
+					if len(pendR) >= batch {
+						if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
+							return
+						}
+						if errs[g] = flushR(); errs[g] != nil {
+							return
+						}
+					}
 				}
 			}
+			if errs[g] = flushW(); errs[g] != nil {
+				return
+			}
+			errs[g] = flushR()
 		}(g)
 	}
 	wg.Wait()
@@ -114,21 +225,20 @@ func runParallel(n, tasksPer, taskSize int, metrics bool) error {
 			return fmt.Errorf("goroutine %d: %w", g, err)
 		}
 	}
-	ops := n * tasksPer
+	var wOps, rOps int
+	for g := 0; g < n; g++ {
+		wOps += writeOps[g]
+		rOps += readOps[g]
+	}
+	ops := wOps + rOps
 	bytes := float64(ops) * float64(taskSize)
-	fmt.Printf("parallel=%d tasks/goroutine=%d tasksize=%d\n", n, tasksPer, taskSize)
-	fmt.Printf("wall %.3fs  %.1f cycles/s  %.1f MB/s aggregate (write+read per cycle)\n",
-		wall, float64(ops)/wall, bytes/wall/1e6)
+	fmt.Printf("parallel=%d ops/goroutine=%d tasksize=%d batch=%d mix=%.2f demote=%s\n",
+		n, tasksPer, taskSize, batch, mix, demote)
+	fmt.Printf("wall %.3fs  %.1f ops/s  %.1f MB/s aggregate (%d writes, %d reads)\n",
+		wall, float64(ops)/wall, bytes/wall/1e6, wOps, rOps)
+	printQuantiles("write", batch, writeLats)
+	printQuantiles("read", batch, readLats)
 	if metrics {
-		snap := c.Snapshot()
-		for _, op := range []string{"compress", "decompress", "delete"} {
-			h, ok := snap.Histograms[fmt.Sprintf("hc_client_op_seconds{op=%q}", op)]
-			if !ok || h.Count == 0 {
-				continue
-			}
-			fmt.Printf("%-10s n=%-6d p50=%s p90=%s p99=%s\n",
-				op, h.Count, fmtDur(h.P50), fmtDur(h.P90), fmtDur(h.P99))
-		}
 		fmt.Println("--- prometheus exposition ---")
 		if err := c.WriteMetrics(os.Stdout); err != nil {
 			return err
@@ -137,9 +247,28 @@ func runParallel(n, tasksPer, taskSize int, metrics bool) error {
 	return nil
 }
 
-// fmtDur renders a latency quantile in seconds with readable units.
-func fmtDur(sec float64) string {
-	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+// printQuantiles merges per-goroutine submission latencies and prints
+// p50/p90/p99. With batch > 1 each sample covers one batch call.
+func printQuantiles(name string, batch int, perG [][]time.Duration) {
+	var all []time.Duration
+	for _, l := range perG {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	unit := "op"
+	if batch > 1 {
+		unit = fmt.Sprintf("batch of %d", batch)
+	}
+	fmt.Printf("%-6s n=%-7d p50=%-10s p90=%-10s p99=%-10s (per %s)\n",
+		name, len(all), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), unit)
 }
 
 func run(exp string, scale int, profile bool, seedOut string) error {

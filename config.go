@@ -3,6 +3,7 @@ package hcompress
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"hcompress/internal/seed"
 	"hcompress/internal/tier"
@@ -114,6 +115,24 @@ type Config struct {
 	// AuditLogSize bounds the in-memory decision-audit ring returned by
 	// Client.Audits (default 1024 when telemetry is on).
 	AuditLogSize int
+	// DemotionInterval, when positive, starts a background demoter: a
+	// goroutine that wakes every interval and, for each tier filled past
+	// its high watermark, trickles the oldest tasks one tier down in
+	// short bounded slices until the low watermark is reached — the
+	// paper's asynchronous buffer flush, without stalling the data path.
+	// Zero (the default) leaves demotion off.
+	DemotionInterval time.Duration
+	// DemotionHighWater is the occupancy fraction at which the demoter
+	// starts draining a tier (default 0.85).
+	DemotionHighWater float64
+	// DemotionLowWater is the occupancy fraction the demoter drains a
+	// tier down to before pausing (default 0.70). Must be below
+	// DemotionHighWater.
+	DemotionLowWater float64
+	// DemotionSliceSubTasks bounds how many sub-tasks one demotion slice
+	// may scan while holding the manager lock (default 64); smaller
+	// slices shorten the pauses demotion injects into the data path.
+	DemotionSliceSubTasks int
 
 	// modeled switches the manager to the deterministic ModelOracle and
 	// disables payload retention. Test-only (unexported): the trace

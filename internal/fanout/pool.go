@@ -1,0 +1,313 @@
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcompress/internal/bufpool"
+	"hcompress/internal/telemetry"
+)
+
+// Pool is a shared, persistent worker pool: a fixed set of long-lived
+// workers, each with a codec Scratch pinned for its whole lifetime,
+// executing work from every in-flight request. Requests submit a
+// fixed-size batch of items with Run; items are claimed in chunks, and
+// claiming rotates round-robin across the in-flight jobs, so one large
+// request cannot starve small ones — the cross-request interleaving a
+// per-call goroutine fan-out (ForEachWorker) cannot provide.
+//
+// The submitting goroutine helps execute its own items while it waits,
+// so a request always makes progress even when every worker is busy
+// with other requests, and total CPU concurrency stays bounded by
+// workers + in-flight requests rather than workers × requests.
+//
+// A Pool with width 1 spawns no goroutines at all: Run executes inline,
+// preserving the fully-serial Parallelism=1 contract.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []*poolJob // in-flight jobs with unclaimed items
+	rr      int        // round-robin cursor into jobs
+	queued  int        // items submitted but not yet claimed
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+
+	// Telemetry (nil when off; instrument methods no-op on nil).
+	depth *telemetry.Gauge
+	wait  *telemetry.Histogram
+	runs  *telemetry.Counter
+}
+
+// poolJob is one Run call's batch of items.
+type poolJob struct {
+	fn      func(s *bufpool.Scratch, i int) error
+	n       int
+	next    int // next unclaimed item; guarded by Pool.mu
+	chunk   int
+	pending atomic.Int64
+	errs    []error       // indexed by item; disjoint writers, read after done
+	done    chan struct{} // buffered(1): the last finisher sends one token
+	enq     time.Time
+	timed   bool
+}
+
+// jobPool recycles job shells (and their errs slices and done channels)
+// so steady-state Run calls allocate nothing.
+var jobPool = sync.Pool{New: func() any { return &poolJob{done: make(chan struct{}, 1)} }}
+
+// NewPool starts a pool of the given width; workers < 1 selects
+// GOMAXPROCS. Close must be called to stop the workers.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	if workers > 1 {
+		p.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// SetTelemetry registers the pool's instruments on reg: queue depth,
+// queue wait, and jobs submitted. Like the other SetTelemetry hooks it
+// is a construction-time option — call it before the pool is shared;
+// a nil registry leaves telemetry off.
+func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.depth = reg.Gauge("hc_pool_queue_depth", "sub-tasks submitted to the shared worker pool and not yet claimed")
+	p.wait = reg.Histogram("hc_pool_queue_wait_seconds", "time from job submission to each of its work spans starting", telemetry.SecondsBuckets)
+	p.runs = reg.Counter("hc_pool_jobs_total", "jobs submitted to the shared worker pool")
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth reports the items submitted but not yet claimed.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// chunkFor sizes the claim quantum: large jobs hand out multi-item
+// chunks to keep lock traffic low, but never so large that round-robin
+// interleaving degenerates into run-to-completion.
+func chunkFor(n, workers int) int {
+	c := n / (workers * 4)
+	if c < 1 {
+		return 1
+	}
+	if c > 32 {
+		return 32
+	}
+	return c
+}
+
+// Run executes fn(scratch, i) for every i in [0, n) and blocks until all
+// items complete. The scratch passed to fn is owned by the executing
+// worker for the duration of the call — per-worker state needs no
+// locking. All items are attempted even when one fails; the returned
+// error is the lowest-indexed one, matching serial execution (the
+// ForEachWorker contract). A nil, width-1, or closed pool runs inline.
+func (p *Pool) Run(n int, fn func(s *bufpool.Scratch, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		return runInline(n, fn)
+	}
+	j := jobPool.Get().(*poolJob)
+	j.fn, j.n, j.next = fn, n, 0
+	j.chunk = chunkFor(n, p.workers)
+	j.pending.Store(int64(n))
+	if cap(j.errs) < n {
+		j.errs = make([]error, n)
+	} else {
+		j.errs = j.errs[:n]
+		for i := range j.errs {
+			j.errs[i] = nil
+		}
+	}
+	j.timed = p.wait != nil
+	if j.timed {
+		j.enq = time.Now()
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		j.fn = nil
+		jobPool.Put(j)
+		return runInline(n, fn)
+	}
+	p.jobs = append(p.jobs, j)
+	p.queued += n
+	p.depth.Set(float64(p.queued))
+	p.runs.Inc()
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	p.help(j)
+	<-j.done
+
+	var first error
+	for _, err := range j.errs {
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	j.fn = nil
+	jobPool.Put(j)
+	return first
+}
+
+// runInline is the serial fallback: one borrowed scratch, items in order.
+func runInline(n int, fn func(s *bufpool.Scratch, i int) error) error {
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	var first error
+	for i := 0; i < n; i++ {
+		if err := fn(s, i); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// help lets the submitting goroutine execute chunks of its own job while
+// the pool's workers interleave it with every other in-flight request.
+func (p *Pool) help(j *poolJob) {
+	var s *bufpool.Scratch
+	for {
+		p.mu.Lock()
+		lo := j.next
+		if lo >= j.n {
+			p.mu.Unlock()
+			break
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.next = hi
+		if hi >= j.n {
+			// Taking the final chunk: drop the job from the queue now.
+			// The shell is recycled the moment Run returns, so no stale
+			// pointer may remain where a worker could read it.
+			for idx := range p.jobs {
+				if p.jobs[idx] == j {
+					p.jobs = append(p.jobs[:idx], p.jobs[idx+1:]...)
+					if p.rr > idx {
+						p.rr--
+					}
+					break
+				}
+			}
+		}
+		p.queued -= hi - lo
+		p.depth.Set(float64(p.queued))
+		p.mu.Unlock()
+		if s == nil {
+			s = bufpool.GetScratch()
+		}
+		p.runSpan(j, s, lo, hi)
+	}
+	if s != nil {
+		bufpool.PutScratch(s)
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	s := bufpool.GetScratch()
+	defer bufpool.PutScratch(s)
+	for {
+		j, lo, hi := p.claim()
+		if j == nil {
+			return
+		}
+		p.runSpan(j, s, lo, hi)
+	}
+}
+
+// claim blocks until work is available and takes the next chunk,
+// rotating across in-flight jobs. It returns a nil job only when the
+// pool is closed and every queued item has been claimed.
+func (p *Pool) claim() (*poolJob, int, int) {
+	p.mu.Lock()
+	for {
+		for len(p.jobs) > 0 {
+			if p.rr >= len(p.jobs) {
+				p.rr = 0
+			}
+			j := p.jobs[p.rr]
+			if j.next >= j.n { // drained by its submitter's help loop
+				p.jobs = append(p.jobs[:p.rr], p.jobs[p.rr+1:]...)
+				continue
+			}
+			lo := j.next
+			hi := lo + j.chunk
+			if hi >= j.n {
+				hi = j.n
+				j.next = j.n
+				p.jobs = append(p.jobs[:p.rr], p.jobs[p.rr+1:]...)
+			} else {
+				j.next = hi
+				p.rr++
+			}
+			p.queued -= hi - lo
+			p.depth.Set(float64(p.queued))
+			p.mu.Unlock()
+			return j, lo, hi
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, 0, 0
+		}
+		p.cond.Wait()
+	}
+}
+
+// runSpan executes one claimed chunk and signals job completion when it
+// finishes the last outstanding item.
+func (p *Pool) runSpan(j *poolJob, s *bufpool.Scratch, lo, hi int) {
+	if j.timed {
+		p.wait.Observe(time.Since(j.enq).Seconds())
+	}
+	for i := lo; i < hi; i++ {
+		if err := j.fn(s, i); err != nil {
+			j.errs[i] = err
+		}
+	}
+	if j.pending.Add(int64(lo-hi)) == 0 {
+		j.done <- struct{}{}
+	}
+}
+
+// Close stops the workers after every already-submitted job completes.
+// Run calls issued after Close execute inline, so Close never strands a
+// caller; it is idempotent.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

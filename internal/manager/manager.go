@@ -229,13 +229,18 @@ type SubResult struct {
 // the deterministic virtual-time rule is "codec times sum per the serial
 // model; only wall-clock work overlaps".
 type Manager struct {
-	mu     sync.Mutex
-	st     *store.Store
-	pred   *predictor.CCP
-	oracle Oracle
-	par    int // worker-pool width for sub-task codec work
-	tasks  map[string]*taskMeta
-	order  []string // write order, oldest first (drain policy)
+	mu      sync.Mutex
+	st      *store.Store
+	pred    *predictor.CCP
+	oracle  Oracle
+	par     int          // worker-pool width for sub-task codec work
+	pool    *fanout.Pool // shared persistent pool; nil falls back to per-call fan-out
+	tasks   map[string]*taskMeta
+	order   []string            // write order, oldest first (drain/demotion policy)
+	inOrder map[string]struct{} // keys present in order (deleted keys linger until compaction)
+	dead    int                 // order entries whose key has been deleted
+
+	demoteCur []int // per-source-tier cursor into order for DemoteSlice
 
 	tm mgrMetrics // nil instruments when telemetry is off
 }
@@ -252,6 +257,7 @@ type mgrMetrics struct {
 	reads     *telemetry.Counter
 	spills    *telemetry.Counter // placements that fell below the planned tier
 	drained   *telemetry.Counter // bytes trickled down by Drain
+	demoted   *telemetry.Counter // bytes trickled down by DemoteSlice
 }
 
 // SetTelemetry registers the manager's instruments on reg: per-codec
@@ -280,6 +286,7 @@ func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
 		reads:     reg.Counter("hc_manager_reads_total", "tasks read"),
 		spills:    reg.Counter("hc_manager_spills_total", "sub-tasks placed below their planned tier"),
 		drained:   reg.Counter("hc_manager_drained_bytes_total", "bytes trickled down by Drain"),
+		demoted:   reg.Counter("hc_manager_demoted_bytes_total", "bytes trickled down by the background demoter"),
 	}
 	for _, c := range all {
 		l := telemetry.L("codec", c.Name())
@@ -298,10 +305,32 @@ func New(st *store.Store, pred *predictor.CCP, oracle Oracle) *Manager {
 	}
 	m := &Manager{
 		st: st, pred: pred, oracle: oracle,
-		tasks: make(map[string]*taskMeta),
+		tasks:   make(map[string]*taskMeta),
+		inOrder: make(map[string]struct{}),
 	}
 	m.SetParallelism(0)
 	return m
+}
+
+// SetPool routes sub-task fan-outs through a shared persistent worker
+// pool instead of leasing scratches and spawning goroutines per call.
+// Like SetParallelism it is a construction-time option; a nil pool (the
+// default) keeps the legacy per-call fan-out, which the experiments
+// harness still uses.
+func (m *Manager) SetPool(p *fanout.Pool) { m.pool = p }
+
+// runFan executes fn(scratch, k) for every sub-task index k, through the
+// shared pool when one is attached and the per-call fan-out otherwise.
+// Both paths attempt every item and return the lowest-indexed error.
+func (m *Manager) runFan(n int, fn func(s *bufpool.Scratch, k int) error) error {
+	if m.pool != nil {
+		return m.pool.Run(n, fn)
+	}
+	scratches := leaseScratches(n, m.par)
+	defer returnScratches(scratches)
+	return fanout.ForEachWorker(n, m.par, func(w, k int) error {
+		return fn(scratches[w], k)
+	})
 }
 
 // SetParallelism bounds the worker pool fanning a task's sub-task codec
@@ -364,14 +393,18 @@ func (m *Manager) Drain(now, window float64) int64 {
 	timeline := now
 	var moved int64
 	nTiers := m.st.Hierarchy().Len()
+outer:
 	for _, key := range m.order {
 		meta, ok := m.tasks[key]
 		if !ok {
 			continue // deleted
 		}
 		for i := range meta.subs {
+			if timeline >= deadline {
+				break outer
+			}
 			sm := &meta.subs[i]
-			if sm.tier >= nTiers-1 || timeline >= deadline {
+			if sm.tier >= nTiers-1 {
 				continue
 			}
 			end, err := m.st.Move(timeline, sm.key, sm.tier+1)
@@ -382,12 +415,71 @@ func (m *Manager) Drain(now, window float64) int64 {
 			sm.tier++
 			moved += sm.stored
 		}
-		if timeline >= deadline {
-			break
-		}
 	}
 	m.tm.drained.Add(moved)
 	return moved
+}
+
+// DemoteSlice is the incremental form of Drain used by the background
+// demoter: one bounded critical section that scans at most maxSub
+// sub-tasks (default 64) from a per-tier cursor into the write-order
+// list, moving sub-tasks resident on tier from one tier down. Because
+// the lock is held only for the slice, demotion interleaves with the
+// data path instead of stalling it; repeated calls resume where the last
+// slice stopped, oldest task first. It reports the bytes moved and
+// whether the cursor wrapped past the end of the order list (a full pass
+// completed and the cursor reset to the oldest task).
+func (m *Manager) DemoteSlice(now float64, from, maxSub int) (moved int64, wrapped bool) {
+	if maxSub <= 0 {
+		maxSub = 64
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nTiers := m.st.Hierarchy().Len()
+	if from < 0 || from >= nTiers-1 {
+		return 0, true // nothing below the bottom tier to demote into
+	}
+	if m.demoteCur == nil {
+		m.demoteCur = make([]int, nTiers)
+	}
+	cur := m.demoteCur[from]
+	if cur >= len(m.order) {
+		cur = 0
+	}
+	timeline := now
+	scanned := 0
+	for cur < len(m.order) && scanned < maxSub {
+		key := m.order[cur]
+		cur++
+		meta, ok := m.tasks[key]
+		if !ok {
+			scanned++ // deleted key: skip, but charge the scan budget
+			continue
+		}
+		// A task's sub-tasks demote together so reads never straddle an
+		// in-progress demotion boundary mid-task.
+		for i := range meta.subs {
+			sm := &meta.subs[i]
+			scanned++
+			if sm.tier != from {
+				continue
+			}
+			end, err := m.st.Move(timeline, sm.key, from+1)
+			if err != nil {
+				continue // destination full; try the remaining blobs
+			}
+			timeline = end
+			sm.tier++
+			moved += sm.stored
+		}
+	}
+	wrapped = cur >= len(m.order)
+	if wrapped {
+		cur = 0
+	}
+	m.demoteCur[from] = cur
+	m.tm.demoted.Add(moved)
+	return moved, wrapped
 }
 
 // Store returns the underlying store.
@@ -401,6 +493,58 @@ func subKey(key string, k int) string {
 	return string(b)
 }
 
+// compOut carries one sub-task's stage-1 codec output into the serial
+// stage-2 replay. err is only populated on the batch path, where one
+// failing task must not abort its siblings' fan-out.
+type compOut struct {
+	c       codec.Codec
+	hdr     Header
+	payload []byte
+	stored  int64
+	secs    float64
+	err     error
+}
+
+// compressOne runs stage-1 codec work for a single sub-task.
+func (m *Manager) compressOne(s *bufpool.Scratch, data []byte, attr analyzer.Result, st *core.SubTask) (compOut, error) {
+	c, err := codec.ByID(st.Codec)
+	if err != nil {
+		return compOut{}, err
+	}
+	hdr := Header{Offset: st.Offset, Length: st.Length, Codec: st.Codec}
+	var piece []byte
+	if data != nil {
+		piece = data[st.Offset : st.Offset+st.Length]
+	}
+	payload, stored, secs, err := m.oracle.Compress(s, attr, c, piece, st.Length, hdr)
+	if err != nil {
+		return compOut{}, err
+	}
+	return compOut{c: c, hdr: hdr, payload: payload, stored: stored, secs: secs}, nil
+}
+
+// compressFan is stage 1 of a write: the per-sub-task codec work — pure
+// CPU over the caller's buffer — fanned across the worker pool. No locks
+// are held; each worker touches a disjoint slice of the buffer and a
+// disjoint outs element.
+func (m *Manager) compressFan(data []byte, attr analyzer.Result, subs []core.SubTask, outs []compOut) error {
+	var fanStart time.Time
+	if m.tm.queueWait != nil {
+		fanStart = time.Now()
+	}
+	return m.runFan(len(subs), func(s *bufpool.Scratch, k int) error {
+		if m.tm.queueWait != nil {
+			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+		}
+		o, err := m.compressOne(s, data, attr, &subs[k])
+		if err != nil {
+			return err
+		}
+		outs[k] = o
+		return nil
+	})
+}
+
 // ExecuteWrite runs a write schema in two stages. Stage one fans the
 // per-sub-task codec work — pure CPU over the caller's buffer — across
 // the worker pool; stage two replays the virtual timeline serially in
@@ -412,59 +556,27 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 	if data != nil && int64(len(data)) != size {
 		return Result{}, fmt.Errorf("manager: data length %d != size %d", len(data), size)
 	}
-	n := len(schema.SubTasks)
-
-	// Stage 1: codec fan-out. No locks are held; each worker touches a
-	// disjoint slice of the caller's buffer.
-	type compOut struct {
-		c       codec.Codec
-		hdr     Header
-		payload []byte
-		stored  int64
-		secs    float64
-	}
-	outs := make([]compOut, n)
-	var fanStart time.Time
-	if m.tm.queueWait != nil {
-		fanStart = time.Now()
-	}
-	scratches := leaseScratches(n, m.par)
-	defer returnScratches(scratches)
-	err := fanout.ForEachWorker(n, m.par, func(w, k int) error {
-		if m.tm.queueWait != nil {
-			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
-		}
-		st := schema.SubTasks[k]
-		c, err := codec.ByID(st.Codec)
-		if err != nil {
-			return err
-		}
-		hdr := Header{Offset: st.Offset, Length: st.Length, Codec: st.Codec}
-		var piece []byte
-		if data != nil {
-			piece = data[st.Offset : st.Offset+st.Length]
-		}
-		payload, stored, secs, err := m.oracle.Compress(scratches[w], attr, c, piece, st.Length, hdr)
-		if err != nil {
-			return err
-		}
-		outs[k] = compOut{c: c, hdr: hdr, payload: payload, stored: stored, secs: secs}
-		return nil
-	})
-	if err != nil {
+	outs := make([]compOut, len(schema.SubTasks))
+	if err := m.compressFan(data, attr, schema.SubTasks, outs); err != nil {
 		for i := range outs { // payloads were never handed to the store
 			bufpool.Put(outs[i].payload)
 		}
 		return Result{}, err
 	}
+	return m.placeTask(now, key, attr, schema.SubTasks, outs, size, nil)
+}
 
-	// Stage 2: serial timeline replay — placement, accounting, feedback —
-	// exactly as the serial model would have interleaved them.
+// placeTask is stage 2 of a write: the serial timeline replay —
+// placement, accounting, feedback — exactly as the serial model would
+// have interleaved them. On failure it returns every unplaced payload to
+// the arena. A non-nil fb defers predictor feedback to the caller's
+// batch accumulator instead of posting it per sub-task.
+func (m *Manager) placeTask(now float64, key string, attr analyzer.Result, subTasks []core.SubTask, outs []compOut, size int64, fb *fbBatch) (Result, error) {
 	res := Result{End: now}
 	meta := &taskMeta{attr: attr, size: size}
 	t := now
-	for k := range schema.SubTasks {
-		st := &schema.SubTasks[k]
+	for k := range subTasks {
+		st := &subTasks[k]
 		o := &outs[k]
 		t += o.secs
 		sk := subKey(key, k)
@@ -513,21 +625,161 @@ func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64,
 		// knows compression speed and ratio; decompression arrives on
 		// read).
 		if st.Codec != codec.None && o.secs > 0 {
-			m.pred.Feedback(attr.Type, attr.Dist, o.c.Name(), seed.CodecCost{
+			cost := seed.CodecCost{
 				CompressMBps: float64(st.Length) / (1 << 20) / o.secs,
 				Ratio:        ratioOf(st.Length, o.stored-HeaderSize),
-			})
+			}
+			if fb != nil {
+				fb.add(attr.Type, attr.Dist, o.c.Name(), cost)
+			} else {
+				m.pred.Feedback(attr.Type, attr.Dist, o.c.Name(), cost)
+			}
 		}
 	}
 	m.mu.Lock()
 	if _, existed := m.tasks[key]; !existed {
-		m.order = append(m.order, key)
+		if _, lingering := m.inOrder[key]; lingering {
+			// Rewrite of a deleted key whose order slot has not been
+			// compacted away yet: reuse the slot instead of appending a
+			// duplicate.
+			if m.dead > 0 {
+				m.dead--
+			}
+		} else {
+			m.order = append(m.order, key)
+			m.inOrder[key] = struct{}{}
+		}
 	}
 	m.tasks[key] = meta
 	m.mu.Unlock()
 	m.tm.writes.Inc()
 	res.End = t
 	return res, nil
+}
+
+// fbKey identifies one predictor cell: all observations for a given
+// (type, dist, codec) share a feature vector.
+type fbKey struct {
+	dt    stats.DataType
+	dist  stats.Dist
+	codec string
+}
+
+// fbBatch accumulates one batch's feedback per predictor cell so the
+// predictor absorbs each cell as a single run — one collapsed model
+// update per cell per batch instead of one per sub-task. Feedback order
+// within a cell is preserved; across cells it is grouped, which the
+// models cannot observe (each cell updates disjoint regressor state).
+type fbBatch struct {
+	idx  map[fbKey]int
+	keys []fbKey
+	runs [][]seed.CodecCost
+}
+
+func newFBBatch() *fbBatch { return &fbBatch{idx: make(map[fbKey]int)} }
+
+func (b *fbBatch) add(dt stats.DataType, dist stats.Dist, codecName string, cost seed.CodecCost) {
+	k := fbKey{dt, dist, codecName}
+	i, ok := b.idx[k]
+	if !ok {
+		i = len(b.runs)
+		b.idx[k] = i
+		b.keys = append(b.keys, k)
+		b.runs = append(b.runs, nil)
+	}
+	b.runs[i] = append(b.runs[i], cost)
+}
+
+func (b *fbBatch) flush(pred *predictor.CCP) {
+	for i, k := range b.keys {
+		pred.FeedbackRun(k.dt, k.dist, k.codec, b.runs[i])
+	}
+}
+
+// WriteReq is one task of an ExecuteWriteBatch: a fully planned write,
+// with the analysis and schema already resolved by the caller.
+type WriteReq struct {
+	Key    string
+	Data   []byte // nil in modeled mode
+	Size   int64
+	Attr   analyzer.Result
+	Schema core.Schema
+}
+
+// ExecuteWriteBatch executes many write schemas as a single fan-out: the
+// codec work of every sub-task of every request is submitted to the
+// worker pool as one schedule, then each request's timeline is replayed
+// serially from now — exactly as the same requests issued concurrently
+// through ExecuteWrite would start, but with one pool submission and one
+// directory-lock acquisition per request instead of per sub-task wave.
+// Requests fail independently: the i-th error is non-nil when the i-th
+// request failed, and its sub-task payloads are returned to the arena
+// without disturbing its siblings.
+func (m *Manager) ExecuteWriteBatch(now float64, reqs []WriteReq) ([]Result, []error) {
+	results := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+
+	// Flatten every request's sub-tasks into one pool job.
+	offs := make([]int, len(reqs)+1)
+	total := 0
+	for i := range reqs {
+		offs[i] = total
+		if reqs[i].Data != nil && int64(len(reqs[i].Data)) != reqs[i].Size {
+			errs[i] = fmt.Errorf("manager: data length %d != size %d", len(reqs[i].Data), reqs[i].Size)
+			continue // zero-width span: excluded from the fan
+		}
+		total += len(reqs[i].Schema.SubTasks)
+	}
+	offs[len(reqs)] = total
+	outs := make([]compOut, total)
+	reqOf := make([]int32, total)
+	for i := range reqs {
+		for f := offs[i]; f < offs[i+1]; f++ {
+			reqOf[f] = int32(i)
+		}
+	}
+
+	var fanStart time.Time
+	if m.tm.queueWait != nil {
+		fanStart = time.Now()
+	}
+	_ = m.runFan(total, func(s *bufpool.Scratch, f int) error {
+		if m.tm.queueWait != nil {
+			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+		}
+		i := int(reqOf[f])
+		o, err := m.compressOne(s, reqs[i].Data, reqs[i].Attr, &reqs[i].Schema.SubTasks[f-offs[i]])
+		o.err = err
+		outs[f] = o
+		return nil // per-request errors are carried in outs
+	})
+
+	// Replay each request's timeline; all start at now, like concurrent
+	// single-op writes sharing the same virtual clock reading. Feedback
+	// is accumulated per predictor cell and posted once for the whole
+	// batch.
+	fb := newFBBatch()
+	for i := range reqs {
+		if errs[i] != nil {
+			continue
+		}
+		span := outs[offs[i]:offs[i+1]]
+		for k := range span {
+			if span[k].err != nil && errs[i] == nil {
+				errs[i] = span[k].err
+			}
+		}
+		if errs[i] != nil {
+			for k := range span { // payloads were never handed to the store
+				bufpool.Put(span[k].payload)
+				span[k].payload = nil
+			}
+			continue
+		}
+		results[i], errs[i] = m.placeTask(now, reqs[i].Key, reqs[i].Attr, reqs[i].Schema.SubTasks, span, reqs[i].Size, fb)
+	}
+	fb.flush(m.pred)
+	return results, errs
 }
 
 func ratioOf(orig, stored int64) float64 {
@@ -541,132 +793,93 @@ func ratioOf(orig, stored int64) float64 {
 	return r
 }
 
-// ExecuteRead reads a previously written task: fetch every sub-task,
-// decode its metadata header, decompress with the library the header
-// names, and reassemble. In modeled mode the data is nil but timing and
-// feedback behave identically.
-//
-// It runs in three stages: payloads are peeked from the store without
-// advancing any tier timeline, decompression fans out across the worker
-// pool, and the virtual timeline (tier read, then decompression time, per
-// sub-task in order) is replayed serially — so the Result is identical
-// for every parallelism setting.
-func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
-	m.mu.Lock()
-	meta, ok := m.tasks[key]
-	var subs []subMeta
-	if ok {
-		// Copy: Drain mutates sub-task tiers under m.mu.
-		subs = append(subs, meta.subs...)
-	}
-	m.mu.Unlock()
-	if !ok {
-		return Result{}, fmt.Errorf("manager: unknown task %q", key)
-	}
-	n := len(subs)
-	real := m.st.KeepsData()
+// readOut carries one sub-task's stage-2 decompression output into the
+// serial stage-3 replay. err is only populated on the batch path.
+type readOut struct {
+	c    codec.Codec
+	hdr  Header
+	secs float64
+	err  error
+}
 
-	// Stage 1: fetch payloads without modeling I/O (the timed reads are
-	// replayed in stage 3 with the correct interleaved start times).
-	// Peek pins arena-owned payloads; the pins are dropped as soon as
-	// the decompression fan-out finishes.
-	blobs := make([]store.Blob, n)
+// decompressSub runs stage-2 work for a single sub-task: decode the
+// on-media header, decompress with the library it names, and land the
+// piece in its region of the shared reassembly buffer.
+func (m *Manager) decompressSub(s *bufpool.Scratch, attr analyzer.Result, sub *subMeta, blob store.Blob, resData []byte, k int, real bool) (readOut, error) {
+	hdr := sub.hdr
+	payload := blob.Data
+	var dst []byte
+	if real {
+		// Real mode: trust the on-media header, not the in-memory
+		// metadata — this is the "identify the compression library
+		// from the data itself" path.
+		var rest []byte
+		var err error
+		hdr, rest, err = DecodeHeader(blob.Data)
+		if err != nil {
+			return readOut{}, err
+		}
+		payload = rest
+		// Workers write disjoint regions of the shared buffer, so
+		// the decoded range must agree with the write-time metadata
+		// before a region is carved out for it.
+		if hdr.Offset != sub.hdr.Offset || hdr.Length != sub.hdr.Length {
+			return readOut{}, fmt.Errorf("manager: sub-task %d header range (%d,%d) disagrees with metadata (%d,%d)",
+				k, hdr.Offset, hdr.Length, sub.hdr.Offset, sub.hdr.Length)
+		}
+		if hdr.Offset+hdr.Length > int64(len(resData)) {
+			return readOut{}, fmt.Errorf("manager: sub-task exceeds task bounds")
+		}
+		// Full-slice expression: an overrunning codec reallocates
+		// instead of clobbering the neighbouring region.
+		dst = resData[hdr.Offset : hdr.Offset : hdr.Offset+hdr.Length]
+	}
+	c, err := codec.ByID(hdr.Codec)
+	if err != nil {
+		return readOut{}, err
+	}
+	piece, secs, err := m.oracle.Decompress(s, attr, c, payload, dst, hdr)
+	if err != nil {
+		return readOut{}, err
+	}
+	if real {
+		if int64(len(piece)) != hdr.Length {
+			return readOut{}, fmt.Errorf("manager: sub-task %d decompressed to %d bytes, want %d", k, len(piece), hdr.Length)
+		}
+		if len(piece) > 0 && &piece[0] != &resData[hdr.Offset] {
+			// The codec outgrew its region transiently and
+			// reallocated; land the piece with one copy.
+			copy(resData[hdr.Offset:hdr.Offset+hdr.Length], piece)
+		}
+	}
+	return readOut{c: c, hdr: hdr, secs: secs}, nil
+}
+
+// peekSubs is stage 1 of a read: fetch payloads without modeling I/O
+// (the timed reads are replayed in stage 3 with the correct interleaved
+// start times). Peek pins arena-owned payloads; callers drop the pins as
+// soon as the decompression fan-out finishes. On error every pin taken
+// so far is released.
+func (m *Manager) peekSubs(subs []subMeta, blobs []store.Blob) error {
 	for k := range subs {
 		blob, err := m.st.Peek(subs[k].key)
 		if err != nil {
 			for j := 0; j < k; j++ {
 				m.st.Release(blobs[j])
 			}
-			return Result{}, err
+			return err
 		}
 		blobs[k] = blob
 	}
+	return nil
+}
 
-	// One arena buffer holds the whole reassembled task; each worker
-	// decompresses straight into its region, so the read path performs
-	// no per-piece allocation and no reassembly copy. Ownership of the
-	// buffer passes to the caller via Result.Data.
-	var resData []byte
-	if real {
-		resData = bufpool.Get(int(meta.size))
-	}
-
-	// Stage 2: decompression fan-out — pure CPU, no locks held.
-	type readOut struct {
-		c    codec.Codec
-		hdr  Header
-		secs float64
-	}
-	outs := make([]readOut, n)
-	var fanStart time.Time
-	if m.tm.queueWait != nil {
-		fanStart = time.Now()
-	}
-	scratches := leaseScratches(n, m.par)
-	defer returnScratches(scratches)
-	err := fanout.ForEachWorker(n, m.par, func(w, k int) error {
-		if m.tm.queueWait != nil {
-			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
-		}
-		hdr := subs[k].hdr
-		payload := blobs[k].Data
-		var dst []byte
-		if real {
-			// Real mode: trust the on-media header, not the in-memory
-			// metadata — this is the "identify the compression library
-			// from the data itself" path.
-			var rest []byte
-			var err error
-			hdr, rest, err = DecodeHeader(blobs[k].Data)
-			if err != nil {
-				return err
-			}
-			payload = rest
-			// Workers write disjoint regions of the shared buffer, so
-			// the decoded range must agree with the write-time metadata
-			// before a region is carved out for it.
-			if hdr.Offset != subs[k].hdr.Offset || hdr.Length != subs[k].hdr.Length {
-				return fmt.Errorf("manager: sub-task %d header range (%d,%d) disagrees with metadata (%d,%d)",
-					k, hdr.Offset, hdr.Length, subs[k].hdr.Offset, subs[k].hdr.Length)
-			}
-			if hdr.Offset+hdr.Length > int64(len(resData)) {
-				return fmt.Errorf("manager: sub-task exceeds task bounds")
-			}
-			// Full-slice expression: an overrunning codec reallocates
-			// instead of clobbering the neighbouring region.
-			dst = resData[hdr.Offset : hdr.Offset : hdr.Offset+hdr.Length]
-		}
-		c, err := codec.ByID(hdr.Codec)
-		if err != nil {
-			return err
-		}
-		piece, secs, err := m.oracle.Decompress(scratches[w], meta.attr, c, payload, dst, hdr)
-		if err != nil {
-			return err
-		}
-		if real {
-			if int64(len(piece)) != hdr.Length {
-				return fmt.Errorf("manager: sub-task %d decompressed to %d bytes, want %d", k, len(piece), hdr.Length)
-			}
-			if len(piece) > 0 && &piece[0] != &resData[hdr.Offset] {
-				// The codec outgrew its region transiently and
-				// reallocated; land the piece with one copy.
-				copy(resData[hdr.Offset:hdr.Offset+hdr.Length], piece)
-			}
-		}
-		outs[k] = readOut{c: c, hdr: hdr, secs: secs}
-		return nil
-	})
-	for k := range blobs {
-		m.st.Release(blobs[k]) // stage 3 only needs sizes, not payloads
-	}
-	if err != nil {
-		bufpool.Put(resData)
-		return Result{}, err
-	}
-
-	// Stage 3: serial timeline replay and feedback (reassembly already
-	// happened in place during stage 2).
+// replayRead is stage 3 of a read: the serial timeline replay (tier
+// read, then decompression time, per sub-task in order) and the
+// decompression-speed feedback. Reassembly already happened in place
+// during stage 2; ownership of resData passes to the caller through
+// Result.Data on success.
+func (m *Manager) replayRead(now float64, attr analyzer.Result, subs []subMeta, blobs []store.Blob, outs []readOut, resData []byte, fb *fbBatch) (Result, error) {
 	res := Result{End: now}
 	res.Data = resData
 	t := now
@@ -692,9 +905,14 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 			m.tm.readBytes[o.hdr.Codec].Add(o.hdr.Length)
 		}
 		if o.hdr.Codec != codec.None && o.secs > 0 {
-			m.pred.Feedback(meta.attr.Type, meta.attr.Dist, o.c.Name(), seed.CodecCost{
+			cost := seed.CodecCost{
 				DecompressMBps: float64(o.hdr.Length) / (1 << 20) / o.secs,
-			})
+			}
+			if fb != nil {
+				fb.add(attr.Type, attr.Dist, o.c.Name(), cost)
+			} else {
+				m.pred.Feedback(attr.Type, attr.Dist, o.c.Name(), cost)
+			}
 		}
 	}
 	m.tm.reads.Inc()
@@ -702,12 +920,187 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 	return res, nil
 }
 
-// Delete removes a task's sub-tasks from the hierarchy.
+// ExecuteRead reads a previously written task: fetch every sub-task,
+// decode its metadata header, decompress with the library the header
+// names, and reassemble. In modeled mode the data is nil but timing and
+// feedback behave identically.
+//
+// It runs in three stages: payloads are peeked from the store without
+// advancing any tier timeline, decompression fans out across the worker
+// pool, and the virtual timeline (tier read, then decompression time, per
+// sub-task in order) is replayed serially — so the Result is identical
+// for every parallelism setting.
+func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
+	m.mu.Lock()
+	meta, ok := m.tasks[key]
+	var subs []subMeta
+	var attr analyzer.Result
+	var size int64
+	if ok {
+		// Copy: demotion mutates sub-task tiers under m.mu.
+		subs = append(subs, meta.subs...)
+		attr = meta.attr
+		size = meta.size
+	}
+	m.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("manager: unknown task %q", key)
+	}
+	n := len(subs)
+	real := m.st.KeepsData()
+
+	blobs := make([]store.Blob, n)
+	if err := m.peekSubs(subs, blobs); err != nil {
+		return Result{}, err
+	}
+
+	// One arena buffer holds the whole reassembled task; each worker
+	// decompresses straight into its region, so the read path performs
+	// no per-piece allocation and no reassembly copy. Ownership of the
+	// buffer passes to the caller via Result.Data.
+	var resData []byte
+	if real {
+		resData = bufpool.Get(int(size))
+	}
+
+	// Stage 2: decompression fan-out — pure CPU, no locks held.
+	outs := make([]readOut, n)
+	var fanStart time.Time
+	if m.tm.queueWait != nil {
+		fanStart = time.Now()
+	}
+	err := m.runFan(n, func(s *bufpool.Scratch, k int) error {
+		if m.tm.queueWait != nil {
+			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+		}
+		o, err := m.decompressSub(s, attr, &subs[k], blobs[k], resData, k, real)
+		if err != nil {
+			return err
+		}
+		outs[k] = o
+		return nil
+	})
+	for k := range blobs {
+		m.st.Release(blobs[k]) // stage 3 only needs sizes, not payloads
+	}
+	if err != nil {
+		bufpool.Put(resData)
+		return Result{}, err
+	}
+	return m.replayRead(now, attr, subs, blobs, outs, resData, nil)
+}
+
+// ExecuteReadBatch reads many tasks as a single fan-out: one directory
+// pass captures every task's metadata, every sub-task of every request
+// is decompressed through one pool submission, and each request's
+// timeline is replayed serially from now. Requests fail independently,
+// mirroring ExecuteWriteBatch.
+func (m *Manager) ExecuteReadBatch(now float64, keys []string) ([]Result, []error) {
+	results := make([]Result, len(keys))
+	errs := make([]error, len(keys))
+	subsAll := make([][]subMeta, len(keys))
+	attrs := make([]analyzer.Result, len(keys))
+	sizes := make([]int64, len(keys))
+
+	m.mu.Lock()
+	for i, key := range keys {
+		meta, ok := m.tasks[key]
+		if !ok {
+			errs[i] = fmt.Errorf("manager: unknown task %q", key)
+			continue
+		}
+		subsAll[i] = append([]subMeta(nil), meta.subs...)
+		attrs[i] = meta.attr
+		sizes[i] = meta.size
+	}
+	m.mu.Unlock()
+	real := m.st.KeepsData()
+
+	// Flatten every request's sub-tasks into one pool job; a request
+	// whose payloads cannot be pinned drops out with a zero-width span.
+	offs := make([]int, len(keys)+1)
+	total := 0
+	blobsAll := make([][]store.Blob, len(keys))
+	dataAll := make([][]byte, len(keys))
+	for i := range keys {
+		offs[i] = total
+		if errs[i] != nil {
+			continue
+		}
+		blobsAll[i] = make([]store.Blob, len(subsAll[i]))
+		if err := m.peekSubs(subsAll[i], blobsAll[i]); err != nil {
+			errs[i] = err
+			blobsAll[i] = nil
+			continue
+		}
+		if real {
+			dataAll[i] = bufpool.Get(int(sizes[i]))
+		}
+		total += len(subsAll[i])
+	}
+	offs[len(keys)] = total
+	outs := make([]readOut, total)
+	reqOf := make([]int32, total)
+	for i := range keys {
+		for f := offs[i]; f < offs[i+1]; f++ {
+			reqOf[f] = int32(i)
+		}
+	}
+
+	var fanStart time.Time
+	if m.tm.queueWait != nil {
+		fanStart = time.Now()
+	}
+	_ = m.runFan(total, func(s *bufpool.Scratch, f int) error {
+		if m.tm.queueWait != nil {
+			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+		}
+		i := int(reqOf[f])
+		k := f - offs[i]
+		o, err := m.decompressSub(s, attrs[i], &subsAll[i][k], blobsAll[i][k], dataAll[i], k, real)
+		o.err = err
+		outs[f] = o
+		return nil // per-request errors are carried in outs
+	})
+
+	fb := newFBBatch()
+	for i := range keys {
+		if blobsAll[i] == nil {
+			continue
+		}
+		for k := range blobsAll[i] {
+			m.st.Release(blobsAll[i][k]) // replay only needs sizes
+		}
+		span := outs[offs[i]:offs[i+1]]
+		for k := range span {
+			if span[k].err != nil && errs[i] == nil {
+				errs[i] = span[k].err
+			}
+		}
+		if errs[i] != nil {
+			bufpool.Put(dataAll[i])
+			continue
+		}
+		results[i], errs[i] = m.replayRead(now, attrs[i], subsAll[i], blobsAll[i], span, dataAll[i], fb)
+	}
+	fb.flush(m.pred)
+	return results, errs
+}
+
+// Delete removes a task's sub-tasks from the hierarchy. The key's slot
+// in the write-order list lingers until enough deletions accumulate,
+// then the list is compacted in one pass — so the drain/demotion scan
+// and the slice itself stay proportional to the live task count under
+// churn instead of growing forever.
 func (m *Manager) Delete(key string) error {
 	m.mu.Lock()
 	meta, ok := m.tasks[key]
 	if ok {
 		delete(m.tasks, key)
+		m.dead++
+		if m.dead*2 > len(m.order) && len(m.order) >= 16 {
+			m.compactOrderLocked()
+		}
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -761,6 +1154,29 @@ func (m *Manager) DataTypeOf(key string) (stats.DataType, bool) {
 		return 0, false
 	}
 	return meta.attr.Type, true
+}
+
+// compactOrderLocked drops deleted keys from the write-order list,
+// preserving the relative age of the survivors. Demotion cursors reset
+// to the oldest task; the next slice re-walks a prefix at worst. Caller
+// holds m.mu.
+func (m *Manager) compactOrderLocked() {
+	live := m.order[:0]
+	for _, k := range m.order {
+		if _, ok := m.tasks[k]; ok {
+			live = append(live, k)
+		} else {
+			delete(m.inOrder, k)
+		}
+	}
+	for i := len(live); i < len(m.order); i++ {
+		m.order[i] = "" // release the string for GC
+	}
+	m.order = live
+	m.dead = 0
+	for i := range m.demoteCur {
+		m.demoteCur[i] = 0
+	}
 }
 
 func errorsIsNoCapacity(err error) bool {

@@ -1,0 +1,330 @@
+package manager
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/fanout"
+	"hcompress/internal/stats"
+	"hcompress/internal/tier"
+)
+
+// writeModelTasks writes n modeled 1 MiB tasks named <prefix>0..n-1 and
+// returns the virtual time after the last one.
+func writeModelTasks(t *testing.T, e *env, prefix string, n int) float64 {
+	t.Helper()
+	attr := analyzer.Result{Type: stats.TypeFloat, Dist: stats.Gamma}
+	now := 0.0
+	for i := 0; i < n; i++ {
+		sc, err := e.eng.Plan(now, attr, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.mgr.ExecuteWrite(now, fmt.Sprintf("%s%d", prefix, i), nil, 1<<20, attr, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = res.End
+	}
+	return now
+}
+
+func TestDemoteSliceMovesOldestFirst(t *testing.T) {
+	hier := tier.Ares(8*tier.MB, 32*tier.MB, tier.GB, tier.TB)
+	e := newModelEnv(t, hier)
+	now := writeModelTasks(t, e, "d", 4)
+	if e.st.Used(0) == 0 {
+		t.Skip("engine placed nothing on RAM in this configuration")
+	}
+
+	// A slice big enough for exactly the first task's sub-tasks must
+	// demote the oldest task and leave the youngest untouched.
+	e.mgr.mu.Lock()
+	firstSubs := len(e.mgr.tasks["d0"].subs)
+	lastTier := e.mgr.tasks["d3"].subs[0].tier
+	e.mgr.mu.Unlock()
+	moved, wrapped := e.mgr.DemoteSlice(now, 0, firstSubs)
+	if moved <= 0 {
+		t.Fatal("slice over the oldest task moved nothing")
+	}
+	if wrapped {
+		t.Error("a slice bounded to the first task must not wrap past 4 tasks")
+	}
+	e.mgr.mu.Lock()
+	for _, sm := range e.mgr.tasks["d0"].subs {
+		if sm.tier == 0 {
+			t.Error("oldest task still has a sub-task on tier 0")
+		}
+	}
+	if got := e.mgr.tasks["d3"].subs[0].tier; got != lastTier {
+		t.Errorf("youngest task moved (tier %d -> %d) before older ones finished", lastTier, got)
+	}
+	cur := e.mgr.demoteCur[0]
+	e.mgr.mu.Unlock()
+	if cur == 0 {
+		t.Error("cursor did not advance; the next slice would rescan the same task")
+	}
+
+	// Repeated slices drain the rest; every task stays readable.
+	for i := 0; i < 64; i++ {
+		if _, wrapped := e.mgr.DemoteSlice(now, 0, 0); wrapped {
+			break
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.mgr.ExecuteRead(now+10, fmt.Sprintf("d%d", i)); err != nil {
+			t.Fatalf("read after demotion: %v", err)
+		}
+	}
+}
+
+func TestDemoteSliceSkipsDeletedAndStopsAtBottom(t *testing.T) {
+	hier := tier.Ares(8*tier.MB, 32*tier.MB, tier.GB, tier.TB)
+	e := newModelEnv(t, hier)
+	now := writeModelTasks(t, e, "d", 3)
+	if err := e.mgr.Delete("d0"); err != nil {
+		t.Fatal(err)
+	}
+	// The deleted key lingers in the order list; the slice must skip it
+	// without error and still demote the live tasks behind it.
+	moved, _ := e.mgr.DemoteSlice(now, 0, 1<<20)
+	if moved <= 0 {
+		t.Fatal("demotion moved nothing past a deleted key")
+	}
+
+	// No demotion out of the bottom tier.
+	bottom := e.st.Hierarchy().Len() - 1
+	moved, wrapped := e.mgr.DemoteSlice(now, bottom, 1<<20)
+	if moved != 0 || !wrapped {
+		t.Errorf("bottom tier: moved %d wrapped %v, want 0/true (nothing below to demote into)", moved, wrapped)
+	}
+	if moved, _ = e.mgr.DemoteSlice(now, -1, 8); moved != 0 {
+		t.Errorf("negative tier moved %d", moved)
+	}
+}
+
+func TestDemoteSliceBoundsCriticalSection(t *testing.T) {
+	hier := tier.Ares(64*tier.MB, tier.GB, tier.GB, tier.TB)
+	e := newModelEnv(t, hier)
+	now := writeModelTasks(t, e, "b", 12)
+	// With maxSub=1, one slice may touch at most one task's sub-tasks
+	// (a task demotes atomically, so the bound is per-task granular).
+	e.mgr.mu.Lock()
+	total := len(e.mgr.order)
+	e.mgr.mu.Unlock()
+	e.mgr.DemoteSlice(now, 0, 1)
+	e.mgr.mu.Lock()
+	cur := e.mgr.demoteCur[0]
+	e.mgr.mu.Unlock()
+	if cur != 1 {
+		t.Errorf("maxSub=1 advanced the cursor to %d, want 1 of %d", cur, total)
+	}
+}
+
+func TestOrderCompactsUnderChurn(t *testing.T) {
+	hier := tier.Ares(tier.GB, tier.GB, tier.GB, tier.TB)
+	e := newModelEnv(t, hier)
+	writeModelTasks(t, e, "c", 32)
+	for i := 0; i < 24; i++ {
+		if err := e.mgr.Delete(fmt.Sprintf("c%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mgr.mu.Lock()
+	orderLen, live, dead := len(e.mgr.order), len(e.mgr.tasks), e.mgr.dead
+	e.mgr.mu.Unlock()
+	if live != 8 {
+		t.Fatalf("%d live tasks, want 8", live)
+	}
+	if orderLen >= 32 {
+		t.Errorf("order list never compacted: %d entries for %d live tasks", orderLen, live)
+	}
+	if dead*2 > orderLen {
+		t.Errorf("compaction left %d dead of %d entries", dead, orderLen)
+	}
+}
+
+func TestRewriteAfterDeleteDoesNotDuplicateOrder(t *testing.T) {
+	hier := tier.Ares(tier.GB, tier.GB, tier.GB, tier.TB)
+	e := newModelEnv(t, hier)
+	attr := analyzer.Result{Type: stats.TypeFloat, Dist: stats.Gamma}
+	sc, err := e.eng.Plan(0, attr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.mgr.ExecuteWrite(0, "cycle", nil, 1<<20, attr, sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.mgr.Delete("cycle"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.mgr.ExecuteWrite(0, "cycle", nil, 1<<20, attr, sc); err != nil {
+		t.Fatal(err)
+	}
+	e.mgr.mu.Lock()
+	count := 0
+	for _, k := range e.mgr.order {
+		if k == "cycle" {
+			count++
+		}
+	}
+	e.mgr.mu.Unlock()
+	if count != 1 {
+		t.Errorf("key appears %d times in the order list after rewrite cycles, want 1", count)
+	}
+}
+
+// TestSharedPoolMatchesPerOpFanout is the acceptance gate for the pool
+// swap: the same task sequence through the shared persistent pool and
+// through the legacy per-call fan-out must produce identical Results —
+// End, CodecTime, IOTime, and every SubResult — at every Parallelism.
+func TestSharedPoolMatchesPerOpFanout(t *testing.T) {
+	hier := tier.Ares(8*tier.MB, 32*tier.MB, 128*tier.MB, tier.TB)
+	attr := analyzer.Result{Type: stats.TypeFloat, Dist: stats.Gamma}
+
+	type trace struct {
+		end, codec, io float64
+		subs           []SubResult
+	}
+	run := func(par int, shared bool) []trace {
+		e := newModelEnv(t, hier)
+		e.mgr.SetParallelism(par)
+		if shared {
+			p := fanout.NewPool(par)
+			defer p.Close()
+			e.mgr.SetPool(p)
+		}
+		var out []trace
+		now := 0.0
+		for i := 0; i < 12; i++ {
+			key := fmt.Sprintf("t%d", i)
+			sc, err := e.eng.Plan(now, attr, 24<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wres, err := e.mgr.ExecuteWrite(now, key, nil, 24<<20, attr, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, trace{wres.End, wres.CodecTime, wres.IOTime, wres.SubResults})
+			rres, err := e.mgr.ExecuteRead(wres.End, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, trace{rres.End, rres.CodecTime, rres.IOTime, rres.SubResults})
+			now = rres.End
+		}
+		return out
+	}
+
+	for _, par := range []int{1, 2, 4, 8} {
+		legacy := run(par, false)
+		pooled := run(par, true)
+		for i := range legacy {
+			l, p := legacy[i], pooled[i]
+			if l.end != p.end || l.codec != p.codec || l.io != p.io {
+				t.Fatalf("par=%d op %d: pooled (%v,%v,%v) != legacy (%v,%v,%v)",
+					par, i, p.end, p.codec, p.io, l.end, l.codec, l.io)
+			}
+			if len(l.subs) != len(p.subs) {
+				t.Fatalf("par=%d op %d: %d sub-results != %d", par, i, len(p.subs), len(l.subs))
+			}
+			for k := range l.subs {
+				if l.subs[k] != p.subs[k] {
+					t.Fatalf("par=%d op %d sub %d: %+v != %+v", par, i, k, p.subs[k], l.subs[k])
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteWriteBatchRealRoundTrip(t *testing.T) {
+	e := newRealEnv(t)
+	e.mgr.SetParallelism(4)
+	p := fanout.NewPool(4)
+	defer p.Close()
+	e.mgr.SetPool(p)
+
+	const n = 6
+	var reqs []WriteReq
+	var want [][]byte
+	for i := 0; i < n; i++ {
+		data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, int64(i))
+		attr := analyzer.Analyze(data)
+		sc, err := e.eng.Plan(0, attr, int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, WriteReq{
+			Key: fmt.Sprintf("b%d", i), Data: data, Size: int64(len(data)),
+			Attr: attr, Schema: sc,
+		})
+		want = append(want, data)
+	}
+	results, errs := e.mgr.ExecuteWriteBatch(0, reqs)
+	end := 0.0
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("req %d: %v", i, errs[i])
+		}
+		if results[i].Stored <= 0 || results[i].End <= 0 {
+			t.Fatalf("req %d: empty result %+v", i, results[i])
+		}
+		if results[i].End > end {
+			end = results[i].End
+		}
+	}
+
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("b%d", i)
+	}
+	rres, rerrs := e.mgr.ExecuteReadBatch(end, keys)
+	for i := range keys {
+		if rerrs[i] != nil {
+			t.Fatalf("read %d: %v", i, rerrs[i])
+		}
+		if !bytes.Equal(rres[i].Data, want[i]) {
+			t.Fatalf("read %d: round-trip mismatch (%d bytes vs %d)", i, len(rres[i].Data), len(want[i]))
+		}
+	}
+}
+
+func TestExecuteBatchFailsIndependently(t *testing.T) {
+	e := newRealEnv(t)
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 1<<20, 1)
+	attr := analyzer.Analyze(data)
+	sc, err := e.eng.Plan(0, attr, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []WriteReq{
+		{Key: "good0", Data: data, Size: int64(len(data)), Attr: attr, Schema: sc},
+		{Key: "bad", Data: data, Size: int64(len(data)) + 1, Attr: attr, Schema: sc}, // size mismatch
+		{Key: "good1", Data: data, Size: int64(len(data)), Attr: attr, Schema: sc},
+	}
+	_, errs := e.mgr.ExecuteWriteBatch(0, reqs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy requests failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("size-mismatched request succeeded")
+	}
+
+	rres, rerrs := e.mgr.ExecuteReadBatch(0, []string{"good0", "missing", "good1"})
+	if rerrs[0] != nil || rerrs[2] != nil {
+		t.Fatalf("healthy reads failed: %v / %v", rerrs[0], rerrs[2])
+	}
+	if rerrs[1] == nil {
+		t.Fatal("unknown key read succeeded")
+	}
+	for _, i := range []int{0, 2} {
+		if !bytes.Equal(rres[i].Data, data) {
+			t.Fatalf("read %d mismatch", i)
+		}
+	}
+}

@@ -56,6 +56,7 @@ type observation struct {
 	dist   stats.Dist
 	codec  string
 	actual seed.CodecCost
+	run    []seed.CodecCost // batched feedback: a run of same-cell costs (actual unused)
 }
 
 // CCP is the predictor. Safe for concurrent use.
@@ -64,6 +65,7 @@ type CCP struct {
 	models    map[modelKey]*stats.RLS
 	interval  int
 	pending   []observation
+	pendingN  int // observations queued (runs count their length)
 	feedbacks int // total observations absorbed
 	queued    int // total observations received
 
@@ -133,7 +135,7 @@ func New(s *seed.Seed) *CCP {
 		for _, dist := range stats.AllDists() {
 			for _, name := range s.CodecNames() {
 				if cost, ok := s.Costs[seed.Key(dt, dist, name)]; ok && cost.Valid() {
-					c.absorb(observation{dt, dist, name, cost})
+					c.absorb(observation{dt: dt, dist: dist, codec: name, actual: cost})
 				}
 			}
 		}
@@ -213,9 +215,42 @@ func (c *CCP) Feedback(dt stats.DataType, dist stats.Dist, codecName string, act
 	defer c.mu.Unlock()
 	c.queued++
 	c.tmQueued.Inc()
-	c.pending = append(c.pending, observation{dt, dist, codecName, actual})
-	c.tmPending.Set(float64(len(c.pending)))
-	if len(c.pending) >= c.interval {
+	c.pending = append(c.pending, observation{dt: dt, dist: dist, codec: codecName, actual: actual})
+	c.pendingN++
+	c.tmPending.Set(float64(c.pendingN))
+	if c.pendingN >= c.interval {
+		c.flushLocked()
+	}
+}
+
+// FeedbackRun queues a run of measured costs for one (type, dist, codec)
+// cell — the batch write path produces one run per codec per group. The
+// run is absorbed with RLS's collapsed same-regressor update, so a batch
+// costs one covariance update per model instead of one per observation.
+func (c *CCP) FeedbackRun(dt stats.DataType, dist stats.Dist, codecName string, actuals []seed.CodecCost) {
+	n := 0
+	for _, a := range actuals {
+		if a.CompressMBps > 0 || a.DecompressMBps > 0 || a.Ratio >= 1 {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	run := make([]seed.CodecCost, 0, n)
+	for _, a := range actuals {
+		if a.CompressMBps > 0 || a.DecompressMBps > 0 || a.Ratio >= 1 {
+			run = append(run, a)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queued += n
+	c.tmQueued.Add(int64(n))
+	c.pending = append(c.pending, observation{dt: dt, dist: dist, codec: codecName, run: run})
+	c.pendingN += n
+	c.tmPending.Set(float64(c.pendingN))
+	if c.pendingN >= c.interval {
 		c.flushLocked()
 	}
 }
@@ -229,14 +264,55 @@ func (c *CCP) Flush() {
 }
 
 func (c *CCP) flushLocked() {
-	if len(c.pending) > 0 {
-		c.tmBatch.Observe(float64(len(c.pending)))
+	if c.pendingN > 0 {
+		c.tmBatch.Observe(float64(c.pendingN))
 	}
 	for _, o := range c.pending {
-		c.absorb(o)
+		if o.run != nil {
+			c.absorbRun(o)
+		} else {
+			c.absorb(o)
+		}
 	}
 	c.pending = c.pending[:0]
+	c.pendingN = 0
 	c.tmPending.Set(0)
+}
+
+// absorbRun folds a same-cell run into the models. With telemetry on it
+// falls back to per-observation absorption so the relative-error
+// histograms grade every one-step-ahead prediction; with telemetry off
+// it uses the collapsed same-regressor RLS update.
+func (c *CCP) absorbRun(o observation) {
+	if c.reg != nil {
+		for _, a := range o.run {
+			c.absorb(observation{dt: o.dt, dist: o.dist, codec: o.codec, actual: a})
+		}
+		return
+	}
+	f := features(o.dt, o.dist)
+	var comp, dec, ratio []float64
+	for _, a := range o.run {
+		if a.CompressMBps > 0 {
+			comp = append(comp, a.CompressMBps)
+		}
+		if a.DecompressMBps > 0 {
+			dec = append(dec, a.DecompressMBps)
+		}
+		if a.Ratio >= 1 {
+			ratio = append(ratio, a.Ratio)
+		}
+	}
+	if len(comp) > 0 {
+		c.model(o.codec, TargetCompress).ObserveRun(f, comp)
+	}
+	if len(dec) > 0 {
+		c.model(o.codec, TargetDecompress).ObserveRun(f, dec)
+	}
+	if len(ratio) > 0 {
+		c.model(o.codec, TargetRatio).ObserveRun(f, ratio)
+	}
+	c.feedbacks += len(o.run)
 }
 
 // R2 reports the running one-step-ahead R^2 averaged across models that

@@ -57,6 +57,44 @@ func TestFeedbackBatching(t *testing.T) {
 	}
 }
 
+// TestFeedbackRunMatchesSequential: a run queued through FeedbackRun
+// must land the models where the same costs fed one-by-one land them,
+// and runs must count observation-by-observation toward the flush
+// interval.
+func TestFeedbackRunMatchesSequential(t *testing.T) {
+	mk := func() *CCP {
+		s := seed.Builtin(tier.Ares(tier.GB, tier.GB, tier.GB, tier.GB))
+		s.FeedbackInterval = 8
+		return New(s)
+	}
+	seqC, runC := mk(), mk()
+	_, before := runC.Stats() // seed bootstrap absorbs count too
+	costs := make([]seed.CodecCost, 24)
+	for i := range costs {
+		costs[i] = seed.CodecCost{CompressMBps: 300 + float64(i), Ratio: 2.5}
+	}
+	for _, a := range costs {
+		seqC.Feedback(stats.TypeInt, stats.Gamma, "lz4", a)
+	}
+	runC.FeedbackRun(stats.TypeInt, stats.Gamma, "lz4", costs)
+	if _, a := runC.Stats(); a != before+24 {
+		t.Fatalf("run of 24 over interval 8 absorbed %d (baseline %d)", a, before)
+	}
+	sp, _ := seqC.Predict(stats.TypeInt, stats.Gamma, "lz4")
+	rp, _ := runC.Predict(stats.TypeInt, stats.Gamma, "lz4")
+	if math.Abs(sp.CompressMBps-rp.CompressMBps) > 1e-6*sp.CompressMBps ||
+		math.Abs(sp.Ratio-rp.Ratio) > 1e-6*sp.Ratio {
+		t.Errorf("run prediction %+v differs from sequential %+v", rp, sp)
+	}
+
+	// Invalid entries are dropped, not absorbed.
+	c := mk()
+	c.FeedbackRun(stats.TypeInt, stats.Gamma, "lz4", []seed.CodecCost{{}, {}})
+	if q, _ := c.Stats(); q != 0 {
+		t.Errorf("invalid run entries queued: %d", q)
+	}
+}
+
 func TestFeedbackCorrectsModel(t *testing.T) {
 	// Seed says lz4 compresses int/gamma at ~900 MB/s; the "real system"
 	// disagrees (300 MB/s). After feedback the prediction must move to

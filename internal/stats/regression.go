@@ -362,6 +362,79 @@ func (r *RLS) Observe(x []float64, y float64) {
 	}
 }
 
+// ObserveRun folds in a run of observations that share one feature
+// vector, as batched feedback produces. It follows the same sequential
+// recursion as calling Observe once per y: with a fixed regressor the
+// gain stays collinear with P·phi, so the k rank-1 covariance updates
+// collapse to scalar recursions plus a single rank-1 write at the end —
+// O(p^2 + k·p) instead of O(k·p^2). Results match the sequential path
+// up to floating-point reassociation.
+func (r *RLS) ObserveRun(x []float64, ys []float64) {
+	if len(ys) == 0 {
+		return
+	}
+	if len(ys) == 1 {
+		r.Observe(x, ys[0])
+		return
+	}
+	phi := r.phi
+	phi[0] = 1
+	n := copy(phi[1:], x)
+	for i := 1 + n; i < r.p; i++ {
+		phi[i] = 0
+	}
+	// q0 = P·phi and s0 = phi'·P·phi for the pre-run covariance; every
+	// intermediate P_i is a·P0 + b·q0·q0', so the whole run reduces to
+	// the scalars (a, b) plus the running prediction.
+	q := r.pphi
+	for i := 0; i < r.p; i++ {
+		q[i] = 0
+		for j := 0; j < r.p; j++ {
+			q[i] += r.pmat[i][j] * phi[j]
+		}
+	}
+	s0 := 0.0
+	for i := 0; i < r.p; i++ {
+		s0 += phi[i] * q[i]
+	}
+	pred := r.Predict(x)
+	a, b, coefA := 1.0, 0.0, 0.0
+	const alpha = 0.05
+	for _, y := range ys {
+		r.nobs++
+		r.seen++
+		e := y - pred
+		denom := math.Abs(y)
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		rel := 1 - math.Abs(e)/denom
+		if rel < 0 {
+			rel = 0
+		}
+		if !r.accInit {
+			r.acc = rel
+			r.accInit = true
+		} else {
+			r.acc += alpha * (rel - r.acc)
+		}
+		c := a + b*s0 // q_i = c·q0, s_i = c·s0
+		den := r.lambda + c*s0
+		coefA += c * e / den
+		pred += c * s0 / den * e
+		a /= r.lambda
+		b = (b - c*c/den) / r.lambda
+	}
+	for i := 0; i < r.p; i++ {
+		r.theta[i] += coefA * q[i]
+	}
+	for i := 0; i < r.p; i++ {
+		for j := 0; j < r.p; j++ {
+			r.pmat[i][j] = a*r.pmat[i][j] + b*q[i]*q[j]
+		}
+	}
+}
+
 // R2 reports the running one-step-ahead prediction accuracy (the
 // "accuracy (R2)" metric of the paper's Fig. 4(b)), in [0, 1].
 func (r *RLS) R2() float64 {

@@ -161,6 +161,11 @@ type clientMetrics struct {
 	sizeRelErr *telemetry.Histogram // |stored-predicted|/predicted per sub-task
 	timeRelErr *telemetry.Histogram
 	replans    *telemetry.Counter
+
+	batchTasks    *telemetry.Histogram // tasks per batch call
+	demoteSlices  *telemetry.Counter   // demotion slices executed
+	demoteBytes   *telemetry.Counter   // bytes moved down by the demoter
+	demoteSeconds *telemetry.Histogram // wall pause per demotion slice
 }
 
 func newClientMetrics(reg *telemetry.Registry) clientMetrics {
@@ -174,8 +179,13 @@ func newClientMetrics(reg *telemetry.Registry) clientMetrics {
 		sizeRelErr: reg.Histogram("hc_hcdp_size_relerr", "per-sub-task |stored-predicted|/predicted size error", telemetry.RelErrBuckets),
 		timeRelErr: reg.Histogram("hc_hcdp_time_relerr", "per-sub-task |actual-predicted|/predicted duration error", telemetry.RelErrBuckets),
 		replans:    reg.Counter("hc_client_replans_total", "writes that replanned after a stale-capacity failure"),
+
+		batchTasks:    reg.Histogram("hc_client_batch_tasks", "tasks per CompressBatch/DecompressBatch call", telemetry.DepthBuckets),
+		demoteSlices:  reg.Counter("hc_demoter_slices_total", "bounded demotion slices executed by the background demoter"),
+		demoteBytes:   reg.Counter("hc_demoter_bytes_total", "bytes the background demoter moved down the hierarchy"),
+		demoteSeconds: reg.Histogram("hc_demoter_slice_seconds", "wall-clock pause injected by one demotion slice", telemetry.SecondsBuckets),
 	}
-	for _, op := range []string{"compress", "decompress", "delete"} {
+	for _, op := range []string{"compress", "decompress", "delete", "compress_batch", "decompress_batch"} {
 		l := telemetry.L("op", op)
 		cm.opSeconds[op] = reg.Histogram("hc_client_op_seconds", "wall-clock operation latency", telemetry.SecondsBuckets, l)
 		cm.ops[op] = reg.Counter("hc_client_ops_total", "operations completed", l)

@@ -1,0 +1,196 @@
+package hcompress
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hcompress/internal/stats"
+)
+
+// throughputWriters is the concurrency level the acceptance gate and the
+// benchmark both run at: 8 concurrent clients sharing one library handle.
+const throughputWriters = 8
+
+// runWriteLoad drives total writes (plus deletes, to keep occupancy
+// flat) across throughputWriters goroutines and returns ops/second.
+// batch <= 1 issues per-op Compress calls; batch > 1 groups writes into
+// CompressBatch calls of that size.
+func runWriteLoad(tb testing.TB, c *Client, data []byte, total, batch int) float64 {
+	tb.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	startAll := time.Now()
+	for w := 0; w < throughputWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if batch <= 1 {
+					i := next.Add(1) - 1
+					if i >= int64(total) {
+						return
+					}
+					key := fmt.Sprintf("w%d-%d", w, i)
+					if _, err := c.Compress(Task{Key: key, Data: data,
+						DataType: "float", Distribution: "gamma"}); err != nil {
+						tb.Error(err)
+						return
+					}
+					if err := c.Delete(key); err != nil {
+						tb.Error(err)
+						return
+					}
+				} else {
+					lo := next.Add(int64(batch)) - int64(batch)
+					if lo >= int64(total) {
+						return
+					}
+					hi := lo + int64(batch)
+					if hi > int64(total) {
+						hi = int64(total)
+					}
+					tasks := make([]Task, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						tasks = append(tasks, Task{Key: fmt.Sprintf("w%d-%d", w, i),
+							Data: data, DataType: "float", Distribution: "gamma"})
+					}
+					if _, err := c.CompressBatch(tasks); err != nil {
+						tb.Error(err)
+						return
+					}
+					for i := range tasks {
+						if err := c.Delete(tasks[i].Key); err != nil {
+							tb.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(total) / time.Since(startAll).Seconds()
+}
+
+// BenchmarkClientThroughput is the throughput engine's gate benchmark:
+// 8 concurrent clients writing 256 KiB tasks through one handle while
+// the background demoter runs, per-op vs batched submission. Compare
+// the two sub-benchmarks' ops/s (and MB/s via the byte rate).
+func BenchmarkClientThroughput(b *testing.B) {
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 256<<10, 3)
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{{"PerOp", 1}, {"Batched16", 16}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, err := New(Config{DemotionInterval: 5 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			ops := runWriteLoad(b, c, data, b.N, mode.batch)
+			b.ReportMetric(ops, "ops/s")
+		})
+	}
+}
+
+// TestBatchThroughputGate enforces the ISSUE 4 acceptance bar: batched
+// submission must reach at least 1.5x the per-op ops/s at 8 concurrent
+// clients. It runs in modeled mode with full type/distribution hints and
+// small tasks, so the per-task work is dominated by exactly the overhead
+// batching amortizes (planning, clock round-trips, lock traffic) rather
+// than by codec CPU that is identical in both modes.
+func TestBatchThroughputGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement is meaningless under -short")
+	}
+	if raceEnabled {
+		t.Skip("-race serializes everything; throughput ratios are meaningless")
+	}
+	c := newClient(t, Config{modeled: true})
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 64<<10, 3)
+	const total = 4000
+	runWriteLoad(t, c, data, 500, 1) // warm caches and models
+	perOp := runWriteLoad(t, c, data, total, 1)
+	batched := runWriteLoad(t, c, data, total, 16)
+	ratio := batched / perOp
+	t.Logf("per-op %.0f ops/s, batched %.0f ops/s: %.2fx", perOp, batched, ratio)
+	if ratio < 1.5 {
+		t.Errorf("batched submission is %.2fx per-op ops/s, want >= 1.5x", ratio)
+	}
+}
+
+// writeP99 measures the p99 wall latency of single-op writes under the
+// gate's standard concurrency.
+func writeP99(tb testing.TB, c *Client, data []byte, total int) time.Duration {
+	tb.Helper()
+	lats := make([]time.Duration, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < throughputWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				key := fmt.Sprintf("p%d-%d", w, i)
+				op := time.Now()
+				if _, err := c.Compress(Task{Key: key, Data: data,
+					DataType: "float", Distribution: "gamma"}); err != nil {
+					tb.Error(err)
+					return
+				}
+				lats[i] = time.Since(op)
+				if err := c.Delete(key); err != nil {
+					tb.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[total*99/100]
+}
+
+// TestDemotionLatencyGate enforces the second ISSUE 4 acceptance bar:
+// running the background demoter concurrently must degrade write p99
+// latency by less than 20% (plus a small absolute allowance for CI
+// timer noise — demotion slices are bounded, so the injected pauses are
+// microseconds, far below the allowance).
+func TestDemotionLatencyGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement is meaningless under -short")
+	}
+	if raceEnabled {
+		t.Skip("-race distorts latency; the gate is meaningless")
+	}
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, 256<<10, 3)
+	const total = 1200
+
+	run := func(interval time.Duration) time.Duration {
+		c := newClient(t, Config{
+			Tiers:                 demoteTiers(),
+			DemotionInterval:      interval,
+			DemotionSliceSubTasks: 8,
+		})
+		writeP99(t, c, data, 200) // warm-up
+		return writeP99(t, c, data, total)
+	}
+	off := run(0)
+	on := run(time.Millisecond)
+	t.Logf("write p99: demotion off %v, demotion on %v", off, on)
+	limit := off + off/5 + 2*time.Millisecond
+	if on > limit {
+		t.Errorf("write p99 with demotion on = %v, want <= %v (off %v + 20%% + 2ms)", on, limit, off)
+	}
+}
