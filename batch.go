@@ -1,6 +1,7 @@
 package hcompress
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -35,8 +36,18 @@ type batchGroupKey struct {
 // issued concurrently through Compress would — and the clock advances to
 // the latest completion.
 func (c *Client) CompressBatch(tasks []Task) ([]*Report, error) {
+	return c.CompressBatchContext(context.Background(), tasks)
+}
+
+// CompressBatchContext is CompressBatch under a context: cancellation
+// fails tasks that have not been placed yet with ctx.Err() (each named
+// in the joined error); tasks already placed keep their reports.
+func (c *Client) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Report, error) {
 	if len(tasks) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	var wall time.Time
 	if c.tel != nil {
@@ -98,33 +109,52 @@ func (c *Client) CompressBatch(tasks []Task) ([]*Report, error) {
 	}
 
 	// Stage 3: execute the whole batch as one pool schedule.
-	results, rerrs := c.mgr.ExecuteWriteBatch(start, reqs)
+	results, rerrs := c.mgr.ExecuteWriteBatchCtx(ctx, start, reqs)
 	maxEnd := start
 	for r := range reqs {
 		i := reqIdx[r]
 		res := results[r]
+		var degraded *DegradedError
 		if rerrs[r] != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = fmt.Errorf("hcompress: %q: %w", tasks[i].Key, cerr)
+				continue
+			}
 			// The monitor's view may have been stale; refresh and replan
-			// this task once, mirroring Compress.
+			// this task once, then degrade to an uncompressed write on
+			// any healthy tier — mirroring Compress.
 			c.mon.ForceRefresh()
 			c.cm.replans.Inc()
-			schema2, err2 := c.eng.Plan(start, attrs[i], reqs[r].Size)
-			if err2 != nil {
-				errs[i] = fmt.Errorf("hcompress: replanning %q: %w (after %v)", tasks[i].Key, err2, rerrs[r])
-				continue
+			err2 := rerrs[r]
+			if schema2, perr := c.eng.Plan(start, attrs[i], reqs[r].Size); perr == nil {
+				res, err2 = c.mgr.ExecuteWriteCtx(ctx, start, reqs[r].Key, reqs[r].Data, reqs[r].Size, attrs[i], schema2)
+				if err2 == nil {
+					reqs[r].Schema = schema2
+				}
 			}
-			res, err2 = c.mgr.ExecuteWrite(start, reqs[r].Key, reqs[r].Data, reqs[r].Size, attrs[i], schema2)
 			if err2 != nil {
-				errs[i] = fmt.Errorf("hcompress: executing %q: %w", tasks[i].Key, err2)
-				continue
+				schema2 := degradedSchema(reqs[r].Size)
+				var derr error
+				res, derr = c.mgr.ExecuteWriteCtx(ctx, start, reqs[r].Key, reqs[r].Data, reqs[r].Size, attrs[i], schema2)
+				if derr != nil {
+					errs[i] = fmt.Errorf("hcompress: executing %q: %w", tasks[i].Key, err2)
+					continue
+				}
+				reqs[r].Schema = schema2
+				degraded = &DegradedError{
+					Key:   tasks[i].Key,
+					Tier:  c.hier.Tiers[res.SubResults[0].Tier].Name,
+					Cause: err2,
+				}
+				c.cm.degradedWrites.Inc()
 			}
-			reqs[r].Schema = schema2
 		}
 		if res.End > maxEnd {
 			maxEnd = res.End
 		}
 		rep := c.report(tasks[i].Key, reqs[r].Size, attrs[i], res, start)
 		rep.PredictedSeconds = reqs[r].Schema.PredTime
+		rep.Degraded = degraded
 		reps[i] = rep
 		if c.tel != nil {
 			c.compressTrace(tasks[i].Key, attrs[i], reqs[r].Size, reqs[r].Schema, res, start)
@@ -150,8 +180,18 @@ func (c *Client) CompressBatch(tasks []Task) ([]*Report, error) {
 // tasks fail independently, reports come back in input order (nil on
 // failure), and all timelines start at the same clock reading.
 func (c *Client) DecompressBatch(keys []string) ([]*Report, error) {
+	return c.DecompressBatchContext(context.Background(), keys)
+}
+
+// DecompressBatchContext is DecompressBatch under a context:
+// cancellation fails unfinished reads with ctx.Err() (each named in the
+// joined error) and releases every pinned payload.
+func (c *Client) DecompressBatchContext(ctx context.Context, keys []string) ([]*Report, error) {
 	if len(keys) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	var wall time.Time
 	if c.tel != nil {
@@ -169,14 +209,14 @@ func (c *Client) DecompressBatch(keys []string) ([]*Report, error) {
 	for i, key := range keys {
 		size, attr, ok := c.mgr.TaskInfo(key)
 		if !ok {
-			errs[i] = fmt.Errorf("hcompress: unknown task %q", key)
+			errs[i] = fmt.Errorf("hcompress: unknown task %q: %w", key, ErrNotFound)
 			continue
 		}
 		sizes[i], attrs[i] = size, attr
 	}
 
 	start := c.clock.Now()
-	results, rerrs := c.mgr.ExecuteReadBatch(start, keys)
+	results, rerrs := c.mgr.ExecuteReadBatchCtx(ctx, start, keys)
 	maxEnd := start
 	for i := range keys {
 		if errs[i] != nil {

@@ -1,6 +1,7 @@
 package hcompress
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -83,6 +84,11 @@ type Report struct {
 	// library's internal arena with Release — entirely optional; an
 	// unreleased buffer is ordinary garbage-collected memory.
 	Data []byte
+	// Degraded is non-nil when the write abandoned every compressing
+	// schema and stored the task uncompressed on a fallback tier. The
+	// write still succeeded; errors.Is(Degraded, ErrDegraded) is true
+	// and Degraded.Cause explains why the planned path failed.
+	Degraded *DegradedError
 }
 
 // Release returns the report's Data buffer to the internal buffer arena
@@ -131,6 +137,7 @@ type Client struct {
 	sink       *telemetry.Sink
 	cm         clientMetrics
 	audit      auditLog
+	faults     faultLog // health-transition ring; always on (small, self-locked)
 	metricsLn  net.Listener
 	metricsSrv *http.Server
 	expvarID   uint64
@@ -163,6 +170,13 @@ func New(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FaultInjector != nil {
+		sched, err := cfg.FaultInjector.schedule(h)
+		if err != nil {
+			return nil, err
+		}
+		st.SetFaultInjector(sched)
+	}
 	var reg *telemetry.Registry
 	if cfg.telemetryEnabled() {
 		reg = telemetry.New()
@@ -172,7 +186,12 @@ func New(cfg Config) (*Client, error) {
 	pred := predictor.New(sd)
 	pred.SetTelemetry(reg)
 	mon := monitor.New(st, cfg.MonitorIntervalSec)
+	mon.SetHealthPolicy(cfg.OfflineThreshold, cfg.ProbeIntervalSec)
 	mon.SetTelemetry(reg)
+	// Every store outcome feeds the health machine; health transitions
+	// come back to the client (audit ring + trace sink) via the event
+	// sink installed below, once c exists.
+	st.SetHealthSink(mon.Observe)
 	eng, err := core.New(pred, mon, core.Config{
 		Weights:            cfg.Priorities.toWeights(),
 		DisableCompression: cfg.DisableCompression,
@@ -189,6 +208,14 @@ func New(cfg Config) (*Client, error) {
 	}
 	mgr := manager.New(st, pred, oracle)
 	mgr.SetParallelism(cfg.Parallelism)
+	retryMax := -1 // keep the manager default
+	switch {
+	case cfg.RetryMax > 0:
+		retryMax = cfg.RetryMax
+	case cfg.RetryMax < 0:
+		retryMax = 0 // retries disabled
+	}
+	mgr.SetRetryPolicy(retryMax, cfg.RetryBackoffSec, 0)
 	mgr.SetTelemetry(reg)
 	pool := fanout.NewPool(mgr.Parallelism())
 	pool.SetTelemetry(reg)
@@ -208,6 +235,8 @@ func New(cfg Config) (*Client, error) {
 		seedPath: cfg.SeedPath,
 		saveSeed: cfg.SaveSeedOnClose && cfg.SeedPath != "",
 	}
+	c.faults.cap = 256
+	mon.SetEventSink(c.onHealthEvent)
 	if reg != nil {
 		c.audit.cap = cfg.AuditLogSize
 		if c.audit.cap == 0 {
@@ -323,11 +352,28 @@ func (c *Client) attrFor(t Task) analyzer.Result {
 // callers only synchronize on the component that each stage actually
 // touches.
 func (c *Client) Compress(t Task) (*Report, error) {
+	return c.CompressContext(context.Background(), t)
+}
+
+// CompressContext is Compress under a context: cancellation drains the
+// codec fan-out and returns ctx.Err() before anything touches the store
+// — a cancelled write leaves no trace.
+//
+// Failure handling, in order: a failed plan or placement triggers one
+// monitor refresh + replan (the stale-view repair); if no compressing
+// schema can execute at all — tiers offline, capacity gone — the write
+// degrades to storing the task uncompressed on the first tier that will
+// take it. A degraded write succeeds: the report carries a non-nil
+// Degraded (errors.Is(rep.Degraded, ErrDegraded)) instead of an error.
+func (c *Client) CompressContext(ctx context.Context, t Task) (*Report, error) {
 	if t.Key == "" {
 		return nil, errors.New("hcompress: task key required")
 	}
 	if len(t.Data) == 0 {
 		return nil, errors.New("hcompress: empty task data")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var wall time.Time
@@ -347,34 +393,59 @@ func (c *Client) Compress(t Task) (*Report, error) {
 	}
 	start := c.clock.Now()
 
-	// Stage 2: plan.
+	// Stage 2: plan. Stage 3: execute.
 	schema, err := c.eng.Plan(start, attr, size)
 	if err != nil {
-		c.cm.opErrs["compress"].Inc()
-		return nil, fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
+		err = fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
 	}
-
-	// Stage 3: execute.
-	res, err := c.mgr.ExecuteWrite(start, t.Key, t.Data, size, attr, schema)
-	if err != nil {
-		// The monitor's view may have been stale; refresh and replan once.
+	var res manager.Result
+	if err == nil {
+		res, err = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
+	}
+	if err != nil && ctx.Err() == nil {
+		// The monitor's view may have been stale — or a tier just went
+		// offline and the health machine masked it. Refresh and replan
+		// once; the new plan cannot target a masked tier.
 		c.mon.ForceRefresh()
 		c.cm.replans.Inc()
 		schema2, err2 := c.eng.Plan(start, attr, size)
 		if err2 != nil {
-			c.cm.opErrs["compress"].Inc()
-			return nil, fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
+			err = fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
+		} else {
+			schema = schema2
+			res, err = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
+			if err != nil {
+				err = fmt.Errorf("hcompress: executing %q: %w", t.Key, err)
+			}
 		}
-		schema = schema2
-		res, err = c.mgr.ExecuteWrite(start, t.Key, t.Data, size, attr, schema)
-		if err != nil {
+	}
+	var degraded *DegradedError
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
 			c.cm.opErrs["compress"].Inc()
-			return nil, fmt.Errorf("hcompress: executing %q: %w", t.Key, err)
+			return nil, cerr
 		}
+		// Graceful degradation: no compressing schema is executable, but
+		// the data must land. Store it uncompressed; the manager's spill
+		// chain walks the hierarchy until some healthy tier takes it.
+		schema = degradedSchema(size)
+		var derr error
+		res, derr = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
+		if derr != nil {
+			c.cm.opErrs["compress"].Inc()
+			return nil, err // the planned path's failure names the root cause
+		}
+		degraded = &DegradedError{
+			Key:   t.Key,
+			Tier:  c.hier.Tiers[res.SubResults[0].Tier].Name,
+			Cause: err,
+		}
+		c.cm.degradedWrites.Inc()
 	}
 	c.clock.AdvanceTo(res.End)
 	rep := c.report(t.Key, size, attr, res, start)
 	rep.PredictedSeconds = schema.PredTime
+	rep.Degraded = degraded
 	if c.tel != nil {
 		c.cm.ops["compress"].Inc()
 		c.cm.opSeconds["compress"].Observe(time.Since(wall).Seconds())
@@ -383,11 +454,31 @@ func (c *Client) Compress(t Task) (*Report, error) {
 	return rep, nil
 }
 
+// degradedSchema is the last-resort write plan: the whole task as one
+// uncompressed sub-task, nominally on the fastest tier — the manager's
+// spill chain walks it down to whatever tier actually accepts it.
+func degradedSchema(size int64) core.Schema {
+	return core.Schema{SubTasks: []core.SubTask{{
+		Offset: 0, Length: size, Tier: 0, Codec: codec.None, PredSize: size,
+	}}}
+}
+
 // Decompress reads back the task stored under key, decoding each
 // sub-task's metadata header to select the decompression library. The
 // report carries the data type and distribution the Input Analyzer saw at
 // write time (persisted in the task metadata).
 func (c *Client) Decompress(key string) (*Report, error) {
+	return c.DecompressContext(context.Background(), key)
+}
+
+// DecompressContext is Decompress under a context: cancellation drains
+// the decompression fan-out, releases every pinned payload, and returns
+// ctx.Err(). A payload whose CRC32C disagrees with its header fails with
+// an error matching ErrCorrupted.
+func (c *Client) DecompressContext(ctx context.Context, key string) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var wall time.Time
 	if c.tel != nil {
 		wall = time.Now()
@@ -400,10 +491,10 @@ func (c *Client) Decompress(key string) (*Report, error) {
 	size, attr, ok := c.mgr.TaskInfo(key)
 	if !ok {
 		c.cm.opErrs["decompress"].Inc()
-		return nil, fmt.Errorf("hcompress: unknown task %q", key)
+		return nil, fmt.Errorf("hcompress: unknown task %q: %w", key, ErrNotFound)
 	}
 	start := c.clock.Now()
-	res, err := c.mgr.ExecuteRead(start, key)
+	res, err := c.mgr.ExecuteReadCtx(ctx, start, key)
 	if err != nil {
 		c.cm.opErrs["decompress"].Inc()
 		return nil, err
@@ -492,24 +583,84 @@ type TierStatusReport struct {
 	UsedBytes      int64
 	RemainingBytes int64
 	QueueLength    int
+	// Health is the tier's health-machine state: "healthy", "degraded",
+	// or "offline". Offline tiers are masked out of HCDP placement until
+	// a recovery probe succeeds.
+	Health string
+	// ConsecutiveErrors is the current observed-error streak (zero when
+	// healthy).
+	ConsecutiveErrors int
+	// LastTransitionVSec is the virtual time of the last health-state
+	// change (zero if the tier has never transitioned).
+	LastTransitionVSec float64
 }
 
-// Status reports the hierarchy's occupancy. It never waits on in-flight
-// codec work: the store samples each tier under that tier's own lock.
+// Status reports the hierarchy's occupancy and health. It never waits on
+// in-flight codec work: the store samples each tier under that tier's
+// own lock, and health state lives in the monitor.
 func (c *Client) Status() []TierStatusReport {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	health := c.mon.Health()
 	var out []TierStatusReport
-	for _, s := range c.st.Status(c.clock.Now()) {
-		out = append(out, TierStatusReport{
+	for i, s := range c.st.Status(c.clock.Now()) {
+		r := TierStatusReport{
 			Name:           s.Name,
 			CapacityBytes:  s.Capacity,
 			UsedBytes:      s.Used,
 			RemainingBytes: s.Remaining,
 			QueueLength:    s.QueueLen,
+		}
+		if i < len(health) {
+			r.Health = health[i].State.String()
+			r.ConsecutiveErrors = health[i].ErrStreak
+			r.LastTransitionVSec = health[i].LastTransition
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TierHealthReport is one tier's health snapshot.
+type TierHealthReport struct {
+	Name string
+	// State is "healthy", "degraded", or "offline".
+	State string
+	// ConsecutiveErrors is the current observed-error streak.
+	ConsecutiveErrors int
+	// LastTransitionVSec is the virtual time of the last state change.
+	LastTransitionVSec float64
+	// NextProbeVSec is when an offline tier is next exposed to placement
+	// as a recovery probe (zero unless offline).
+	NextProbeVSec float64
+}
+
+// Health snapshots every tier's health state — the summary face of the
+// health machine that Status folds into its per-tier rows.
+func (c *Client) Health() []TierHealthReport {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []TierHealthReport
+	for _, h := range c.mon.Health() {
+		out = append(out, TierHealthReport{
+			Name:               h.Name,
+			State:              h.State.String(),
+			ConsecutiveErrors:  h.ErrStreak,
+			LastTransitionVSec: h.LastTransition,
+			NextProbeVSec:      h.NextProbe,
 		})
 	}
 	return out
+}
+
+// Advance moves the virtual clock forward by dv seconds (non-positive
+// values are ignored). Fault windows, health probes, and retry backoff
+// all live on the virtual timeline, so tests and benchmarks use Advance
+// to step across an outage or into a recovery window deterministically.
+func (c *Client) Advance(dv float64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.clock.Advance(dv)
 }
 
 // Stats exposes runtime counters for observability.

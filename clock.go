@@ -35,3 +35,16 @@ func (c *vclock) AdvanceTo(t float64) {
 	}
 	c.mu.Unlock()
 }
+
+// Advance moves the clock forward by dv seconds (non-positive values are
+// ignored). Used to model idle wall time: fault windows and recovery
+// probes are keyed to the virtual timeline, so tests and benchmarks step
+// across them explicitly.
+func (c *vclock) Advance(dv float64) {
+	if dv <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += dv
+	c.mu.Unlock()
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"hcompress"
+	"hcompress/internal/stats"
+)
+
+// runFaults is the fault-tolerance availability gate: a scripted
+// single-tier outage on the virtual timeline during which every write
+// must still succeed (spilled or degraded, never failed), followed by a
+// recovery phase in which the dead tier must be probed, healed, and
+// placed onto again, and a full read-back in which every payload must
+// verify. Any violation returns an error (non-zero exit) so CI can gate
+// on it. The scenario is deterministic: faults, probes, and backoff all
+// live on the virtual clock, which the harness steps explicitly.
+func runFaults() error {
+	const (
+		outageStart = 1.0
+		outageEnd   = 5.0
+		perPhase    = 8
+		taskSize    = 1 << 20
+	)
+	// A scarce RAM tier ahead of NVMe: tasks of taskSize cannot fit on
+	// RAM even compressed, so healthy placement exercises NVMe — the
+	// tier the script kills — and recovery is observable as NVMe reuse.
+	c, err := hcompress.New(hcompress.Config{
+		Tiers: []hcompress.TierSpec{
+			{Name: "ram", CapacityBytes: 64 << 10, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
+			{Name: "nvme", CapacityBytes: 1 << 30, LatencySec: 30e-6, BandwidthBps: 2e9, Lanes: 2},
+			{Name: "pfs", CapacityBytes: 64 << 30, LatencySec: 5e-3, BandwidthBps: 500e6, Lanes: 4},
+		},
+		EnableTelemetry: true,
+		FaultInjector: &hcompress.FaultInjector{Windows: []hcompress.FaultWindow{
+			{Tier: "nvme", StartSec: outageStart, EndSec: outageEnd, Mode: hcompress.FaultOutage},
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 7)
+
+	var keys []string
+	degraded := 0
+	write := func(phase string, i int) (*hcompress.Report, error) {
+		key := fmt.Sprintf("%s-%d", phase, i)
+		rep, err := c.Compress(hcompress.Task{Key: key, Data: data})
+		if err != nil {
+			return nil, fmt.Errorf("phase %s write %d failed: %w", phase, i, err)
+		}
+		if rep.Degraded != nil {
+			degraded++
+		}
+		keys = append(keys, key)
+		return rep, nil
+	}
+	usedTier := func(rep *hcompress.Report, name string) bool {
+		for _, st := range rep.SubTasks {
+			if st.Tier == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase A: healthy baseline. NVMe must carry sub-tasks.
+	sawNVMe := false
+	for i := 0; i < perPhase; i++ {
+		rep, err := write("healthy", i)
+		if err != nil {
+			return err
+		}
+		sawNVMe = sawNVMe || usedTier(rep, "nvme")
+	}
+	if !sawNVMe {
+		return fmt.Errorf("healthy phase never placed on nvme; the outage would be vacuous")
+	}
+
+	// Phase B: step into the outage. 100%% write availability is the
+	// gate: spills and degraded writes are fine, errors are not. Once
+	// the health machine reacts, plans must stop naming the dead tier.
+	c.Advance(outageStart + 1)
+	for i := 0; i < perPhase; i++ {
+		rep, err := write("outage", i)
+		if err != nil {
+			return fmt.Errorf("availability violated: %w", err)
+		}
+		if usedTier(rep, "nvme") {
+			return fmt.Errorf("outage write %d placed a sub-task on the dead tier", i)
+		}
+	}
+	offline := false
+	for _, h := range c.Health() {
+		if h.Name == "nvme" && h.State == "offline" {
+			offline = true
+		}
+	}
+	if !offline {
+		return fmt.Errorf("health machine never took nvme offline: %+v", c.Health())
+	}
+
+	// Phase C: step past the outage and the recovery probe. The probe
+	// must heal the tier and placement must reuse it.
+	c.Advance(outageEnd + 5)
+	sawNVMe = false
+	for i := 0; i < perPhase; i++ {
+		rep, err := write("recovered", i)
+		if err != nil {
+			return err
+		}
+		sawNVMe = sawNVMe || usedTier(rep, "nvme")
+	}
+	if !sawNVMe {
+		return fmt.Errorf("recovered nvme never reused by placement")
+	}
+	for _, h := range c.Health() {
+		if h.Name == "nvme" && h.State != "healthy" {
+			return fmt.Errorf("nvme not healed after recovery: %+v", h)
+		}
+	}
+
+	// Read-back: every payload written in any phase must verify (the
+	// sub-task CRC gate runs on every read).
+	for _, key := range keys {
+		rep, err := c.Decompress(key)
+		if err != nil {
+			return fmt.Errorf("read-back %q: %w", key, err)
+		}
+		ok := bytes.Equal(rep.Data, data)
+		rep.Release()
+		if !ok {
+			return fmt.Errorf("read-back %q: payload mismatch", key)
+		}
+	}
+
+	snap := c.Snapshot()
+	fmt.Printf("faults gate: %d writes (%d healthy / %d outage / %d recovered), 0 failures, %d degraded\n",
+		len(keys), perPhase, perPhase, perPhase, degraded)
+	fmt.Printf("retries=%d degraded_writes=%d replans=%d tier_health{nvme}=%v\n",
+		snap.Counters["hc_retries_total"], snap.Counters["hc_degraded_writes_total"],
+		snap.Counters["hc_client_replans_total"], snap.Gauges[`hc_tier_health{tier="nvme"}`])
+	transitions := 0
+	for _, ev := range c.FaultEvents() {
+		if ev.Tier == "nvme" {
+			transitions++
+			fmt.Printf("event: nvme %s -> %s at v=%.3fs (streak %d)\n", ev.From, ev.To, ev.VTime, ev.Streak)
+		}
+	}
+	if transitions < 3 {
+		return fmt.Errorf("expected at least degraded/offline/healthy transitions, saw %d", transitions)
+	}
+	fmt.Println("faults gate: PASS")
+	return nil
+}

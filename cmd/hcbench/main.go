@@ -46,10 +46,13 @@ func main() {
 		mix      = flag.Float64("mix", 1.0, "with the throughput harness: fraction of operations that are writes (1.0 = write-only, 0.7 = 70% writes / 30% reads)")
 		demote   = flag.Duration("demote", 0, "with the throughput harness: background demotion interval (0 = off), e.g. 5ms")
 		metrics  = flag.Bool("metrics", false, "with the throughput harness: enable telemetry and dump the Prometheus exposition at exit")
+		faults   = flag.Bool("faults", false, "instead of experiments: run the fault-tolerance availability gate (scripted tier outage; exits non-zero on any write failure)")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *faults:
+		err = runFaults()
 	case *parallel < 0:
 		err = fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
 	case *cycles < 0:

@@ -133,6 +133,24 @@ type Config struct {
 	// may scan while holding the manager lock (default 64); smaller
 	// slices shorten the pauses demotion injects into the data path.
 	DemotionSliceSubTasks int
+	// FaultInjector, when non-nil, scripts deterministic faults against
+	// the tiered store: outages, transient error windows, latency
+	// spikes, read corruption, and capacity lies, all keyed to the
+	// virtual clock. Nil (the default) injects nothing and costs
+	// nothing on the data path.
+	FaultInjector *FaultInjector
+	// RetryMax bounds transient-fault retries per tier: 0 keeps the
+	// default (3), negative disables retries entirely.
+	RetryMax int
+	// RetryBackoffSec is the initial virtual-time retry backoff (default
+	// 1 ms, doubling per attempt to a 250 ms cap).
+	RetryBackoffSec float64
+	// OfflineThreshold is how many consecutive store errors take a tier
+	// offline in the health machine (default 3).
+	OfflineThreshold int
+	// ProbeIntervalSec is the virtual-time delay before an offline tier's
+	// first recovery probe (default 0.5 s, doubling per failed probe).
+	ProbeIntervalSec float64
 
 	// modeled switches the manager to the deterministic ModelOracle and
 	// disables payload retention. Test-only (unexported): the trace

@@ -1,0 +1,55 @@
+package hcompress
+
+import (
+	"fmt"
+
+	"hcompress/internal/hcerr"
+)
+
+// The typed error taxonomy. Every sentinel is shared with the internal
+// layers (the same errors.New values, re-exported), so a failure
+// classified at the Storage Hardware Interface keeps its identity all
+// the way to the caller: match with errors.Is / errors.As instead of
+// parsing messages.
+var (
+	// ErrTierOffline marks a sticky tier failure: the device is down and
+	// the operation could not be satisfied elsewhere.
+	ErrTierOffline = hcerr.ErrTierOffline
+	// ErrNoCapacity marks a placement that fit no tier.
+	ErrNoCapacity = hcerr.ErrNoCapacity
+	// ErrNotFound marks an absent task key.
+	ErrNotFound = hcerr.ErrNotFound
+	// ErrCorrupted marks a stored payload whose CRC32C no longer matches
+	// its sub-task header — detected on read, never silently decompressed.
+	ErrCorrupted = hcerr.ErrCorrupted
+	// ErrDegraded marks a write that succeeded only by abandoning the
+	// planned schema. It is matched by errors.Is against Report.Degraded.
+	ErrDegraded = hcerr.ErrDegraded
+)
+
+// DegradedError records a write that could not execute any compressing
+// schema — every plan was infeasible or failed — and fell back to
+// storing the task uncompressed on the first tier that would take it.
+// The write succeeded (the data is durable and readable); the error
+// value is advisory, carried on Report.Degraded rather than returned.
+// errors.Is(e, ErrDegraded) is true; Unwrap exposes the planned path's
+// failure.
+type DegradedError struct {
+	// Key names the degraded task.
+	Key string
+	// Tier is the tier that finally took the uncompressed fallback.
+	Tier string
+	// Cause is why the planned (compressing) path failed.
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("hcompress: degraded write %q: stored uncompressed on %s (planned path: %v)",
+		e.Key, e.Tier, e.Cause)
+}
+
+// Unwrap exposes the planned path's failure for errors.Is/As.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Is matches ErrDegraded so callers can classify without type-asserting.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }

@@ -545,6 +545,16 @@ func (e *Engine) match(size int64, l int, attr analyzer.Result, statuses []store
 		best = planVal{time: sub, skip: true}
 	}
 
+	// Degraded mode: an offline tier admits only the skip choice, so no
+	// schema — fresh or replayed from the plan cache — ever targets it.
+	if !statuses[l].Available {
+		if math.IsInf(best.time, 1) {
+			return best.time, ErrNoSpace
+		}
+		e.memo[key] = best
+		return best.time, nil
+	}
+
 	remaining := alignDown(statuses[l].Remaining)
 
 	// Choice B: "no compression" placement (c = 0), whole or split.
@@ -655,6 +665,13 @@ func (e *Engine) capacityStamp(statuses []store.TierStatus) []int64 {
 // the fingerprint on the stack.
 func (e *Engine) capacityStampInto(dst []int64, statuses []store.TierStatus) []int64 {
 	for _, st := range statuses {
+		if !st.Available {
+			// Masked tier: a marker no occupancy bucket can produce, so an
+			// availability flip always changes the stamp, rebuilding the
+			// memo and bumping the epoch that keys the plan cache.
+			dst = append(dst, -1)
+			continue
+		}
 		bucket := st.Capacity / 64
 		if bucket == 0 {
 			bucket = 1

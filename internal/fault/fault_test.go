@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"hcompress/internal/hcerr"
+)
+
+func TestOutageWindow(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Tier: 1, Start: 2, End: 5, Mode: Outage}}}
+	if d := s.Decide(1, 1, OpPut, "k", 100); d.Err != nil {
+		t.Fatalf("before window: unexpected error %v", d.Err)
+	}
+	d := s.Decide(3, 1, OpPut, "k", 100)
+	if !errors.Is(d.Err, hcerr.ErrTierOffline) {
+		t.Fatalf("in window: want ErrTierOffline, got %v", d.Err)
+	}
+	if hcerr.IsTransient(d.Err) {
+		t.Fatal("outage must be sticky, not transient")
+	}
+	if d := s.Decide(5, 1, OpPut, "k", 100); d.Err != nil {
+		t.Fatalf("after window: unexpected error %v", d.Err)
+	}
+	if d := s.Decide(3, 0, OpPut, "k", 100); d.Err != nil {
+		t.Fatalf("other tier: unexpected error %v", d.Err)
+	}
+}
+
+func TestOpenEndedWindow(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Tier: 0, Start: 1, Mode: Outage}}}
+	if d := s.Decide(1e9, 0, OpGet, "k", 1); !errors.Is(d.Err, hcerr.ErrTierOffline) {
+		t.Fatalf("open window should never close, got %v", d.Err)
+	}
+}
+
+func TestTransientMarked(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Tier: 0, Start: 0, End: 10, Mode: Transient}}}
+	d := s.Decide(5, 0, OpPut, "k", 1)
+	if d.Err == nil || !hcerr.IsTransient(d.Err) {
+		t.Fatalf("want transient error, got %v", d.Err)
+	}
+}
+
+func TestRateIsDeterministicPerKey(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Tier: 0, Start: 0, Mode: Transient, Rate: 0.5, Seed: 7}}}
+	failed, passed := 0, 0
+	for i := 0; i < 256; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i))
+		first := s.Decide(1, 0, OpPut, key, 1).Err != nil
+		for rep := 0; rep < 3; rep++ {
+			if got := s.Decide(1, 0, OpPut, key, 1).Err != nil; got != first {
+				t.Fatalf("key %q: decision flapped", key)
+			}
+		}
+		if first {
+			failed++
+		} else {
+			passed++
+		}
+	}
+	if failed == 0 || passed == 0 {
+		t.Fatalf("rate 0.5 selected nothing or everything (failed=%d passed=%d)", failed, passed)
+	}
+}
+
+func TestLatencyCompose(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Tier: 0, Start: 0, Mode: LatencySpike, Extra: 0.25},
+		{Tier: 0, Start: 0, Mode: LatencySpike, Extra: 0.5},
+	}}
+	if d := s.Decide(1, 0, OpGet, "k", 1); d.Latency != 0.75 {
+		t.Fatalf("latency should compose: got %v", d.Latency)
+	}
+}
+
+func TestCorruptReadsOnly(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Tier: 0, Start: 0, Mode: CorruptReads}}}
+	if d := s.Decide(1, 0, OpGet, "k", 1); !d.Corrupt {
+		t.Fatal("read should be corrupted")
+	}
+	if d := s.Decide(1, 0, OpPut, "k", 1); d.Corrupt {
+		t.Fatal("writes must not see corruption decisions")
+	}
+}
+
+func TestCapacityLie(t *testing.T) {
+	s := &Schedule{Windows: []Window{{Tier: 2, Start: 0, End: 10, Mode: CapacityLie, CapFraction: 0.25}}}
+	if got := s.ReportedCapacity(5, 2, 1000); got != 250 {
+		t.Fatalf("want 250, got %d", got)
+	}
+	if got := s.ReportedCapacity(50, 2, 1000); got != 1000 {
+		t.Fatalf("closed window must report true capacity, got %d", got)
+	}
+	if got := s.ReportedCapacity(5, 1, 1000); got != 1000 {
+		t.Fatalf("other tier must report true capacity, got %d", got)
+	}
+}

@@ -1,0 +1,48 @@
+// Package hcerr holds the canonical error taxonomy shared by every
+// layer of the pipeline. The sentinels live here — below store, manager,
+// monitor, and the public package — so a failure classified at the
+// Storage Hardware Interface keeps its identity all the way to the
+// client boundary: callers match with errors.Is against the re-exports
+// in the root package instead of parsing strings.
+package hcerr
+
+import "errors"
+
+var (
+	// ErrTierOffline marks a sticky tier failure: the device is down and
+	// retrying the same tier is pointless until a recovery probe succeeds.
+	ErrTierOffline = errors.New("tier offline")
+	// ErrNoCapacity marks a placement that does not fit the target tier.
+	ErrNoCapacity = errors.New("tier capacity exceeded")
+	// ErrNotFound marks an absent key.
+	ErrNotFound = errors.New("key not found")
+	// ErrCorrupted marks a stored payload whose CRC32C no longer matches
+	// its sub-task header — detected on read, never silently decompressed.
+	ErrCorrupted = errors.New("corrupted payload")
+	// ErrDegraded marks an operation that only succeeded by abandoning
+	// the planned schema (e.g. stored uncompressed on a fallback tier).
+	ErrDegraded = errors.New("degraded placement")
+)
+
+// transientErr wraps a retryable failure: a blip the caller may clear by
+// retrying with backoff (transient outage window, latency-induced
+// timeout), as opposed to the sticky ErrTierOffline.
+type transientErr struct{ err error }
+
+func (t *transientErr) Error() string { return t.err.Error() }
+func (t *transientErr) Unwrap() error { return t.err }
+
+// MarkTransient tags err as retryable. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether any error in err's chain was tagged with
+// MarkTransient.
+func IsTransient(err error) bool {
+	var t *transientErr
+	return errors.As(err, &t)
+}

@@ -8,10 +8,11 @@ import (
 )
 
 // HeaderSize is the fixed size of the sub-task metadata header (§IV-G2):
-// "a small header (i.e., 16-bytes) attached to each sub-task which holds
-// this info as a 4-tuple of {start-offset, length, compression library,
-// resulting size}".
-const HeaderSize = 16
+// the paper's 16-byte 4-tuple of {start-offset, length, compression
+// library, resulting size}, extended by a 4-byte CRC32C of the stored
+// payload so corruption is detected on read instead of surfacing as
+// garbage from the decompressor.
+const HeaderSize = 20
 
 // Header is the metadata decorator attached to every stored sub-task. It
 // is all a reader needs to decompress the piece independently — the
@@ -23,14 +24,15 @@ type Header struct {
 	Length int64    // uncompressed length of this piece
 	Codec  codec.ID // compression library applied
 	Stored int64    // resulting (compressed) payload size
+	CRC    uint32   // CRC32C (Castagnoli) of the stored payload; 0 = unchecked
 }
 
-// Layout: u32 offset | u32 length | u8 codec + 3 reserved | u32 stored,
-// little-endian. Individual I/O tasks are bounded well below 4 GiB in
-// every workload the paper considers, so u32 fields suffice; Encode
-// rejects overflow explicitly rather than truncating.
+// Layout: u32 offset | u32 length | u8 codec + 3 reserved | u32 stored |
+// u32 crc, little-endian. Individual I/O tasks are bounded well below
+// 4 GiB in every workload the paper considers, so u32 fields suffice;
+// Encode rejects overflow explicitly rather than truncating.
 
-// Encode appends the 16-byte header to dst.
+// Encode appends the 20-byte header to dst.
 func (h Header) Encode(dst []byte) ([]byte, error) {
 	const maxU32 = int64(1)<<32 - 1
 	if h.Offset < 0 || h.Offset > maxU32 || h.Length < 0 || h.Length > maxU32 ||
@@ -42,6 +44,7 @@ func (h Header) Encode(dst []byte) ([]byte, error) {
 	binary.LittleEndian.PutUint32(buf[4:], uint32(h.Length))
 	buf[8] = byte(h.Codec)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(h.Stored))
+	binary.LittleEndian.PutUint32(buf[16:], h.CRC)
 	return append(dst, buf[:]...), nil
 }
 
@@ -56,6 +59,7 @@ func DecodeHeader(payload []byte) (Header, []byte, error) {
 		Length: int64(binary.LittleEndian.Uint32(payload[4:])),
 		Codec:  codec.ID(payload[8]),
 		Stored: int64(binary.LittleEndian.Uint32(payload[12:])),
+		CRC:    binary.LittleEndian.Uint32(payload[16:]),
 	}
 	if _, err := codec.ByID(h.Codec); err != nil {
 		return Header{}, nil, fmt.Errorf("manager: header references %w", err)

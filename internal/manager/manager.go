@@ -18,8 +18,10 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"runtime"
 	"strconv"
@@ -31,12 +33,17 @@ import (
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
 	"hcompress/internal/fanout"
+	"hcompress/internal/hcerr"
 	"hcompress/internal/predictor"
 	"hcompress/internal/seed"
 	"hcompress/internal/stats"
 	"hcompress/internal/store"
 	"hcompress/internal/telemetry"
 )
+
+// castagnoli is the CRC32C table used for sub-task payload checksums
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Oracle abstracts how sub-task compression is performed and costed.
 // The scratch parameter carries the calling worker's reusable buffers;
@@ -74,6 +81,7 @@ func (RealOracle) Compress(s *bufpool.Scratch, _ analyzer.Result, c codec.Codec,
 	secs := time.Since(start).Seconds()
 	s.Comp = comp // retain the (possibly grown) buffer for the next call
 	hdr.Stored = int64(len(comp))
+	hdr.CRC = crc32.Checksum(comp, castagnoli)
 	payload := bufpool.Get(HeaderSize + len(comp))
 	if _, err := hdr.Encode(payload[:0]); err != nil {
 		bufpool.Put(payload)
@@ -242,6 +250,13 @@ type Manager struct {
 
 	demoteCur []int // per-source-tier cursor into order for DemoteSlice
 
+	// Retry policy for transient store faults: up to retryMax retries per
+	// tier with capped exponential virtual-time backoff starting at
+	// retryBase seconds. Construction-time options (SetRetryPolicy).
+	retryMax  int
+	retryBase float64
+	retryCap  float64
+
 	tm mgrMetrics // nil instruments when telemetry is off
 }
 
@@ -256,6 +271,7 @@ type mgrMetrics struct {
 	writes    *telemetry.Counter
 	reads     *telemetry.Counter
 	spills    *telemetry.Counter // placements that fell below the planned tier
+	retries   *telemetry.Counter // transient-fault retries (reads and writes)
 	drained   *telemetry.Counter // bytes trickled down by Drain
 	demoted   *telemetry.Counter // bytes trickled down by DemoteSlice
 }
@@ -285,6 +301,7 @@ func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
 		writes:    reg.Counter("hc_manager_writes_total", "tasks written"),
 		reads:     reg.Counter("hc_manager_reads_total", "tasks read"),
 		spills:    reg.Counter("hc_manager_spills_total", "sub-tasks placed below their planned tier"),
+		retries:   reg.Counter("hc_retries_total", "transient store faults retried with backoff"),
 		drained:   reg.Counter("hc_manager_drained_bytes_total", "bytes trickled down by Drain"),
 		demoted:   reg.Counter("hc_manager_demoted_bytes_total", "bytes trickled down by the background demoter"),
 	}
@@ -305,11 +322,39 @@ func New(st *store.Store, pred *predictor.CCP, oracle Oracle) *Manager {
 	}
 	m := &Manager{
 		st: st, pred: pred, oracle: oracle,
-		tasks:   make(map[string]*taskMeta),
-		inOrder: make(map[string]struct{}),
+		tasks:     make(map[string]*taskMeta),
+		inOrder:   make(map[string]struct{}),
+		retryMax:  defaultRetryMax,
+		retryBase: defaultRetryBase,
+		retryCap:  defaultRetryCap,
 	}
 	m.SetParallelism(0)
 	return m
+}
+
+// Retry defaults: three attempts beyond the first, starting at 1 ms of
+// virtual backoff, doubling to a 250 ms cap — enough to ride out a
+// sub-second transient window without stalling the spill chain.
+const (
+	defaultRetryMax  = 3
+	defaultRetryBase = 1e-3
+	defaultRetryCap  = 0.25
+)
+
+// SetRetryPolicy tunes transient-fault handling: up to max retries per
+// tier (max < 0 disables retries), with capped exponential virtual-time
+// backoff starting at base seconds. Non-positive base/cap keep the
+// defaults. Construction-time option, like SetParallelism.
+func (m *Manager) SetRetryPolicy(max int, base, cap float64) {
+	if max >= 0 {
+		m.retryMax = max
+	}
+	if base > 0 {
+		m.retryBase = base
+	}
+	if cap > 0 {
+		m.retryCap = cap
+	}
 }
 
 // SetPool routes sub-task fan-outs through a shared persistent worker
@@ -526,13 +571,17 @@ func (m *Manager) compressOne(s *bufpool.Scratch, data []byte, attr analyzer.Res
 // compressFan is stage 1 of a write: the per-sub-task codec work — pure
 // CPU over the caller's buffer — fanned across the worker pool. No locks
 // are held; each worker touches a disjoint slice of the buffer and a
-// disjoint outs element.
-func (m *Manager) compressFan(data []byte, attr analyzer.Result, subs []core.SubTask, outs []compOut) error {
+// disjoint outs element. A cancelled ctx makes remaining workers return
+// early (completed payloads are cleaned up by the caller).
+func (m *Manager) compressFan(ctx context.Context, data []byte, attr analyzer.Result, subs []core.SubTask, outs []compOut) error {
 	var fanStart time.Time
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
 	return m.runFan(len(subs), func(s *bufpool.Scratch, k int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if m.tm.queueWait != nil {
 			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
 		}
@@ -553,17 +602,59 @@ func (m *Manager) compressFan(data []byte, attr analyzer.Result, subs []core.Sub
 // be nil in modeled mode. It returns the virtual completion time and the
 // cost anatomy.
 func (m *Manager) ExecuteWrite(now float64, key string, data []byte, size int64, attr analyzer.Result, schema core.Schema) (Result, error) {
+	return m.ExecuteWriteCtx(context.Background(), now, key, data, size, attr, schema)
+}
+
+// ExecuteWriteCtx is ExecuteWrite under a context: cancellation drains
+// the codec fan-out and returns ctx.Err() without touching the store —
+// a write either fully places or leaves no trace.
+func (m *Manager) ExecuteWriteCtx(ctx context.Context, now float64, key string, data []byte, size int64, attr analyzer.Result, schema core.Schema) (Result, error) {
 	if data != nil && int64(len(data)) != size {
 		return Result{}, fmt.Errorf("manager: data length %d != size %d", len(data), size)
 	}
 	outs := make([]compOut, len(schema.SubTasks))
-	if err := m.compressFan(data, attr, schema.SubTasks, outs); err != nil {
+	err := m.compressFan(ctx, data, attr, schema.SubTasks, outs)
+	if err == nil {
+		err = ctx.Err() // cancelled after the fan finished: still abort pre-placement
+	}
+	if err != nil {
 		for i := range outs { // payloads were never handed to the store
 			bufpool.Put(outs[i].payload)
 		}
 		return Result{}, err
 	}
 	return m.placeTask(now, key, attr, schema.SubTasks, outs, size, nil)
+}
+
+// putSub places one sub-task payload with the full fault discipline:
+// transient store faults are retried on the same tier with capped
+// exponential virtual-time backoff; capacity misses, sticky outages, and
+// exhausted retries spill down the hierarchy. It returns the virtual
+// completion time and the tier that finally took the payload.
+func (m *Manager) putSub(t float64, tier int, sk string, payload []byte, stored int64) (float64, int, error) {
+	nTiers := m.st.Hierarchy().Len()
+	for {
+		end, err := m.st.PutOwned(t, tier, sk, payload, stored)
+		backoff := m.retryBase
+		for r := 0; err != nil && hcerr.IsTransient(err) && r < m.retryMax; r++ {
+			m.tm.retries.Inc()
+			t += backoff // backoff advances the virtual clock, so a retry can outlive a blip window
+			if backoff < m.retryCap {
+				backoff *= 2
+			}
+			end, err = m.st.PutOwned(t, tier, sk, payload, stored)
+		}
+		if err == nil {
+			return end, tier, nil
+		}
+		spillable := errors.Is(err, store.ErrNoCapacity) ||
+			errors.Is(err, hcerr.ErrTierOffline) || hcerr.IsTransient(err)
+		if spillable && tier+1 < nTiers {
+			tier++
+			continue
+		}
+		return end, tier, err
+	}
 }
 
 // placeTask is stage 2 of a write: the serial timeline replay —
@@ -581,15 +672,11 @@ func (m *Manager) placeTask(now float64, key string, attr analyzer.Result, subTa
 		t += o.secs
 		sk := subKey(key, k)
 		// The schema places by *predicted* compressed size; the actual
-		// size can come out larger. When the planned tier cannot take the
-		// real payload, spill down the hierarchy — the same repair a real
-		// deployment performs when the System Monitor's view was stale.
-		tierIdx := st.Tier
-		end, err := m.st.PutOwned(t, tierIdx, sk, o.payload, o.stored)
-		for err != nil && errorsIsNoCapacity(err) && tierIdx+1 < m.st.Hierarchy().Len() {
-			tierIdx++
-			end, err = m.st.PutOwned(t, tierIdx, sk, o.payload, o.stored)
-		}
+		// size can come out larger, the System Monitor's view can be
+		// stale, or the tier can be faulting. putSub applies the repair a
+		// real deployment performs: retry transient blips with backoff,
+		// spill capacity misses and outages down the hierarchy.
+		end, tierIdx, err := m.putSub(t, st.Tier, sk, o.payload, o.stored)
 		if err != nil {
 			for i := k; i < len(outs); i++ { // unplaced payloads go back to the arena
 				bufpool.Put(outs[i].payload)
@@ -716,6 +803,14 @@ type WriteReq struct {
 // request failed, and its sub-task payloads are returned to the arena
 // without disturbing its siblings.
 func (m *Manager) ExecuteWriteBatch(now float64, reqs []WriteReq) ([]Result, []error) {
+	return m.ExecuteWriteBatchCtx(context.Background(), now, reqs)
+}
+
+// ExecuteWriteBatchCtx is ExecuteWriteBatch under a context. On
+// cancellation, requests that have not been placed yet fail with
+// ctx.Err() (recorded per request) and their payloads return to the
+// arena; requests already replayed keep their results.
+func (m *Manager) ExecuteWriteBatchCtx(ctx context.Context, now float64, reqs []WriteReq) ([]Result, []error) {
 	results := make([]Result, len(reqs))
 	errs := make([]error, len(reqs))
 
@@ -744,10 +839,14 @@ func (m *Manager) ExecuteWriteBatch(now float64, reqs []WriteReq) ([]Result, []e
 		fanStart = time.Now()
 	}
 	_ = m.runFan(total, func(s *bufpool.Scratch, f int) error {
+		i := int(reqOf[f])
+		if err := ctx.Err(); err != nil {
+			outs[f] = compOut{err: err}
+			return nil
+		}
 		if m.tm.queueWait != nil {
 			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
 		}
-		i := int(reqOf[f])
 		o, err := m.compressOne(s, reqs[i].Data, reqs[i].Attr, &reqs[i].Schema.SubTasks[f-offs[i]])
 		o.err = err
 		outs[f] = o
@@ -768,6 +867,9 @@ func (m *Manager) ExecuteWriteBatch(now float64, reqs []WriteReq) ([]Result, []e
 			if span[k].err != nil && errs[i] == nil {
 				errs[i] = span[k].err
 			}
+		}
+		if errs[i] == nil && ctx.Err() != nil {
+			errs[i] = ctx.Err() // cancelled between fan and placement
 		}
 		if errs[i] != nil {
 			for k := range span { // payloads were never handed to the store
@@ -819,6 +921,12 @@ func (m *Manager) decompressSub(s *bufpool.Scratch, attr analyzer.Result, sub *s
 		if err != nil {
 			return readOut{}, err
 		}
+		// Integrity gate: a payload whose CRC32C disagrees with its header
+		// never reaches the decompressor.
+		if got := crc32.Checksum(rest, castagnoli); got != hdr.CRC {
+			return readOut{}, fmt.Errorf("manager: sub-task %d payload CRC %08x != header %08x: %w",
+				k, got, hdr.CRC, hcerr.ErrCorrupted)
+		}
 		payload = rest
 		// Workers write disjoint regions of the shared buffer, so
 		// the decoded range must agree with the write-time metadata
@@ -860,9 +968,9 @@ func (m *Manager) decompressSub(s *bufpool.Scratch, attr analyzer.Result, sub *s
 // start times). Peek pins arena-owned payloads; callers drop the pins as
 // soon as the decompression fan-out finishes. On error every pin taken
 // so far is released.
-func (m *Manager) peekSubs(subs []subMeta, blobs []store.Blob) error {
+func (m *Manager) peekSubs(now float64, subs []subMeta, blobs []store.Blob) error {
 	for k := range subs {
-		blob, err := m.st.Peek(subs[k].key)
+		blob, err := m.peekRetry(now, subs[k].key)
 		if err != nil {
 			for j := 0; j < k; j++ {
 				m.st.Release(blobs[j])
@@ -872,6 +980,39 @@ func (m *Manager) peekSubs(subs []subMeta, blobs []store.Blob) error {
 		blobs[k] = blob
 	}
 	return nil
+}
+
+// peekRetry fetches one payload, retrying transient faults with the same
+// capped virtual-time backoff as writes (the advanced clock only feeds
+// the injector — peeks never consume tier lanes).
+func (m *Manager) peekRetry(now float64, key string) (store.Blob, error) {
+	blob, err := m.st.Peek(now, key)
+	backoff := m.retryBase
+	for r := 0; err != nil && hcerr.IsTransient(err) && r < m.retryMax; r++ {
+		m.tm.retries.Inc()
+		now += backoff
+		if backoff < m.retryCap {
+			backoff *= 2
+		}
+		blob, err = m.st.Peek(now, key)
+	}
+	return blob, err
+}
+
+// readTimeRetry models one timed sub-task read, retrying transient
+// faults with capped virtual-time backoff.
+func (m *Manager) readTimeRetry(t float64, key string) (float64, error) {
+	end, err := m.st.ReadTime(t, key)
+	backoff := m.retryBase
+	for r := 0; err != nil && hcerr.IsTransient(err) && r < m.retryMax; r++ {
+		m.tm.retries.Inc()
+		t += backoff
+		if backoff < m.retryCap {
+			backoff *= 2
+		}
+		end, err = m.st.ReadTime(t, key)
+	}
+	return end, err
 }
 
 // replayRead is stage 3 of a read: the serial timeline replay (tier
@@ -886,7 +1027,7 @@ func (m *Manager) replayRead(now float64, attr analyzer.Result, subs []subMeta, 
 	for k := range subs {
 		sm := &subs[k]
 		o := &outs[k]
-		end, err := m.st.ReadTime(t, sm.key)
+		end, err := m.readTimeRetry(t, sm.key)
 		if err != nil {
 			bufpool.Put(resData)
 			return Result{}, err
@@ -931,6 +1072,13 @@ func (m *Manager) replayRead(now float64, attr analyzer.Result, subs []subMeta, 
 // sub-task in order) is replayed serially — so the Result is identical
 // for every parallelism setting.
 func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
+	return m.ExecuteReadCtx(context.Background(), now, key)
+}
+
+// ExecuteReadCtx is ExecuteRead under a context: cancellation drains the
+// decompression fan-out, releases every pinned payload, and returns
+// ctx.Err().
+func (m *Manager) ExecuteReadCtx(ctx context.Context, now float64, key string) (Result, error) {
 	m.mu.Lock()
 	meta, ok := m.tasks[key]
 	var subs []subMeta
@@ -944,13 +1092,13 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 	}
 	m.mu.Unlock()
 	if !ok {
-		return Result{}, fmt.Errorf("manager: unknown task %q", key)
+		return Result{}, fmt.Errorf("manager: unknown task %q: %w", key, hcerr.ErrNotFound)
 	}
 	n := len(subs)
 	real := m.st.KeepsData()
 
 	blobs := make([]store.Blob, n)
-	if err := m.peekSubs(subs, blobs); err != nil {
+	if err := m.peekSubs(now, subs, blobs); err != nil {
 		return Result{}, err
 	}
 
@@ -970,6 +1118,9 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 		fanStart = time.Now()
 	}
 	err := m.runFan(n, func(s *bufpool.Scratch, k int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if m.tm.queueWait != nil {
 			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
 		}
@@ -996,6 +1147,13 @@ func (m *Manager) ExecuteRead(now float64, key string) (Result, error) {
 // timeline is replayed serially from now. Requests fail independently,
 // mirroring ExecuteWriteBatch.
 func (m *Manager) ExecuteReadBatch(now float64, keys []string) ([]Result, []error) {
+	return m.ExecuteReadBatchCtx(context.Background(), now, keys)
+}
+
+// ExecuteReadBatchCtx is ExecuteReadBatch under a context. On
+// cancellation, unfinished requests fail with ctx.Err() (recorded per
+// request); every pinned payload and reassembly buffer is returned.
+func (m *Manager) ExecuteReadBatchCtx(ctx context.Context, now float64, keys []string) ([]Result, []error) {
 	results := make([]Result, len(keys))
 	errs := make([]error, len(keys))
 	subsAll := make([][]subMeta, len(keys))
@@ -1006,7 +1164,7 @@ func (m *Manager) ExecuteReadBatch(now float64, keys []string) ([]Result, []erro
 	for i, key := range keys {
 		meta, ok := m.tasks[key]
 		if !ok {
-			errs[i] = fmt.Errorf("manager: unknown task %q", key)
+			errs[i] = fmt.Errorf("manager: unknown task %q: %w", key, hcerr.ErrNotFound)
 			continue
 		}
 		subsAll[i] = append([]subMeta(nil), meta.subs...)
@@ -1028,7 +1186,7 @@ func (m *Manager) ExecuteReadBatch(now float64, keys []string) ([]Result, []erro
 			continue
 		}
 		blobsAll[i] = make([]store.Blob, len(subsAll[i]))
-		if err := m.peekSubs(subsAll[i], blobsAll[i]); err != nil {
+		if err := m.peekSubs(now, subsAll[i], blobsAll[i]); err != nil {
 			errs[i] = err
 			blobsAll[i] = nil
 			continue
@@ -1052,6 +1210,10 @@ func (m *Manager) ExecuteReadBatch(now float64, keys []string) ([]Result, []erro
 		fanStart = time.Now()
 	}
 	_ = m.runFan(total, func(s *bufpool.Scratch, f int) error {
+		if err := ctx.Err(); err != nil {
+			outs[f] = readOut{err: err}
+			return nil
+		}
 		if m.tm.queueWait != nil {
 			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
 		}
@@ -1104,7 +1266,7 @@ func (m *Manager) Delete(key string) error {
 	}
 	m.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("manager: unknown task %q", key)
+		return fmt.Errorf("manager: unknown task %q: %w", key, hcerr.ErrNotFound)
 	}
 	for _, sm := range meta.subs {
 		if err := m.st.Delete(sm.key); err != nil {
@@ -1177,8 +1339,4 @@ func (m *Manager) compactOrderLocked() {
 	for i := range m.demoteCur {
 		m.demoteCur[i] = 0
 	}
-}
-
-func errorsIsNoCapacity(err error) bool {
-	return errors.Is(err, store.ErrNoCapacity)
 }

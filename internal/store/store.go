@@ -19,22 +19,24 @@
 package store
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"hcompress/internal/bufpool"
 	"hcompress/internal/des"
+	"hcompress/internal/fault"
+	"hcompress/internal/hcerr"
 	"hcompress/internal/telemetry"
 	"hcompress/internal/tier"
 )
 
 // ErrNoCapacity is returned when a Put does not fit in the target tier.
-var ErrNoCapacity = errors.New("store: tier capacity exceeded")
+// It is the canonical hcerr sentinel, so errors.Is matches across layers.
+var ErrNoCapacity = hcerr.ErrNoCapacity
 
 // ErrNotFound is returned when a key is absent.
-var ErrNotFound = errors.New("store: key not found")
+var ErrNotFound = hcerr.ErrNotFound
 
 // Blob is one stored object.
 type Blob struct {
@@ -109,6 +111,44 @@ type Store struct {
 	blobs    map[string]*Blob
 	keepData bool
 	hier     tier.Hierarchy
+
+	// flt, when non-nil, rules on every tier operation (fault injection).
+	// healthSink, when non-nil, observes per-tier outcomes — injected
+	// failures and ordinary successes — so the System Monitor can track
+	// tier health. Both are construction-time options; neither is ever
+	// called while a tier lock is held (the monitor's refresh path takes
+	// its own lock before sampling tiers, so the opposite order would
+	// deadlock).
+	flt        fault.Injector
+	healthSink func(now float64, tier int, err error)
+}
+
+// SetFaultInjector installs the fault injector ruling on every tier
+// operation. Like SetTelemetry it must be called before the store is
+// shared between goroutines; nil leaves injection off.
+func (s *Store) SetFaultInjector(f fault.Injector) { s.flt = f }
+
+// SetHealthSink installs the per-tier outcome observer (the System
+// Monitor's health feed). It is invoked with a nil error on successful
+// operations and with the failure otherwise, never under a store lock.
+// Construction-time only; nil leaves health observation off.
+func (s *Store) SetHealthSink(fn func(now float64, tier int, err error)) { s.healthSink = fn }
+
+// observe reports one tier outcome to the health sink. Capacity misses
+// are not faults — a full tier is healthy — so they are not reported.
+func (s *Store) observe(now float64, tier int, err error) {
+	if s.healthSink != nil {
+		s.healthSink(now, tier, err)
+	}
+}
+
+// decide consults the fault injector for one operation; the zero
+// Decision means "proceed untouched".
+func (s *Store) decide(now float64, tier int, op fault.Op, key string, size int64) fault.Decision {
+	if s.flt == nil {
+		return fault.Decision{}
+	}
+	return s.flt.Decide(now, tier, op, key, size)
 }
 
 // New creates a store over the hierarchy. keepData selects whether blob
@@ -195,6 +235,15 @@ func (s *Store) put(now float64, t int, key string, data []byte, size int64, own
 	}
 	ts := s.tiers[t]
 
+	// Fault injection rules before any state changes, so a failed put has
+	// no side effects to roll back and the caller keeps payload ownership.
+	if d := s.decide(now, t, fault.OpPut, key, size); d.Err != nil {
+		s.observe(now, t, d.Err)
+		return now, fmt.Errorf("store: put %q on %s: %w", key, ts.spec.Name, d.Err)
+	} else if d.Latency > 0 {
+		now += d.Latency
+	}
+
 	// Pop any existing blob so its allocation can be released first (the
 	// overwrite path); it is restored if the new payload does not fit.
 	s.mu.Lock()
@@ -264,6 +313,7 @@ func (s *Store) put(now float64, t int, key string, data []byte, size int64, own
 	if hadOld {
 		old.ref.release()
 	}
+	s.observe(end, t, nil)
 	return end, nil
 }
 
@@ -286,13 +336,40 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 	if !ok {
 		return Blob{}, now, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
+	d := s.decide(now, b.Tier, fault.OpGet, key, b.Size)
+	if d.Err != nil {
+		s.observe(now, b.Tier, d.Err)
+		return Blob{}, now, fmt.Errorf("store: get %q on %s: %w", key, s.tiers[b.Tier].spec.Name, d.Err)
+	}
+	now += d.Latency
+	if d.Corrupt {
+		b.corrupt()
+	}
 	ts := s.tiers[b.Tier]
 	ts.mu.Lock()
 	end = ts.res.Acquire(now, b.Size)
 	ts.tm.gets.Inc()
 	ts.tm.getBytes.Add(b.Size)
 	ts.mu.Unlock()
+	s.observe(end, b.Tier, nil)
 	return b, end, nil
+}
+
+// corrupt replaces the blob's payload with a bit-flipped private copy —
+// the stored bytes stay intact (the fault is what the reader observed,
+// not permanent media loss) and any arena pin is dropped since the copy
+// is ordinary garbage-collected memory.
+func (b *Blob) corrupt() {
+	if len(b.Data) == 0 {
+		return
+	}
+	data := append([]byte(nil), b.Data...)
+	data[len(data)-1] ^= 0xA5
+	if b.ref != nil {
+		b.ref.release()
+		b.ref = nil
+	}
+	b.Data = data
 }
 
 // Peek returns the blob under key without modeling an I/O or advancing any
@@ -302,15 +379,30 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 // the buffer can never return to the arena. It exists so the Compression
 // Manager can fetch payloads for parallel decompression and replay the
 // timed reads afterwards, keeping virtual-time accounting deterministic.
-func (s *Store) Peek(key string) (Blob, error) {
+// now does not advance anything; it only positions the fetch on the
+// virtual timeline for the fault injector (the paired timed read replays
+// at the same reading, so both see the same fault window).
+func (s *Store) Peek(now float64, key string) (Blob, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	blob, ok := s.blobs[key]
+	var b Blob
+	if ok {
+		b = *blob
+		b.ref.retain()
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	b := *blob
-	b.ref.retain()
+	d := s.decide(now, b.Tier, fault.OpGet, key, b.Size)
+	if d.Err != nil {
+		b.ref.release()
+		s.observe(now, b.Tier, d.Err)
+		return Blob{}, fmt.Errorf("store: read %q on %s: %w", key, s.tiers[b.Tier].spec.Name, d.Err)
+	}
+	if d.Corrupt {
+		b.corrupt()
+	}
 	return b, nil
 }
 
@@ -328,12 +420,19 @@ func (s *Store) ReadTime(now float64, key string) (end float64, err error) {
 	if !ok {
 		return now, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
+	if d := s.decide(now, t, fault.OpGet, key, size); d.Err != nil {
+		s.observe(now, t, d.Err)
+		return now, fmt.Errorf("store: read %q on %s: %w", key, s.tiers[t].spec.Name, d.Err)
+	} else if d.Latency > 0 {
+		now += d.Latency
+	}
 	ts := s.tiers[t]
 	ts.mu.Lock()
 	end = ts.res.Acquire(now, size)
 	ts.tm.gets.Inc()
 	ts.tm.getBytes.Add(size)
 	ts.mu.Unlock()
+	s.observe(end, t, nil)
 	return end, nil
 }
 
@@ -386,6 +485,15 @@ func (s *Store) Move(now float64, key string, dst int) (end float64, err error) 
 	if blob.Tier == dst {
 		return now, nil
 	}
+	// Fault ruling on the destination write happens before any tier lock
+	// is taken (the health sink must never run under one — the monitor's
+	// refresh path locks tiers in the opposite order).
+	if d := s.decide(now, dst, fault.OpPut, key, blob.Size); d.Err != nil {
+		s.observe(now, dst, d.Err)
+		return now, fmt.Errorf("store: move %q to %s: %w", key, s.tiers[dst].spec.Name, d.Err)
+	} else if d.Latency > 0 {
+		now += d.Latency
+	}
 	src, dstT := s.tiers[blob.Tier], s.tiers[dst]
 	lo, hi := src, dstT
 	if dst < blob.Tier {
@@ -429,13 +537,25 @@ type TierStatus struct {
 func (s *Store) Status(now float64) []TierStatus {
 	out := make([]TierStatus, len(s.tiers))
 	for i, ts := range s.tiers {
+		// A capacity lie shrinks what the monitor *reports*, not what the
+		// tier holds — the false telemetry a real System Monitor can
+		// serve. Placement re-checks true capacity, so lies only mislead
+		// planners.
+		capEff := ts.spec.Capacity
+		if s.flt != nil {
+			capEff = s.flt.ReportedCapacity(now, i, capEff)
+		}
 		ts.mu.Lock()
+		rem := capEff - ts.used
+		if rem < 0 {
+			rem = 0
+		}
 		out[i] = TierStatus{
 			Name:      ts.spec.Name,
 			Available: true,
 			Capacity:  ts.spec.Capacity,
 			Used:      ts.used,
-			Remaining: ts.spec.Capacity - ts.used,
+			Remaining: rem,
 			QueueLen:  ts.res.QueueDepth(now),
 			Backlog:   ts.res.Backlog(now),
 		}

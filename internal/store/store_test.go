@@ -343,7 +343,7 @@ func TestPeekPinSurvivesDelete(t *testing.T) {
 	if _, err := s.PutOwned(0, 0, "k", data, 32); err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Peek("k")
+	b, err := s.Peek(0, "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestGetCopiesOwnedPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Data[0] = 'X' // caller may mutate a Get result freely
-	b2, err := s.Peek("k")
+	b2, err := s.Peek(0, "k")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
 	"hcompress/internal/manager"
+	"hcompress/internal/monitor"
 	"hcompress/internal/telemetry"
 )
 
@@ -134,6 +135,62 @@ func (c *Client) MetricsAddr() string {
 	return c.metricsLn.Addr().String()
 }
 
+// FaultEvent records one tier health transition in the JSONL trace
+// export and the in-memory ring: which tier moved between "healthy",
+// "degraded", and "offline", when on the virtual timeline, and the
+// error streak that drove it.
+type FaultEvent struct {
+	Record string  `json:"record"` // always "fault"
+	Tier   string  `json:"tier"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	VTime  float64 `json:"vtime"`
+	Streak int     `json:"streak,omitempty"`
+}
+
+// FaultEvents drains the in-memory health-transition ring: every tier
+// state change recorded since the previous call, oldest first. Unlike
+// the metrics registry this ring is always on — fault visibility must
+// not depend on telemetry being enabled.
+func (c *Client) FaultEvents() []FaultEvent {
+	c.faults.mu.Lock()
+	defer c.faults.mu.Unlock()
+	out := c.faults.ring
+	c.faults.ring = nil
+	return out
+}
+
+// faultLog is the bounded health-transition ring.
+type faultLog struct {
+	mu   sync.Mutex
+	ring []FaultEvent
+	cap  int
+}
+
+func (f *faultLog) append(ev FaultEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring = append(f.ring, ev)
+	if over := len(f.ring) - f.cap; over > 0 && f.cap > 0 {
+		f.ring = append([]FaultEvent(nil), f.ring[over:]...)
+	}
+}
+
+// onHealthEvent is the monitor's event sink: every health transition
+// lands in the always-on ring and, when tracing, the JSONL sink.
+func (c *Client) onHealthEvent(ev monitor.Event) {
+	fe := FaultEvent{
+		Record: "fault",
+		Tier:   ev.Name,
+		From:   ev.From.String(),
+		To:     ev.To.String(),
+		VTime:  ev.VTime,
+		Streak: ev.Streak,
+	}
+	c.faults.append(fe)
+	c.sink.Emit(fe)
+}
+
 // auditLog is the bounded decision-audit ring.
 type auditLog struct {
 	mu   sync.Mutex
@@ -161,6 +218,9 @@ type clientMetrics struct {
 	sizeRelErr *telemetry.Histogram // |stored-predicted|/predicted per sub-task
 	timeRelErr *telemetry.Histogram
 	replans    *telemetry.Counter
+	// degradedWrites counts writes that fell back to uncompressed
+	// storage after every compressing schema proved infeasible.
+	degradedWrites *telemetry.Counter
 
 	batchTasks    *telemetry.Histogram // tasks per batch call
 	demoteSlices  *telemetry.Counter   // demotion slices executed
@@ -178,7 +238,8 @@ func newClientMetrics(reg *telemetry.Registry) clientMetrics {
 		opErrs:     make(map[string]*telemetry.Counter, 3),
 		sizeRelErr: reg.Histogram("hc_hcdp_size_relerr", "per-sub-task |stored-predicted|/predicted size error", telemetry.RelErrBuckets),
 		timeRelErr: reg.Histogram("hc_hcdp_time_relerr", "per-sub-task |actual-predicted|/predicted duration error", telemetry.RelErrBuckets),
-		replans:    reg.Counter("hc_client_replans_total", "writes that replanned after a stale-capacity failure"),
+		replans:        reg.Counter("hc_client_replans_total", "writes that replanned after a stale-capacity failure"),
+		degradedWrites: reg.Counter("hc_degraded_writes_total", "writes stored uncompressed after every compressing schema failed"),
 
 		batchTasks:    reg.Histogram("hc_client_batch_tasks", "tasks per CompressBatch/DecompressBatch call", telemetry.DepthBuckets),
 		demoteSlices:  reg.Counter("hc_demoter_slices_total", "bounded demotion slices executed by the background demoter"),
