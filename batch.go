@@ -35,14 +35,14 @@ type batchGroupKey struct {
 // the same clock reading for every task — exactly as the same tasks
 // issued concurrently through Compress would — and the clock advances to
 // the latest completion.
-func (c *Client) CompressBatch(tasks []Task) ([]*Report, error) {
+func (c *Shard) CompressBatch(tasks []Task) ([]*Report, error) {
 	return c.CompressBatchContext(context.Background(), tasks)
 }
 
 // CompressBatchContext is CompressBatch under a context: cancellation
 // fails tasks that have not been placed yet with ctx.Err() (each named
 // in the joined error); tasks already placed keep their reports.
-func (c *Client) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Report, error) {
+func (c *Shard) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Report, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
@@ -179,14 +179,14 @@ func (c *Client) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Rep
 // decompressed through a single pool submission. Like CompressBatch,
 // tasks fail independently, reports come back in input order (nil on
 // failure), and all timelines start at the same clock reading.
-func (c *Client) DecompressBatch(keys []string) ([]*Report, error) {
+func (c *Shard) DecompressBatch(keys []string) ([]*Report, error) {
 	return c.DecompressBatchContext(context.Background(), keys)
 }
 
 // DecompressBatchContext is DecompressBatch under a context:
 // cancellation fails unfinished reads with ctx.Err() (each named in the
 // joined error) and releases every pinned payload.
-func (c *Client) DecompressBatchContext(ctx context.Context, keys []string) ([]*Report, error) {
+func (c *Shard) DecompressBatchContext(ctx context.Context, keys []string) ([]*Report, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}

@@ -22,13 +22,11 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"hcompress"
 	"hcompress/internal/experiments"
 	"hcompress/internal/seed"
-	"hcompress/internal/stats"
 	"hcompress/internal/tier"
 )
 
@@ -47,6 +45,9 @@ func main() {
 		demote   = flag.Duration("demote", 0, "with the throughput harness: background demotion interval (0 = off), e.g. 5ms")
 		metrics  = flag.Bool("metrics", false, "with the throughput harness: enable telemetry and dump the Prometheus exposition at exit")
 		faults   = flag.Bool("faults", false, "instead of experiments: run the fault-tolerance availability gate (scripted tier outage; exits non-zero on any write failure)")
+		shards   = flag.Int("shards", 1, "with the throughput harness: drive a key-routed router with this many shards instead of a single client")
+		service  = flag.Bool("service", false, "instead of experiments: serve the router over loopback HTTP and drive the same mixed workload through the service API (honors -shards/-parallel/-tasks/-tasksize/-mix)")
+		sweep    = flag.String("shardsweep", "", "instead of experiments: run the mixed workload at shard counts 1/2/4/8 and write the ops/s trajectory as JSON to this path ('-' for stdout)")
 	)
 	flag.Parse()
 	var err error
@@ -61,7 +62,13 @@ func main() {
 		err = fmt.Errorf("-batch must be >= 1, got %d", *batch)
 	case *mix < 0 || *mix > 1:
 		err = fmt.Errorf("-mix must be in [0, 1], got %g", *mix)
-	case *parallel > 0 || *cycles > 0:
+	case *shards < 1:
+		err = fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	case *sweep != "":
+		err = runShardSweep(*sweep, orDefault(*parallel, 8), orDefault(*tasks, 64), *taskSize, *batch, *mix)
+	case *service:
+		err = runService(*shards, orDefault(*parallel, 4), orDefault(*tasks, 64), *taskSize, *mix)
+	case *parallel > 0 || *cycles > 0 || *shards > 1:
 		p := *parallel
 		if p == 0 {
 			p = 1
@@ -70,7 +77,7 @@ func main() {
 		if *cycles > 0 {
 			tasksPer = (*cycles + p - 1) / p
 		}
-		err = runParallel(p, tasksPer, *taskSize, *batch, *mix, *demote, *metrics)
+		err = runParallel(*shards, p, tasksPer, *taskSize, *batch, *mix, *demote, *metrics)
 	default:
 		err = run(*exp, *scale, *profile, *seedOut)
 	}
@@ -80,167 +87,45 @@ func main() {
 	}
 }
 
-// runParallel stresses the concurrent client pipeline: n goroutines share
-// one Client, each performing tasksPer operations on its own key space. mix
+// runParallel stresses the concurrent data plane: n goroutines share one
+// target — the single Client facade, or with shards > 1 a key-routed
+// Router — each performing tasksPer operations on its own key space. mix
 // selects the write fraction (reads replay previously written keys); batch
 // groups submissions through the CompressBatch/DecompressBatch APIs; demote
-// turns on the background demoter at that interval. Each goroutine keeps a
-// sliding window of live keys and deletes the oldest as it advances, so
-// occupancy stays flat without deletes dominating the op stream. Aggregate
-// ops/s, MB/s and client-side latency quantiles are printed; with metrics,
-// the full Prometheus exposition is dumped to stdout as well.
-func runParallel(n, tasksPer, taskSize, batch int, mix float64, demote time.Duration, metrics bool) error {
-	c, err := hcompress.New(hcompress.Config{
+// turns on the background demoter at that interval. Aggregate ops/s, MB/s
+// and client-side latency quantiles are printed; with metrics, the full
+// (shard-merged) Prometheus exposition is dumped to stdout as well.
+func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote time.Duration, metrics bool) error {
+	cfg := hcompress.Config{
 		EnableTelemetry:  metrics,
 		DemotionInterval: demote,
-	})
+	}
+	var c benchTarget
+	if shards == 1 {
+		cl, err := hcompress.New(cfg)
+		if err != nil {
+			return err
+		}
+		c = cl
+	} else {
+		r, err := hcompress.NewRouter(cfg, shards)
+		if err != nil {
+			return err
+		}
+		c = r
+	}
+	defer c.Close()
+
+	res, err := driveMixed(c, n, tasksPer, taskSize, batch, mix)
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 3)
-
-	const window = 64 // live keys per goroutine before the oldest is deleted
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	writeLats := make([][]time.Duration, n)
-	readLats := make([][]time.Duration, n)
-	writeOps := make([]int, n)
-	readOps := make([]int, n)
-	begin := time.Now()
-	for g := 0; g < n; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			var live []string // keys written and not yet deleted, oldest first
-			var pendW []hcompress.Task
-			var pendR []string
-			next := 0 // key sequence number
-			flushW := func() error {
-				if len(pendW) == 0 {
-					return nil
-				}
-				op := time.Now()
-				if batch <= 1 {
-					if _, err := c.Compress(pendW[0]); err != nil {
-						return err
-					}
-				} else if _, err := c.CompressBatch(pendW); err != nil {
-					return err
-				}
-				writeLats[g] = append(writeLats[g], time.Since(op))
-				writeOps[g] += len(pendW)
-				pendW = pendW[:0]
-				return nil
-			}
-			flushR := func() error {
-				if len(pendR) == 0 {
-					return nil
-				}
-				op := time.Now()
-				if batch <= 1 {
-					rep, err := c.Decompress(pendR[0])
-					if err != nil {
-						return err
-					}
-					rep.Release()
-				} else {
-					reps, err := c.DecompressBatch(pendR)
-					if err != nil {
-						return err
-					}
-					for _, rep := range reps {
-						rep.Release()
-					}
-				}
-				readLats[g] = append(readLats[g], time.Since(op))
-				readOps[g] += len(pendR)
-				pendR = pendR[:0]
-				return nil
-			}
-			writes := 0
-			for i := 0; i < tasksPer; i++ {
-				if float64(writes) < mix*float64(i+1) || len(live) == 0 {
-					key := fmt.Sprintf("p%d-%d", g, next)
-					next++
-					writes++
-					pendW = append(pendW, hcompress.Task{Key: key, Data: data})
-					live = append(live, key)
-					if len(pendW) >= batch {
-						if errs[g] = flushW(); errs[g] != nil {
-							return
-						}
-					}
-					// Slide the window: drop the oldest key. Flush only if
-					// that key is still a pending (unflushed) write or read —
-					// with window >> batch this almost never fires, so batches
-					// stay full.
-					if len(live) > window {
-						old := live[0]
-						live = live[1:]
-						for _, t := range pendW {
-							if t.Key == old {
-								if errs[g] = flushW(); errs[g] != nil {
-									return
-								}
-								break
-							}
-						}
-						for _, k := range pendR {
-							if k == old {
-								if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
-									return
-								}
-								if errs[g] = flushR(); errs[g] != nil {
-									return
-								}
-								break
-							}
-						}
-						if errs[g] = c.Delete(old); errs[g] != nil {
-							return
-						}
-					}
-				} else {
-					// Read a recently written key (round-robin over the window).
-					key := live[len(live)/2]
-					pendR = append(pendR, key)
-					if len(pendR) >= batch {
-						if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
-							return
-						}
-						if errs[g] = flushR(); errs[g] != nil {
-							return
-						}
-					}
-				}
-			}
-			if errs[g] = flushW(); errs[g] != nil {
-				return
-			}
-			errs[g] = flushR()
-		}(g)
-	}
-	wg.Wait()
-	wall := time.Since(begin).Seconds()
-	for g, err := range errs {
-		if err != nil {
-			return fmt.Errorf("goroutine %d: %w", g, err)
-		}
-	}
-	var wOps, rOps int
-	for g := 0; g < n; g++ {
-		wOps += writeOps[g]
-		rOps += readOps[g]
-	}
-	ops := wOps + rOps
-	bytes := float64(ops) * float64(taskSize)
-	fmt.Printf("parallel=%d ops/goroutine=%d tasksize=%d batch=%d mix=%.2f demote=%s\n",
-		n, tasksPer, taskSize, batch, mix, demote)
+	fmt.Printf("shards=%d parallel=%d ops/goroutine=%d tasksize=%d batch=%d mix=%.2f demote=%s\n",
+		shards, n, tasksPer, taskSize, batch, mix, demote)
 	fmt.Printf("wall %.3fs  %.1f ops/s  %.1f MB/s aggregate (%d writes, %d reads)\n",
-		wall, float64(ops)/wall, bytes/wall/1e6, wOps, rOps)
-	printQuantiles("write", batch, writeLats)
-	printQuantiles("read", batch, readLats)
+		res.wall, res.opsPerSec(), res.mbPerSec(taskSize), res.writeOps, res.readOps)
+	printQuantiles("write", batch, res.writeLats)
+	printQuantiles("read", batch, res.readLats)
 	if metrics {
 		fmt.Println("--- prometheus exposition ---")
 		if err := c.WriteMetrics(os.Stdout); err != nil {

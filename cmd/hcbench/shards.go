@@ -1,0 +1,430 @@
+// Shard-scaling and service-mode throughput harnesses.
+//
+//	hcbench -shards 4 -parallel 8          # mixed workload through a 4-shard router
+//	hcbench -service -shards 2 -parallel 4 # same workload over loopback HTTP
+//	hcbench -shardsweep BENCH_shards.json  # ops/s trajectory at 1/2/4/8 shards
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"hcompress"
+	"hcompress/internal/service"
+	"hcompress/internal/stats"
+)
+
+// benchTarget is the operation surface the mixed-workload driver needs.
+// Both *hcompress.Client (the single-pipeline facade) and
+// *hcompress.Router (N key-routed shards) satisfy it, so one loop
+// measures both shapes.
+type benchTarget interface {
+	Compress(t hcompress.Task) (*hcompress.Report, error)
+	CompressBatch(tasks []hcompress.Task) ([]*hcompress.Report, error)
+	Decompress(key string) (*hcompress.Report, error)
+	DecompressBatch(keys []string) ([]*hcompress.Report, error)
+	Delete(key string) error
+	WriteMetrics(w io.Writer) error
+	Close() error
+}
+
+// mixedResult aggregates one driveMixed run.
+type mixedResult struct {
+	wall      float64 // seconds
+	writeOps  int
+	readOps   int
+	writeLats [][]time.Duration
+	readLats  [][]time.Duration
+}
+
+func (r mixedResult) opsPerSec() float64 { return float64(r.writeOps+r.readOps) / r.wall }
+func (r mixedResult) mbPerSec(taskSize int) float64 {
+	return float64(r.writeOps+r.readOps) * float64(taskSize) / r.wall / 1e6
+}
+
+// driveMixed runs the mixed workload: n goroutines, each performing
+// tasksPer operations on its own key space. mix selects the write
+// fraction (reads replay previously written keys); batch groups
+// submissions through the CompressBatch/DecompressBatch APIs. Each
+// goroutine keeps a sliding window of live keys and deletes the oldest
+// as it advances, so occupancy stays flat without deletes dominating
+// the op stream.
+func driveMixed(c benchTarget, n, tasksPer, taskSize, batch int, mix float64) (mixedResult, error) {
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 3)
+
+	const window = 64 // live keys per goroutine before the oldest is deleted
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	res := mixedResult{
+		writeLats: make([][]time.Duration, n),
+		readLats:  make([][]time.Duration, n),
+	}
+	writeOps := make([]int, n)
+	readOps := make([]int, n)
+	begin := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var live []string // keys written and not yet deleted, oldest first
+			var pendW []hcompress.Task
+			var pendR []string
+			next := 0 // key sequence number
+			flushW := func() error {
+				if len(pendW) == 0 {
+					return nil
+				}
+				op := time.Now()
+				if batch <= 1 {
+					if _, err := c.Compress(pendW[0]); err != nil {
+						return err
+					}
+				} else if _, err := c.CompressBatch(pendW); err != nil {
+					return err
+				}
+				res.writeLats[g] = append(res.writeLats[g], time.Since(op))
+				writeOps[g] += len(pendW)
+				pendW = pendW[:0]
+				return nil
+			}
+			flushR := func() error {
+				if len(pendR) == 0 {
+					return nil
+				}
+				op := time.Now()
+				if batch <= 1 {
+					rep, err := c.Decompress(pendR[0])
+					if err != nil {
+						return err
+					}
+					rep.Release()
+				} else {
+					reps, err := c.DecompressBatch(pendR)
+					if err != nil {
+						return err
+					}
+					for _, rep := range reps {
+						rep.Release()
+					}
+				}
+				res.readLats[g] = append(res.readLats[g], time.Since(op))
+				readOps[g] += len(pendR)
+				pendR = pendR[:0]
+				return nil
+			}
+			writes := 0
+			for i := 0; i < tasksPer; i++ {
+				if float64(writes) < mix*float64(i+1) || len(live) == 0 {
+					key := fmt.Sprintf("p%d-%d", g, next)
+					next++
+					writes++
+					pendW = append(pendW, hcompress.Task{Key: key, Data: data})
+					live = append(live, key)
+					if len(pendW) >= batch {
+						if errs[g] = flushW(); errs[g] != nil {
+							return
+						}
+					}
+					// Slide the window: drop the oldest key. Flush only if
+					// that key is still a pending (unflushed) write or read —
+					// with window >> batch this almost never fires, so batches
+					// stay full.
+					if len(live) > window {
+						old := live[0]
+						live = live[1:]
+						for _, t := range pendW {
+							if t.Key == old {
+								if errs[g] = flushW(); errs[g] != nil {
+									return
+								}
+								break
+							}
+						}
+						for _, k := range pendR {
+							if k == old {
+								if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
+									return
+								}
+								if errs[g] = flushR(); errs[g] != nil {
+									return
+								}
+								break
+							}
+						}
+						if errs[g] = c.Delete(old); errs[g] != nil {
+							return
+						}
+					}
+				} else {
+					// Read a recently written key (round-robin over the window).
+					key := live[len(live)/2]
+					pendR = append(pendR, key)
+					if len(pendR) >= batch {
+						if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
+							return
+						}
+						if errs[g] = flushR(); errs[g] != nil {
+							return
+						}
+					}
+				}
+			}
+			if errs[g] = flushW(); errs[g] != nil {
+				return
+			}
+			errs[g] = flushR()
+		}(g)
+	}
+	wg.Wait()
+	res.wall = time.Since(begin).Seconds()
+	for g, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("goroutine %d: %w", g, err)
+		}
+	}
+	for g := 0; g < n; g++ {
+		res.writeOps += writeOps[g]
+		res.readOps += readOps[g]
+	}
+	return res, nil
+}
+
+// orDefault substitutes def when the flag was left at zero.
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// sweepPoint is one row of the BENCH_shards.json trajectory.
+type sweepPoint struct {
+	Shards      int     `json:"shards"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	WallSeconds float64 `json:"wall_seconds"`
+	WriteOps    int     `json:"write_ops"`
+	ReadOps     int     `json:"read_ops"`
+}
+
+// sweepReport is the full BENCH_shards.json document.
+type sweepReport struct {
+	Comment    string       `json:"comment"`
+	Date       string       `json:"date"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Goroutines int          `json:"goroutines"`
+	TasksPerG  int          `json:"tasks_per_goroutine"`
+	TaskBytes  int          `json:"task_bytes"`
+	Batch      int          `json:"batch"`
+	Mix        float64      `json:"mix"`
+	Points     []sweepPoint `json:"points"`
+}
+
+// runShardSweep measures aggregate mixed-workload throughput at shard
+// counts 1, 2, 4 and 8 — a fresh router per point, same workload — and
+// writes the trajectory as JSON to path ('-' for stdout). Every shard
+// count runs three times with the repetitions interleaved (1,2,4,8,
+// 1,2,4,8, ...) so slow host drift hits all counts alike; the best run
+// per count is kept, the standard guard against noisy-neighbor
+// interference. Each best point is printed as the sweep finishes.
+func runShardSweep(path string, goroutines, tasksPer, taskSize, batch int, mix float64) error {
+	const reps = 5
+	counts := []int{1, 2, 4, 8}
+	rep := sweepReport{
+		Comment: "hcbench -shardsweep: aggregate ops/s of the mixed workload vs router shard count, best of 5 interleaved reps; " +
+			"single host, per-shard pipelines, scaling reflects added parallel capacity — on a 1-vCPU host (GOMAXPROCS=1) no true speedup is physically available and the trajectory mainly bounds the router's overhead",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Goroutines: goroutines,
+		TasksPerG:  tasksPer,
+		TaskBytes:  taskSize,
+		Batch:      batch,
+		Mix:        mix,
+	}
+	best := make(map[int]sweepPoint, len(counts))
+	for r := 0; r < reps; r++ {
+		for _, n := range counts {
+			rt, err := hcompress.NewRouter(hcompress.Config{}, n)
+			if err != nil {
+				return err
+			}
+			res, err := driveMixed(rt, goroutines, tasksPer, taskSize, batch, mix)
+			cerr := rt.Close()
+			if err != nil {
+				return fmt.Errorf("shards=%d: %w", n, err)
+			}
+			if cerr != nil {
+				return fmt.Errorf("shards=%d close: %w", n, cerr)
+			}
+			pt := sweepPoint{
+				Shards:      n,
+				OpsPerSec:   res.opsPerSec(),
+				MBPerSec:    res.mbPerSec(taskSize),
+				WallSeconds: res.wall,
+				WriteOps:    res.writeOps,
+				ReadOps:     res.readOps,
+			}
+			fmt.Printf("rep %d shards=%d  wall %.3fs  %.1f ops/s\n", r+1, n, pt.WallSeconds, pt.OpsPerSec)
+			if cur, ok := best[n]; !ok || pt.OpsPerSec > cur.OpsPerSec {
+				best[n] = pt
+			}
+		}
+	}
+	for _, n := range counts {
+		pt := best[n]
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("best shards=%d  wall %.3fs  %.1f ops/s  %.1f MB/s (%d writes, %d reads)\n",
+			n, pt.WallSeconds, pt.OpsPerSec, pt.MBPerSec, pt.WriteOps, pt.ReadOps)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runService runs the mixed workload over loopback HTTP: a router with
+// the requested shard count behind the service front-end, one tenant per
+// driver goroutine, writes posted to /v1/compress and reads to
+// /v1/decompress. It reports aggregate ops/s including the full
+// JSON/base64/HTTP round-trip cost, so comparing against -shards shows
+// the service-layer overhead directly.
+func runService(shards, goroutines, tasksPer, taskSize int, mix float64) error {
+	r, err := hcompress.NewRouter(hcompress.Config{}, shards)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	// Benchmark tenants run unthrottled and unmetered: QuotaBytes < 0
+	// lifts the byte quota, Burst < 0 disables admission control, so the
+	// numbers measure the data path, not the limiter.
+	var scfg service.Config
+	for g := 0; g < goroutines; g++ {
+		scfg.Tenants = append(scfg.Tenants, service.TenantSpec{
+			Name: fmt.Sprintf("bench%d", g), QuotaBytes: -1, Burst: -1,
+		})
+	}
+	srv, err := service.New(r, scfg)
+	if err != nil {
+		return err
+	}
+	addr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	base := "http://" + addr
+
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 3)
+	const window = 64
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	writeLats := make([][]time.Duration, goroutines)
+	readLats := make([][]time.Duration, goroutines)
+	writeOps := make([]int, goroutines)
+	readOps := make([]int, goroutines)
+	begin := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hc := &http.Client{}
+			tenant := fmt.Sprintf("bench%d", g)
+			post := func(path string, req, resp any) error {
+				body, err := json.Marshal(req)
+				if err != nil {
+					return err
+				}
+				hr, err := hc.Post(base+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					return err
+				}
+				defer hr.Body.Close()
+				if hr.StatusCode != http.StatusOK {
+					var e service.ErrorResponse
+					_ = json.NewDecoder(hr.Body).Decode(&e)
+					return fmt.Errorf("%s: HTTP %d: %s (%s)", path, hr.StatusCode, e.Error, e.Code)
+				}
+				return json.NewDecoder(hr.Body).Decode(resp)
+			}
+			var live []string
+			next, writes := 0, 0
+			for i := 0; i < tasksPer; i++ {
+				if float64(writes) < mix*float64(i+1) || len(live) == 0 {
+					key := fmt.Sprintf("k%d", next)
+					next++
+					writes++
+					op := time.Now()
+					var cr service.CompressResponse
+					if errs[g] = post("/v1/compress", service.CompressRequest{
+						Tenant: tenant, Key: key, Data: data,
+					}, &cr); errs[g] != nil {
+						return
+					}
+					writeLats[g] = append(writeLats[g], time.Since(op))
+					writeOps[g]++
+					live = append(live, key)
+					if len(live) > window {
+						old := live[0]
+						live = live[1:]
+						var dr struct{}
+						if errs[g] = post("/v1/delete", service.DeleteRequest{Tenant: tenant, Key: old}, &dr); errs[g] != nil {
+							return
+						}
+					}
+				} else {
+					key := live[len(live)/2]
+					op := time.Now()
+					var dr service.DecompressResponse
+					if errs[g] = post("/v1/decompress", service.DecompressRequest{
+						Tenant: tenant, Key: key,
+					}, &dr); errs[g] != nil {
+						return
+					}
+					if len(dr.Data) != taskSize {
+						errs[g] = fmt.Errorf("read %q: got %d bytes, want %d", key, len(dr.Data), taskSize)
+						return
+					}
+					readLats[g] = append(readLats[g], time.Since(op))
+					readOps[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(begin).Seconds()
+	for g, err := range errs {
+		if err != nil {
+			return fmt.Errorf("tenant bench%d: %w", g, err)
+		}
+	}
+	var wOps, rOps int
+	for g := 0; g < goroutines; g++ {
+		wOps += writeOps[g]
+		rOps += readOps[g]
+	}
+	ops := wOps + rOps
+	fmt.Printf("service addr=%s shards=%d tenants=%d ops/tenant=%d tasksize=%d mix=%.2f\n",
+		addr, shards, goroutines, tasksPer, taskSize, mix)
+	fmt.Printf("wall %.3fs  %.1f ops/s  %.1f MB/s aggregate over HTTP (%d writes, %d reads)\n",
+		wall, float64(ops)/wall, float64(ops)*float64(taskSize)/wall/1e6, wOps, rOps)
+	printQuantiles("write", 1, writeLats)
+	printQuantiles("read", 1, readLats)
+	return nil
+}

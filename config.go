@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hcompress/internal/seed"
+	"hcompress/internal/telemetry"
 	"hcompress/internal/tier"
 )
 
@@ -157,6 +158,18 @@ type Config struct {
 	// determinism contract is asserted against modeled costs because the
 	// real oracle measures wall clocks.
 	modeled bool
+
+	// shardLabel, when non-empty, stamps every telemetry series this
+	// pipeline registers with shard="<label>". Set by NewRouter for
+	// multi-shard routers (unexported): a single-shard Client keeps the
+	// exact pre-sharding series names, so its exposition stays
+	// byte-compatible.
+	shardLabel string
+	// traceSink, when non-nil, overrides TraceWriter with an
+	// already-built sink. NewRouter shares one sink across shards so
+	// concurrent shards emit line-atomic records to one writer instead of
+	// racing on it through separate sinks.
+	traceSink *telemetry.Sink
 }
 
 // telemetryEnabled reports whether any telemetry surface is requested.

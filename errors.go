@@ -25,6 +25,15 @@ var (
 	// ErrDegraded marks a write that succeeded only by abandoning the
 	// planned schema. It is matched by errors.Is against Report.Degraded.
 	ErrDegraded = hcerr.ErrDegraded
+	// ErrQuotaExceeded marks a service write rejected because it would
+	// push the tenant's stored bytes past its byte quota (nothing was
+	// stored). Raised by internal/service, re-exported here so callers
+	// match one taxonomy end to end.
+	ErrQuotaExceeded = hcerr.ErrQuotaExceeded
+	// ErrThrottled marks a service request rejected by per-tenant
+	// token-bucket admission control; unlike ErrQuotaExceeded it clears
+	// on its own as tokens refill.
+	ErrThrottled = hcerr.ErrThrottled
 )
 
 // DegradedError records a write that could not execute any compressing

@@ -1,0 +1,46 @@
+package fanout
+
+import "context"
+
+// Class is a pool scheduling priority. Two classes exist: Interactive
+// work (latency-sensitive reads) is always claimed before Batch work
+// (bulk writes, background movement), so a flood of batch sub-tasks
+// cannot queue ahead of a read that a caller is blocked on. Within a
+// class, claiming stays round-robin across jobs.
+//
+// Priority affects wall-clock scheduling only. Virtual-time accounting
+// is computed per sub-task from the model, so results and traces are
+// byte-identical whichever order the pool runs things in — the same
+// determinism contract as the pool width.
+type Class int
+
+const (
+	// Interactive is the default class: claimed first.
+	Interactive Class = iota
+	// Batch yields to Interactive work whenever both are queued.
+	Batch
+
+	numClasses = 2
+)
+
+// classKey carries a Class through a context.
+type classKey struct{}
+
+// WithClass tags ctx with a scheduling class. Operations executed under
+// the returned context submit their pool work at that class; an untagged
+// context is Interactive.
+func WithClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+// ClassOf extracts the scheduling class from ctx (Interactive when
+// untagged or nil).
+func ClassOf(ctx context.Context) Class {
+	if ctx == nil {
+		return Interactive
+	}
+	if c, ok := ctx.Value(classKey{}).(Class); ok && c >= 0 && c < numClasses {
+		return c
+	}
+	return Interactive
+}

@@ -1,0 +1,97 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hcompress/internal/bufpool"
+)
+
+// TestClassContext pins the context plumbing: untagged contexts default
+// to Interactive, WithClass round-trips, and the innermost tag wins.
+func TestClassContext(t *testing.T) {
+	if got := ClassOf(context.Background()); got != Interactive {
+		t.Fatalf("untagged context: class %v, want Interactive", got)
+	}
+	ctx := WithClass(context.Background(), Batch)
+	if got := ClassOf(ctx); got != Batch {
+		t.Fatalf("tagged context: class %v, want Batch", got)
+	}
+	if got := ClassOf(WithClass(ctx, Interactive)); got != Interactive {
+		t.Fatalf("re-tagged context: class %v, want Interactive", got)
+	}
+}
+
+// TestClaimPrefersInteractive is the white-box scheduling gate: with a
+// Batch job enqueued first and an Interactive job behind it, claim()
+// must hand out every Interactive item before touching the Batch
+// queue. No workers are started — the test drives claim() directly, so
+// the order is deterministic.
+func TestClaimPrefersInteractive(t *testing.T) {
+	p := &Pool{workers: 2}
+	p.cond = sync.NewCond(&p.mu)
+	mk := func(cls Class, n int) *poolJob {
+		j := &poolJob{n: n, chunk: 1, cls: cls, done: make(chan struct{}, 1)}
+		j.pending.Store(int64(n))
+		return j
+	}
+	batch := mk(Batch, 2)
+	inter := mk(Interactive, 2)
+	p.jobs[Batch] = append(p.jobs[Batch], batch) // enqueued first...
+	p.jobs[Interactive] = append(p.jobs[Interactive], inter)
+	p.queued = 4
+
+	var order []Class
+	for i := 0; i < 4; i++ {
+		j, lo, hi := p.claim()
+		if j == nil || hi-lo != 1 {
+			t.Fatalf("claim %d: job %v span [%d,%d)", i, j, lo, hi)
+		}
+		order = append(order, j.cls)
+	}
+	want := []Class{Interactive, Interactive, Batch, Batch} // ...but claimed last
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("claim order %v, want %v", order, want)
+		}
+	}
+	if p.queued != 0 {
+		t.Fatalf("queued = %d after draining", p.queued)
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	if j, _, _ := p.claim(); j != nil {
+		t.Fatal("claim on a drained, closed pool returned a job")
+	}
+}
+
+// TestRunClassExecutesAll: Batch scheduling changes claim order only —
+// every item still runs exactly once and the lowest-indexed error is
+// returned, same contract as Run.
+func TestRunClassExecutesAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	boom := errors.New("item failed")
+	var ran atomic.Int64
+	err := p.RunClass(Batch, 64, func(s *bufpool.Scratch, i int) error {
+		ran.Add(1)
+		if i == 5 || i == 40 {
+			return boom
+		}
+		return nil
+	})
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d items, want 64", ran.Load())
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the item error", err)
+	}
+	// An out-of-range class degrades to Interactive rather than panicking.
+	if err := p.RunClass(Class(9), 8, func(s *bufpool.Scratch, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

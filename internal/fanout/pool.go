@@ -23,14 +23,20 @@ import (
 // with other requests, and total CPU concurrency stays bounded by
 // workers + in-flight requests rather than workers × requests.
 //
+// Jobs carry a scheduling Class: workers claim Interactive jobs before
+// Batch jobs, so latency-sensitive reads overtake queued bulk writes
+// (claiming stays round-robin within a class). A submitting goroutine
+// always helps its own job regardless of class, so a Batch submission
+// still makes progress under an Interactive flood.
+//
 // A Pool with width 1 spawns no goroutines at all: Run executes inline,
 // preserving the fully-serial Parallelism=1 contract.
 type Pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	jobs    []*poolJob // in-flight jobs with unclaimed items
-	rr      int        // round-robin cursor into jobs
-	queued  int        // items submitted but not yet claimed
+	jobs    [numClasses][]*poolJob // in-flight jobs with unclaimed items, by class
+	rr      [numClasses]int        // round-robin cursor into each class's jobs
+	queued  int                    // items submitted but not yet claimed
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
@@ -47,6 +53,7 @@ type poolJob struct {
 	n       int
 	next    int // next unclaimed item; guarded by Pool.mu
 	chunk   int
+	cls     Class
 	pending atomic.Int64
 	errs    []error       // indexed by item; disjoint writers, read after done
 	done    chan struct{} // buffered(1): the last finisher sends one token
@@ -118,15 +125,25 @@ func chunkFor(n, workers int) int {
 // locking. All items are attempted even when one fails; the returned
 // error is the lowest-indexed one, matching serial execution (the
 // ForEachWorker contract). A nil, width-1, or closed pool runs inline.
+// Run submits at Interactive priority; RunClass selects the class.
 func (p *Pool) Run(n int, fn func(s *bufpool.Scratch, i int) error) error {
+	return p.RunClass(Interactive, n, fn)
+}
+
+// RunClass is Run at an explicit scheduling class: Batch jobs wait while
+// Interactive work is queued; everything else about Run's contract holds.
+func (p *Pool) RunClass(cls Class, n int, fn func(s *bufpool.Scratch, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if p == nil || p.workers <= 1 || n == 1 {
 		return runInline(n, fn)
 	}
+	if cls < 0 || cls >= numClasses {
+		cls = Interactive
+	}
 	j := jobPool.Get().(*poolJob)
-	j.fn, j.n, j.next = fn, n, 0
+	j.fn, j.n, j.next, j.cls = fn, n, 0, cls
 	j.chunk = chunkFor(n, p.workers)
 	j.pending.Store(int64(n))
 	if cap(j.errs) < n {
@@ -149,7 +166,7 @@ func (p *Pool) Run(n int, fn func(s *bufpool.Scratch, i int) error) error {
 		jobPool.Put(j)
 		return runInline(n, fn)
 	}
-	p.jobs = append(p.jobs, j)
+	p.jobs[cls] = append(p.jobs[cls], j)
 	p.queued += n
 	p.depth.Set(float64(p.queued))
 	p.runs.Inc()
@@ -201,14 +218,15 @@ func (p *Pool) help(j *poolJob) {
 		}
 		j.next = hi
 		if hi >= j.n {
-			// Taking the final chunk: drop the job from the queue now.
-			// The shell is recycled the moment Run returns, so no stale
-			// pointer may remain where a worker could read it.
-			for idx := range p.jobs {
-				if p.jobs[idx] == j {
-					p.jobs = append(p.jobs[:idx], p.jobs[idx+1:]...)
-					if p.rr > idx {
-						p.rr--
+			// Taking the final chunk: drop the job from its class queue
+			// now. The shell is recycled the moment Run returns, so no
+			// stale pointer may remain where a worker could read it.
+			q := p.jobs[j.cls]
+			for idx := range q {
+				if q[idx] == j {
+					p.jobs[j.cls] = append(q[:idx], q[idx+1:]...)
+					if p.rr[j.cls] > idx {
+						p.rr[j.cls]--
 					}
 					break
 				}
@@ -240,35 +258,38 @@ func (p *Pool) worker() {
 	}
 }
 
-// claim blocks until work is available and takes the next chunk,
-// rotating across in-flight jobs. It returns a nil job only when the
-// pool is closed and every queued item has been claimed.
+// claim blocks until work is available and takes the next chunk:
+// Interactive jobs first, then Batch, rotating round-robin across the
+// in-flight jobs within the winning class. It returns a nil job only
+// when the pool is closed and every queued item has been claimed.
 func (p *Pool) claim() (*poolJob, int, int) {
 	p.mu.Lock()
 	for {
-		for len(p.jobs) > 0 {
-			if p.rr >= len(p.jobs) {
-				p.rr = 0
+		for cls := Class(0); cls < numClasses; cls++ {
+			for len(p.jobs[cls]) > 0 {
+				if p.rr[cls] >= len(p.jobs[cls]) {
+					p.rr[cls] = 0
+				}
+				j := p.jobs[cls][p.rr[cls]]
+				if j.next >= j.n { // drained by its submitter's help loop
+					p.jobs[cls] = append(p.jobs[cls][:p.rr[cls]], p.jobs[cls][p.rr[cls]+1:]...)
+					continue
+				}
+				lo := j.next
+				hi := lo + j.chunk
+				if hi >= j.n {
+					hi = j.n
+					j.next = j.n
+					p.jobs[cls] = append(p.jobs[cls][:p.rr[cls]], p.jobs[cls][p.rr[cls]+1:]...)
+				} else {
+					j.next = hi
+					p.rr[cls]++
+				}
+				p.queued -= hi - lo
+				p.depth.Set(float64(p.queued))
+				p.mu.Unlock()
+				return j, lo, hi
 			}
-			j := p.jobs[p.rr]
-			if j.next >= j.n { // drained by its submitter's help loop
-				p.jobs = append(p.jobs[:p.rr], p.jobs[p.rr+1:]...)
-				continue
-			}
-			lo := j.next
-			hi := lo + j.chunk
-			if hi >= j.n {
-				hi = j.n
-				j.next = j.n
-				p.jobs = append(p.jobs[:p.rr], p.jobs[p.rr+1:]...)
-			} else {
-				j.next = hi
-				p.rr++
-			}
-			p.queued -= hi - lo
-			p.depth.Set(float64(p.queued))
-			p.mu.Unlock()
-			return j, lo, hi
 		}
 		if p.closed {
 			p.mu.Unlock()

@@ -22,6 +22,14 @@ var (
 	// ErrDegraded marks an operation that only succeeded by abandoning
 	// the planned schema (e.g. stored uncompressed on a fallback tier).
 	ErrDegraded = errors.New("degraded placement")
+	// ErrQuotaExceeded marks a write the service rejected because it
+	// would push the tenant's stored bytes past its quota. Nothing was
+	// stored; the tenant must delete data (or be granted quota) first.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// ErrThrottled marks a request rejected by token-bucket admission
+	// control: the tenant is over its request rate. Retryable after
+	// backoff, unlike ErrQuotaExceeded.
+	ErrThrottled = errors.New("tenant throttled")
 )
 
 // transientErr wraps a retryable failure: a blip the caller may clear by

@@ -367,9 +367,12 @@ func (m *Manager) SetPool(p *fanout.Pool) { m.pool = p }
 // runFan executes fn(scratch, k) for every sub-task index k, through the
 // shared pool when one is attached and the per-call fan-out otherwise.
 // Both paths attempt every item and return the lowest-indexed error.
-func (m *Manager) runFan(n int, fn func(s *bufpool.Scratch, k int) error) error {
+// The pool submission inherits ctx's scheduling class (fanout.WithClass)
+// so a front-end can let latency-sensitive reads overtake batch writes;
+// an untagged context is Interactive, the pre-priority behaviour.
+func (m *Manager) runFan(ctx context.Context, n int, fn func(s *bufpool.Scratch, k int) error) error {
 	if m.pool != nil {
-		return m.pool.Run(n, fn)
+		return m.pool.RunClass(fanout.ClassOf(ctx), n, fn)
 	}
 	scratches := leaseScratches(n, m.par)
 	defer returnScratches(scratches)
@@ -578,7 +581,7 @@ func (m *Manager) compressFan(ctx context.Context, data []byte, attr analyzer.Re
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
-	return m.runFan(len(subs), func(s *bufpool.Scratch, k int) error {
+	return m.runFan(ctx, len(subs), func(s *bufpool.Scratch, k int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -838,7 +841,7 @@ func (m *Manager) ExecuteWriteBatchCtx(ctx context.Context, now float64, reqs []
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
-	_ = m.runFan(total, func(s *bufpool.Scratch, f int) error {
+	_ = m.runFan(ctx, total, func(s *bufpool.Scratch, f int) error {
 		i := int(reqOf[f])
 		if err := ctx.Err(); err != nil {
 			outs[f] = compOut{err: err}
@@ -1117,7 +1120,7 @@ func (m *Manager) ExecuteReadCtx(ctx context.Context, now float64, key string) (
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
-	err := m.runFan(n, func(s *bufpool.Scratch, k int) error {
+	err := m.runFan(ctx, n, func(s *bufpool.Scratch, k int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -1209,7 +1212,7 @@ func (m *Manager) ExecuteReadBatchCtx(ctx context.Context, now float64, keys []s
 	if m.tm.queueWait != nil {
 		fanStart = time.Now()
 	}
-	_ = m.runFan(total, func(s *bufpool.Scratch, f int) error {
+	_ = m.runFan(ctx, total, func(s *bufpool.Scratch, f int) error {
 		if err := ctx.Err(); err != nil {
 			outs[f] = readOut{err: err}
 			return nil

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistryBaseLabels: a registry built with base labels stamps them
+// onto every series after the call-site labels — the mechanism the
+// router uses to give each shard's pipeline a shard="N" dimension
+// without the pipeline knowing it is sharded.
+func TestRegistryBaseLabels(t *testing.T) {
+	r := New(L("shard", "3"))
+	r.Counter("hc_ops_total", "ops", L("op", "put")).Inc()
+	r.Gauge("hc_depth", "depth").Set(2)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`hc_ops_total{op="put",shard="3"} 1`,
+		`hc_depth{shard="3"} 2`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+	// Same name+labels resolves to the same instrument (base labels
+	// participate in identity).
+	r.Counter("hc_ops_total", "ops", L("op", "put")).Inc()
+	var b2 bytes.Buffer
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), `hc_ops_total{op="put",shard="3"} 2`) {
+		t.Errorf("re-registration split the series:\n%s", b2.String())
+	}
+}
+
+// TestMergePrometheus: per-shard registries render as one exposition —
+// one HELP/TYPE block per family, series concatenated across
+// registries and sorted, families unique to one registry preserved,
+// nil registries skipped.
+func TestMergePrometheus(t *testing.T) {
+	r0 := New(L("shard", "0"))
+	r1 := New(L("shard", "1"))
+	r0.Counter("hc_ops_total", "ops").Add(5)
+	r1.Counter("hc_ops_total", "ops").Add(7)
+	r1.Gauge("hc_only_one", "solo").Set(1)
+
+	var b bytes.Buffer
+	if err := MergePrometheus(&b, r0, nil, r1); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if got := strings.Count(text, "# TYPE hc_ops_total counter"); got != 1 {
+		t.Fatalf("family header appears %d times, want 1:\n%s", got, text)
+	}
+	i0 := strings.Index(text, `hc_ops_total{shard="0"} 5`)
+	i1 := strings.Index(text, `hc_ops_total{shard="1"} 7`)
+	if i0 < 0 || i1 < 0 {
+		t.Fatalf("missing per-shard series:\n%s", text)
+	}
+	if i0 > i1 {
+		t.Fatalf("series not sorted by labels:\n%s", text)
+	}
+	if !strings.Contains(text, `hc_only_one{shard="1"} 1`) {
+		t.Fatalf("single-registry family dropped:\n%s", text)
+	}
+
+	// A name registered with different kinds across registries is a
+	// merge error, not silent corruption.
+	bad := New()
+	bad.Gauge("hc_ops_total", "ops").Set(1)
+	if err := MergePrometheus(&bytes.Buffer{}, r0, bad); err == nil {
+		t.Fatal("kind mismatch merged silently")
+	}
+}

@@ -249,11 +249,16 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	base     []Label // appended to every registration (e.g. shard="2")
 }
 
-// New creates an empty registry.
-func New() *Registry {
-	return &Registry{families: make(map[string]*family)}
+// New creates an empty registry. Any base labels given are appended to
+// every series registered through it — how a router stamps each shard's
+// whole instrument tree with shard="N" without any component knowing it
+// is sharded. No base labels (the common case) changes nothing: series
+// names are byte-identical to an unlabeled registry.
+func New(base ...Label) *Registry {
+	return &Registry{families: make(map[string]*family), base: base}
 }
 
 func labelKey(labels []Label) string {
@@ -292,6 +297,9 @@ func SeriesName(name string, labels ...Label) string {
 // family on first use via mk. It panics when a name is reused with a
 // different metric kind — that is a programming error, not runtime state.
 func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, mk func() any) any {
+	if len(r.base) > 0 {
+		labels = append(append(make([]Label, 0, len(labels)+len(r.base)), labels...), r.base...)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
@@ -442,6 +450,63 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s %s\n", seriesRef(f.name, lk, ""), formatFloat(v.Value()))
 			case *Histogram:
 				writeHistogram(&b, f.name, lk, v)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MergePrometheus renders several registries as one Prometheus text
+// exposition: families with the same name across registries collapse
+// into one HELP/TYPE block whose series are concatenated and sorted.
+// The callers' registries must keep their series disjoint (the router
+// does this with per-shard base labels); a duplicate series would be
+// emitted twice. Nil registries are skipped.
+func MergePrometheus(w io.Writer, regs ...*Registry) error {
+	type entry struct {
+		lk   string
+		inst any
+	}
+	merged := make(map[string]*family)
+	series := make(map[string][]entry)
+	var names []string
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		for name, f := range r.families {
+			if m, ok := merged[name]; ok {
+				if m.kind != f.kind {
+					r.mu.Unlock()
+					return fmt.Errorf("telemetry: merging %s: registered as %s and %s", name, m.kind, f.kind)
+				}
+			} else {
+				merged[name] = f
+				names = append(names, name)
+			}
+			for lk, inst := range f.series {
+				series[name] = append(series[name], entry{lk, inst})
+			}
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := merged[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.kind)
+		es := series[name]
+		sort.Slice(es, func(i, j int) bool { return es[i].lk < es[j].lk })
+		for _, e := range es {
+			switch v := e.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s %d\n", seriesRef(name, e.lk, ""), v.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s %s\n", seriesRef(name, e.lk, ""), formatFloat(v.Value()))
+			case *Histogram:
+				writeHistogram(&b, name, e.lk, v)
 			}
 		}
 	}

@@ -1,0 +1,757 @@
+package hcompress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"hcompress/internal/analyzer"
+	"hcompress/internal/bufpool"
+	"hcompress/internal/codec"
+	"hcompress/internal/core"
+	"hcompress/internal/fanout"
+	"hcompress/internal/manager"
+	"hcompress/internal/monitor"
+	"hcompress/internal/predictor"
+	"hcompress/internal/seed"
+	"hcompress/internal/stats"
+	"hcompress/internal/store"
+	"hcompress/internal/telemetry"
+	"hcompress/internal/tier"
+)
+
+// ErrClosed is returned by operations on a closed Client, Shard, or
+// Router.
+var ErrClosed = errors.New("hcompress: client is closed")
+
+// Task is one I/O request: the paper's "data buffer, operation tuple".
+// The operation is selected by the method (Compress writes, Decompress
+// reads).
+type Task struct {
+	// Key names the task; Decompress retrieves by the same key.
+	Key string
+	// Data is the uncompressed payload.
+	Data []byte
+	// DataType optionally overrides type detection ("int", "float",
+	// "text", "binary") — the self-described fast path.
+	DataType string
+	// Distribution optionally overrides distribution detection
+	// ("uniform", "normal", "exponential", "gamma").
+	Distribution string
+}
+
+// SubTaskReport describes one placed sub-task. On writes it carries the
+// HCDP engine's predictions next to the actuals so callers can compute
+// prediction error without the audit log; the Predicted fields are zero
+// on reads (a read executes the write-time schema, it does not plan).
+type SubTaskReport struct {
+	Tier          string
+	Codec         string
+	OriginalBytes int64
+	StoredBytes   int64
+	// PredictedBytes is the engine's alignment-rounded compressed-size
+	// estimate; PredictedSeconds its modeled sub-task duration (eq. 3/4).
+	PredictedBytes   int64
+	PredictedSeconds float64
+	// CodecSeconds and IOSeconds are the sub-task's share of the
+	// operation's actual cost anatomy.
+	CodecSeconds float64
+	IOSeconds    float64
+}
+
+// Report summarizes one executed task.
+type Report struct {
+	Key            string
+	OriginalBytes  int64
+	StoredBytes    int64
+	Ratio          float64 // original over stored (>= "1" modulo headers)
+	VirtualSeconds float64 // modeled task duration (codec + tiered I/O)
+	CodecSeconds   float64 // compression or decompression time
+	IOSeconds      float64 // modeled storage time
+	// PredictedSeconds is the engine's modeled total duration for the
+	// schema it chose (writes only) — compare with VirtualSeconds for
+	// the whole-task prediction error.
+	PredictedSeconds float64
+	DataType         string // what the Input Analyzer saw
+	Distribution     string
+	SubTasks         []SubTaskReport
+	// Data carries the reassembled payload on Decompress. The caller
+	// owns it: it is safe to read, mutate, and retain indefinitely.
+	// Callers that are done with it can hand the buffer back to the
+	// library's internal arena with Release — entirely optional; an
+	// unreleased buffer is ordinary garbage-collected memory.
+	Data []byte
+	// Degraded is non-nil when the write abandoned every compressing
+	// schema and stored the task uncompressed on a fallback tier. The
+	// write still succeeded; errors.Is(Degraded, ErrDegraded) is true
+	// and Degraded.Cause explains why the planned path failed.
+	Degraded *DegradedError
+}
+
+// Release returns the report's Data buffer to the internal buffer arena
+// so a later Decompress can reuse it without allocating. It is optional
+// and idempotent; Data must not be used after Release.
+func (r *Report) Release() {
+	if r == nil || r.Data == nil {
+		return
+	}
+	bufpool.Put(r.Data)
+	r.Data = nil
+}
+
+// Shard is one complete, independent HCompress pipeline: the IA, CCP,
+// SM, HCDP engine, Compression Manager, tiered store, worker pool, and
+// virtual clock that used to be the whole Client. A Router owns N of
+// them and routes keys across them; the Client facade is a Router with
+// exactly one. A Shard shares no mutable state with its siblings — no
+// lock, pool, store, or clock spans shards — which is what makes the
+// router's aggregate views safe to compose shard-by-shard. It is safe
+// for concurrent use.
+//
+// Concurrency model: there is no global pipeline lock. Each operation is
+// staged — analyze (pure CPU, no locks), plan (engine RW-locked memo),
+// execute (worker-pool codec fan-out, per-tier store locks) — and the
+// only client-level state is the virtual clock (its own small lock, see
+// vclock) and the lifecycle RWMutex below, whose read side is shared by
+// every operation so Status/Stats never wait behind in-flight codec work.
+// Close takes the write side, so it drains in-flight operations before
+// flushing the feedback loop.
+type Shard struct {
+	mu     sync.RWMutex // lifecycle only: ops hold R, Close holds W
+	closed bool
+
+	hier  tier.Hierarchy
+	sd    *seed.Seed
+	pred  *predictor.CCP
+	mon   *monitor.SystemMonitor
+	eng   *core.Engine
+	mgr   *manager.Manager
+	st    *store.Store
+	pool  *fanout.Pool // shared persistent worker pool for codec fan-outs
+	clock vclock       // virtual time, self-locked
+
+	// Background demoter (nil channels when DemotionInterval is zero).
+	demoteStop chan struct{}
+	demoteDone chan struct{}
+
+	// Telemetry (all nil/zero when off — the nil-registry fast path).
+	tel        *telemetry.Registry
+	sink       *telemetry.Sink
+	cm         clientMetrics
+	audit      auditLog
+	faults     faultLog // health-transition ring; always on (small, self-locked)
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+	expvarID   uint64
+
+	seedPath string
+	saveSeed bool
+}
+
+// newShard initializes one complete pipeline — the work the paper
+// performs when intercepting MPI_Init: load the seed, build the
+// component stack, and prepare the codec pool. New and NewRouter are the
+// public faces.
+func newShard(cfg Config) (*Shard, error) {
+	h, err := cfg.hierarchy()
+	if err != nil {
+		return nil, err
+	}
+	var sd *seed.Seed
+	if cfg.SeedPath != "" {
+		sd, err = seed.Load(cfg.SeedPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sd = seed.Builtin(h)
+	}
+	if cfg.FeedbackInterval > 0 {
+		sd.FeedbackInterval = cfg.FeedbackInterval
+	}
+	st, err := store.New(h, !cfg.modeled)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FaultInjector != nil {
+		sched, err := cfg.FaultInjector.schedule(h)
+		if err != nil {
+			return nil, err
+		}
+		st.SetFaultInjector(sched)
+	}
+	var reg *telemetry.Registry
+	if cfg.telemetryEnabled() {
+		if cfg.shardLabel != "" {
+			reg = telemetry.New(telemetry.L("shard", cfg.shardLabel))
+		} else {
+			reg = telemetry.New()
+		}
+	}
+	st.SetTelemetry(reg)
+	bufpool.SetTelemetry(reg)
+	pred := predictor.New(sd)
+	pred.SetTelemetry(reg)
+	mon := monitor.New(st, cfg.MonitorIntervalSec)
+	mon.SetHealthPolicy(cfg.OfflineThreshold, cfg.ProbeIntervalSec)
+	mon.SetTelemetry(reg)
+	// Every store outcome feeds the health machine; health transitions
+	// come back to the client (audit ring + trace sink) via the event
+	// sink installed below, once c exists.
+	st.SetHealthSink(mon.Observe)
+	eng, err := core.New(pred, mon, core.Config{
+		Weights:            cfg.Priorities.toWeights(),
+		DisableCompression: cfg.DisableCompression,
+		DisablePlanCache:   cfg.DisablePlanCache,
+		Codecs:             cfg.Codecs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.SetTelemetry(reg)
+	var oracle manager.Oracle = manager.RealOracle{}
+	if cfg.modeled {
+		oracle = manager.ModelOracle{Truth: sd}
+	}
+	mgr := manager.New(st, pred, oracle)
+	mgr.SetParallelism(cfg.Parallelism)
+	retryMax := -1 // keep the manager default
+	switch {
+	case cfg.RetryMax > 0:
+		retryMax = cfg.RetryMax
+	case cfg.RetryMax < 0:
+		retryMax = 0 // retries disabled
+	}
+	mgr.SetRetryPolicy(retryMax, cfg.RetryBackoffSec, 0)
+	mgr.SetTelemetry(reg)
+	pool := fanout.NewPool(mgr.Parallelism())
+	pool.SetTelemetry(reg)
+	mgr.SetPool(pool)
+	c := &Shard{
+		hier:     h,
+		sd:       sd,
+		pred:     pred,
+		mon:      mon,
+		eng:      eng,
+		mgr:      mgr,
+		st:       st,
+		pool:     pool,
+		tel:      reg,
+		sink:     cfg.traceSink,
+		cm:       newClientMetrics(reg),
+		seedPath: cfg.SeedPath,
+		saveSeed: cfg.SaveSeedOnClose && cfg.SeedPath != "",
+	}
+	if c.sink == nil {
+		c.sink = telemetry.NewSink(cfg.TraceWriter)
+	}
+	c.faults.cap = 256
+	mon.SetEventSink(c.onHealthEvent)
+	if reg != nil {
+		c.audit.cap = cfg.AuditLogSize
+		if c.audit.cap == 0 {
+			c.audit.cap = 1024
+		}
+		c.expvarID = expvarRegister(reg)
+	}
+	if cfg.MetricsAddr != "" {
+		if err := c.startMetricsServer(cfg.MetricsAddr); err != nil {
+			expvarUnregister(c.expvarID)
+			pool.Close()
+			return nil, err
+		}
+	}
+	if cfg.DemotionInterval > 0 {
+		high, low := cfg.DemotionHighWater, cfg.DemotionLowWater
+		if high == 0 {
+			high = 0.85
+		}
+		if low == 0 {
+			low = 0.70
+		}
+		if !(0 < low && low < high && high <= 1) {
+			if c.metricsSrv != nil {
+				_ = c.metricsSrv.Close()
+			}
+			expvarUnregister(c.expvarID)
+			pool.Close()
+			return nil, fmt.Errorf("hcompress: demotion watermarks low=%v high=%v: need 0 < low < high <= 1", low, high)
+		}
+		c.demoteStop = make(chan struct{})
+		c.demoteDone = make(chan struct{})
+		go c.demoteLoop(cfg.DemotionInterval, high, low, cfg.DemotionSliceSubTasks)
+	}
+	return c, nil
+}
+
+// demoteLoop is the background demoter: every interval it drains any
+// tier filled past its high watermark down to the low watermark, one
+// bounded DemoteSlice at a time. It never takes the lifecycle lock —
+// Close stops the loop before tearing the store down, and each slice
+// synchronizes on the manager lock like any data-path operation — so
+// demotion can never deadlock with or stall behind Close.
+func (c *Shard) demoteLoop(interval time.Duration, high, low float64, sliceN int) {
+	defer close(c.demoteDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.demoteStop:
+			return
+		case <-tick.C:
+			c.demoteOnce(high, low, sliceN)
+		}
+	}
+}
+
+// demoteOnce runs one demotion pass over every tier that has something
+// below it to demote into.
+func (c *Shard) demoteOnce(high, low float64, sliceN int) {
+	for i := 0; i < c.hier.Len()-1; i++ {
+		capB := float64(c.hier.Tiers[i].Capacity)
+		if capB <= 0 || float64(c.st.Used(i)) < high*capB {
+			continue
+		}
+		// Above the high watermark: drain to the low watermark in
+		// bounded slices. A full cursor wrap that moves nothing means
+		// everything left is pinned above a full tier — give up until
+		// the next tick rather than spin.
+		var sinceWrap int64
+		for float64(c.st.Used(i)) > low*capB {
+			select {
+			case <-c.demoteStop:
+				return
+			default:
+			}
+			var wall time.Time
+			if c.tel != nil {
+				wall = time.Now()
+			}
+			moved, wrapped := c.mgr.DemoteSlice(c.clock.Now(), i, sliceN)
+			if c.tel != nil {
+				c.cm.demoteSlices.Inc()
+				c.cm.demoteBytes.Add(moved)
+				c.cm.demoteSeconds.Observe(time.Since(wall).Seconds())
+			}
+			sinceWrap += moved
+			if wrapped {
+				if sinceWrap == 0 {
+					break
+				}
+				sinceWrap = 0
+			}
+		}
+	}
+}
+
+func (c *Shard) attrFor(t Task) analyzer.Result {
+	var hint analyzer.Hint
+	if dt, ok := stats.TypeByName(t.DataType); ok && t.DataType != "" {
+		hint.Type = &dt
+	}
+	if d, ok := stats.DistByName(t.Distribution); ok && t.Distribution != "" {
+		hint.Dist = &d
+	}
+	return analyzer.AnalyzeWithHint(t.Data, &hint)
+}
+
+// Compress runs the write pipeline in three stages: analyze the task
+// (pure CPU over the caller's buffer, no locks held), plan a compression
+// + placement schema with the HCDP engine, and execute it against the
+// tiered store through the Compression Manager's worker pool. Concurrent
+// callers only synchronize on the component that each stage actually
+// touches.
+func (c *Shard) Compress(t Task) (*Report, error) {
+	return c.CompressContext(context.Background(), t)
+}
+
+// CompressContext is Compress under a context: cancellation drains the
+// codec fan-out and returns ctx.Err() before anything touches the store
+// — a cancelled write leaves no trace.
+//
+// Failure handling, in order: a failed plan or placement triggers one
+// monitor refresh + replan (the stale-view repair); if no compressing
+// schema can execute at all — tiers offline, capacity gone — the write
+// degrades to storing the task uncompressed on the first tier that will
+// take it. A degraded write succeeds: the report carries a non-nil
+// Degraded (errors.Is(rep.Degraded, ErrDegraded)) instead of an error.
+func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
+	if t.Key == "" {
+		return nil, errors.New("hcompress: task key required")
+	}
+	if len(t.Data) == 0 {
+		return nil, errors.New("hcompress: empty task data")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
+
+	// Stage 1: analyze. No lock held — this is the CPU-heavy scan of the
+	// caller's buffer and must overlap other ranks' codec work.
+	attr := c.attrFor(t)
+	size := int64(len(t.Data))
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	start := c.clock.Now()
+
+	// Stage 2: plan. Stage 3: execute.
+	schema, err := c.eng.Plan(start, attr, size)
+	if err != nil {
+		err = fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
+	}
+	var res manager.Result
+	if err == nil {
+		res, err = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
+	}
+	if err != nil && ctx.Err() == nil {
+		// The monitor's view may have been stale — or a tier just went
+		// offline and the health machine masked it. Refresh and replan
+		// once; the new plan cannot target a masked tier.
+		c.mon.ForceRefresh()
+		c.cm.replans.Inc()
+		schema2, err2 := c.eng.Plan(start, attr, size)
+		if err2 != nil {
+			err = fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
+		} else {
+			schema = schema2
+			res, err = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
+			if err != nil {
+				err = fmt.Errorf("hcompress: executing %q: %w", t.Key, err)
+			}
+		}
+	}
+	var degraded *DegradedError
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			c.cm.opErrs["compress"].Inc()
+			return nil, cerr
+		}
+		// Graceful degradation: no compressing schema is executable, but
+		// the data must land. Store it uncompressed; the manager's spill
+		// chain walks the hierarchy until some healthy tier takes it.
+		schema = degradedSchema(size)
+		var derr error
+		res, derr = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
+		if derr != nil {
+			c.cm.opErrs["compress"].Inc()
+			return nil, err // the planned path's failure names the root cause
+		}
+		degraded = &DegradedError{
+			Key:   t.Key,
+			Tier:  c.hier.Tiers[res.SubResults[0].Tier].Name,
+			Cause: err,
+		}
+		c.cm.degradedWrites.Inc()
+	}
+	c.clock.AdvanceTo(res.End)
+	rep := c.report(t.Key, size, attr, res, start)
+	rep.PredictedSeconds = schema.PredTime
+	rep.Degraded = degraded
+	if c.tel != nil {
+		c.cm.ops["compress"].Inc()
+		c.cm.opSeconds["compress"].Observe(time.Since(wall).Seconds())
+		c.compressTrace(t.Key, attr, size, schema, res, start)
+	}
+	return rep, nil
+}
+
+// degradedSchema is the last-resort write plan: the whole task as one
+// uncompressed sub-task, nominally on the fastest tier — the manager's
+// spill chain walks it down to whatever tier actually accepts it.
+func degradedSchema(size int64) core.Schema {
+	return core.Schema{SubTasks: []core.SubTask{{
+		Offset: 0, Length: size, Tier: 0, Codec: codec.None, PredSize: size,
+	}}}
+}
+
+// Decompress reads back the task stored under key, decoding each
+// sub-task's metadata header to select the decompression library. The
+// report carries the data type and distribution the Input Analyzer saw at
+// write time (persisted in the task metadata).
+func (c *Shard) Decompress(key string) (*Report, error) {
+	return c.DecompressContext(context.Background(), key)
+}
+
+// DecompressContext is Decompress under a context: cancellation drains
+// the decompression fan-out, releases every pinned payload, and returns
+// ctx.Err(). A payload whose CRC32C disagrees with its header fails with
+// an error matching ErrCorrupted.
+func (c *Shard) DecompressContext(ctx context.Context, key string) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	size, attr, ok := c.mgr.TaskInfo(key)
+	if !ok {
+		c.cm.opErrs["decompress"].Inc()
+		return nil, fmt.Errorf("hcompress: unknown task %q: %w", key, ErrNotFound)
+	}
+	start := c.clock.Now()
+	res, err := c.mgr.ExecuteReadCtx(ctx, start, key)
+	if err != nil {
+		c.cm.opErrs["decompress"].Inc()
+		return nil, err
+	}
+	c.clock.AdvanceTo(res.End)
+	rep := c.report(key, size, attr, res, start)
+	rep.Data = res.Data
+	if c.tel != nil {
+		c.cm.ops["decompress"].Inc()
+		c.cm.opSeconds["decompress"].Observe(time.Since(wall).Seconds())
+		c.decompressTrace(key, res, start)
+	}
+	return rep, nil
+}
+
+func (c *Shard) report(key string, size int64, attr analyzer.Result, res manager.Result, start float64) *Report {
+	rep := &Report{
+		Key:            key,
+		OriginalBytes:  size,
+		StoredBytes:    res.Stored,
+		VirtualSeconds: res.End - start,
+		CodecSeconds:   res.CodecTime,
+		IOSeconds:      res.IOTime,
+		DataType:       attr.Type.String(),
+		Distribution:   attr.Dist.String(),
+	}
+	if res.Stored > 0 {
+		rep.Ratio = float64(size) / float64(res.Stored)
+	}
+	for _, sr := range res.SubResults {
+		name := "?"
+		if cdc, err := codec.ByID(sr.Codec); err == nil {
+			name = cdc.Name()
+		}
+		rep.SubTasks = append(rep.SubTasks, SubTaskReport{
+			Tier:             c.hier.Tiers[sr.Tier].Name,
+			Codec:            name,
+			OriginalBytes:    sr.OrigLen,
+			StoredBytes:      sr.Stored,
+			PredictedBytes:   sr.PredStored,
+			PredictedSeconds: sr.PredTime,
+			CodecSeconds:     sr.CodecTime,
+			IOSeconds:        sr.IOTime,
+		})
+	}
+	return rep
+}
+
+// Delete removes a stored task and frees its tier capacity.
+func (c *Shard) Delete(key string) error {
+	var wall time.Time
+	if c.tel != nil {
+		wall = time.Now()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrClosed
+	}
+	err := c.mgr.Delete(key)
+	if c.tel != nil {
+		if err != nil {
+			c.cm.opErrs["delete"].Inc()
+		} else {
+			c.cm.ops["delete"].Inc()
+			c.cm.opSeconds["delete"].Observe(time.Since(wall).Seconds())
+		}
+	}
+	return err
+}
+
+// SetPriorities changes the cost weighting at runtime (§IV-F2). The swap
+// is atomic: in-flight plans finish under the old weights, later plans
+// see the new ones (the engine's weight generation counter invalidates
+// its memo).
+func (c *Shard) SetPriorities(p Priorities) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.eng.SetWeights(p.toWeights())
+}
+
+// TierStatusReport is the System Monitor's public view of one tier.
+type TierStatusReport struct {
+	Name           string
+	CapacityBytes  int64
+	UsedBytes      int64
+	RemainingBytes int64
+	QueueLength    int
+	// Health is the tier's health-machine state: "healthy", "degraded",
+	// or "offline". Offline tiers are masked out of HCDP placement until
+	// a recovery probe succeeds.
+	Health string
+	// ConsecutiveErrors is the current observed-error streak (zero when
+	// healthy).
+	ConsecutiveErrors int
+	// LastTransitionVSec is the virtual time of the last health-state
+	// change (zero if the tier has never transitioned).
+	LastTransitionVSec float64
+}
+
+// Status reports the hierarchy's occupancy and health. It never waits on
+// in-flight codec work: the store samples each tier under that tier's
+// own lock, and health state lives in the monitor.
+func (c *Shard) Status() []TierStatusReport {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	health := c.mon.Health()
+	var out []TierStatusReport
+	for i, s := range c.st.Status(c.clock.Now()) {
+		r := TierStatusReport{
+			Name:           s.Name,
+			CapacityBytes:  s.Capacity,
+			UsedBytes:      s.Used,
+			RemainingBytes: s.Remaining,
+			QueueLength:    s.QueueLen,
+		}
+		if i < len(health) {
+			r.Health = health[i].State.String()
+			r.ConsecutiveErrors = health[i].ErrStreak
+			r.LastTransitionVSec = health[i].LastTransition
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TierHealthReport is one tier's health snapshot.
+type TierHealthReport struct {
+	Name string
+	// State is "healthy", "degraded", or "offline".
+	State string
+	// ConsecutiveErrors is the current observed-error streak.
+	ConsecutiveErrors int
+	// LastTransitionVSec is the virtual time of the last state change.
+	LastTransitionVSec float64
+	// NextProbeVSec is when an offline tier is next exposed to placement
+	// as a recovery probe (zero unless offline).
+	NextProbeVSec float64
+}
+
+// Health snapshots every tier's health state — the summary face of the
+// health machine that Status folds into its per-tier rows.
+func (c *Shard) Health() []TierHealthReport {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []TierHealthReport
+	for _, h := range c.mon.Health() {
+		out = append(out, TierHealthReport{
+			Name:               h.Name,
+			State:              h.State.String(),
+			ConsecutiveErrors:  h.ErrStreak,
+			LastTransitionVSec: h.LastTransition,
+			NextProbeVSec:      h.NextProbe,
+		})
+	}
+	return out
+}
+
+// Advance moves the virtual clock forward by dv seconds (non-positive
+// values are ignored). Fault windows, health probes, and retry backoff
+// all live on the virtual timeline, so tests and benchmarks use Advance
+// to step across an outage or into a recovery window deterministically.
+func (c *Shard) Advance(dv float64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.clock.Advance(dv)
+}
+
+// Stats exposes runtime counters for observability.
+type Stats struct {
+	// ModelAccuracy is the CCP's running prediction accuracy in [0, 1]
+	// (the paper's "accuracy (R2)").
+	ModelAccuracy float64
+	// FeedbackQueued and FeedbackAbsorbed count feedback-loop events.
+	FeedbackQueued   int
+	FeedbackAbsorbed int
+	// MemoHits / MemoMisses describe the HCDP engine's DP cache.
+	MemoHits   int64
+	MemoMisses int64
+	// PlanCacheHits / PlanCacheMisses describe the engine's
+	// whole-schema plan cache (zero when disabled or bypassed).
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	// VirtualSeconds is the client's modeled elapsed time.
+	VirtualSeconds float64
+	// Tasks is the number of live stored tasks.
+	Tasks int
+}
+
+// Stats snapshots runtime counters. Like Status, it only touches
+// self-locked components and never blocks behind in-flight codec work.
+func (c *Shard) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, a := c.pred.Stats()
+	h, m := c.eng.MemoStats()
+	ph, pm := c.eng.PlanCacheStats()
+	return Stats{
+		ModelAccuracy:    c.pred.R2(),
+		FeedbackQueued:   q,
+		FeedbackAbsorbed: a,
+		MemoHits:         h,
+		MemoMisses:       m,
+		PlanCacheHits:    ph,
+		PlanCacheMisses:  pm,
+		VirtualSeconds:   c.clock.Now(),
+		Tasks:            c.mgr.Tasks(),
+	}
+}
+
+// Close finalizes the client — the MPI_Finalize hook in the paper: flush
+// the feedback loop, optionally persist the evolved model back to the
+// JSON seed, and release in-memory structures. Close takes the lifecycle
+// write lock, so it waits for in-flight operations to drain.
+func (c *Shard) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	// Stop the background demoter first (it never takes c.mu, so waiting
+	// under the write lock is safe), then the worker pool, so nothing
+	// touches the store once teardown begins.
+	if c.demoteStop != nil {
+		close(c.demoteStop)
+		<-c.demoteDone
+	}
+	c.pool.Close()
+	if c.metricsSrv != nil {
+		_ = c.metricsSrv.Close()
+		c.metricsSrv, c.metricsLn = nil, nil
+	}
+	if c.tel != nil {
+		expvarUnregister(c.expvarID)
+	}
+	c.pred.Flush()
+	if c.saveSeed {
+		c.sd.ModelCoef = c.pred.SnapshotCoef()
+		if err := c.sd.Save(c.seedPath); err != nil {
+			return err
+		}
+	}
+	c.st.Reset()
+	return nil
+}

@@ -95,7 +95,7 @@ type MetricsSnapshot struct {
 
 // Snapshot captures the current value of every metric. With telemetry
 // off it returns empty (non-nil) maps.
-func (c *Client) Snapshot() MetricsSnapshot {
+func (c *Shard) Snapshot() MetricsSnapshot {
 	s := c.tel.Snapshot()
 	out := MetricsSnapshot{
 		Counters:   s.Counters,
@@ -110,7 +110,7 @@ func (c *Client) Snapshot() MetricsSnapshot {
 
 // WriteMetrics renders the Prometheus text-format exposition to w — the
 // same bytes MetricsAddr serves on /metrics. A no-op with telemetry off.
-func (c *Client) WriteMetrics(w io.Writer) error {
+func (c *Shard) WriteMetrics(w io.Writer) error {
 	return c.tel.WritePrometheus(w)
 }
 
@@ -118,7 +118,7 @@ func (c *Client) WriteMetrics(w io.Writer) error {
 // recorded since the previous call, oldest first. Empty with telemetry
 // off. The ring holds Config.AuditLogSize records (default 1024);
 // overflow drops the oldest.
-func (c *Client) Audits() []AuditRecord {
+func (c *Shard) Audits() []AuditRecord {
 	c.audit.mu.Lock()
 	defer c.audit.mu.Unlock()
 	out := c.audit.ring
@@ -128,7 +128,7 @@ func (c *Client) Audits() []AuditRecord {
 
 // MetricsAddr reports the bound address of the metrics listener (useful
 // with Config.MetricsAddr ":0"), or "" when none is serving.
-func (c *Client) MetricsAddr() string {
+func (c *Shard) MetricsAddr() string {
 	if c.metricsLn == nil {
 		return ""
 	}
@@ -152,7 +152,7 @@ type FaultEvent struct {
 // state change recorded since the previous call, oldest first. Unlike
 // the metrics registry this ring is always on — fault visibility must
 // not depend on telemetry being enabled.
-func (c *Client) FaultEvents() []FaultEvent {
+func (c *Shard) FaultEvents() []FaultEvent {
 	c.faults.mu.Lock()
 	defer c.faults.mu.Unlock()
 	out := c.faults.ring
@@ -178,7 +178,7 @@ func (f *faultLog) append(ev FaultEvent) {
 
 // onHealthEvent is the monitor's event sink: every health transition
 // lands in the always-on ring and, when tracing, the JSONL sink.
-func (c *Client) onHealthEvent(ev monitor.Event) {
+func (c *Shard) onHealthEvent(ev monitor.Event) {
 	fe := FaultEvent{
 		Record: "fault",
 		Tier:   ev.Name,
@@ -233,11 +233,11 @@ func newClientMetrics(reg *telemetry.Registry) clientMetrics {
 		return clientMetrics{}
 	}
 	cm := clientMetrics{
-		opSeconds:  make(map[string]*telemetry.Histogram, 3),
-		ops:        make(map[string]*telemetry.Counter, 3),
-		opErrs:     make(map[string]*telemetry.Counter, 3),
-		sizeRelErr: reg.Histogram("hc_hcdp_size_relerr", "per-sub-task |stored-predicted|/predicted size error", telemetry.RelErrBuckets),
-		timeRelErr: reg.Histogram("hc_hcdp_time_relerr", "per-sub-task |actual-predicted|/predicted duration error", telemetry.RelErrBuckets),
+		opSeconds:      make(map[string]*telemetry.Histogram, 3),
+		ops:            make(map[string]*telemetry.Counter, 3),
+		opErrs:         make(map[string]*telemetry.Counter, 3),
+		sizeRelErr:     reg.Histogram("hc_hcdp_size_relerr", "per-sub-task |stored-predicted|/predicted size error", telemetry.RelErrBuckets),
+		timeRelErr:     reg.Histogram("hc_hcdp_time_relerr", "per-sub-task |actual-predicted|/predicted duration error", telemetry.RelErrBuckets),
 		replans:        reg.Counter("hc_client_replans_total", "writes that replanned after a stale-capacity failure"),
 		degradedWrites: reg.Counter("hc_degraded_writes_total", "writes stored uncompressed after every compressing schema failed"),
 
@@ -257,7 +257,7 @@ func newClientMetrics(reg *telemetry.Registry) clientMetrics {
 
 // compressTrace builds the spans and audit records for one executed
 // write and hands them to the ring and the sink as one contiguous batch.
-func (c *Client) compressTrace(key string, attr analyzer.Result, size int64, schema core.Schema, res manager.Result, start float64) {
+func (c *Shard) compressTrace(key string, attr analyzer.Result, size int64, schema core.Schema, res manager.Result, start float64) {
 	audits := make([]AuditRecord, 0, len(res.SubResults))
 	for k, sr := range res.SubResults {
 		rec := AuditRecord{
@@ -308,7 +308,7 @@ func (c *Client) compressTrace(key string, attr analyzer.Result, size int64, sch
 
 // decompressTrace emits the read-side execute span (reads have no plan
 // stage and no decision to audit — the write-time schema governs).
-func (c *Client) decompressTrace(key string, res manager.Result, start float64) {
+func (c *Shard) decompressTrace(key string, res manager.Result, start float64) {
 	if c.sink == nil {
 		return
 	}
@@ -333,7 +333,7 @@ func abs(v float64) float64 {
 
 // startMetricsServer binds addr and serves /metrics (Prometheus text
 // format) and /debug/vars (expvar) until Close.
-func (c *Client) startMetricsServer(addr string) error {
+func (c *Shard) startMetricsServer(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("hcompress: metrics listener: %w", err)
