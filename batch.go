@@ -11,6 +11,7 @@ import (
 	"hcompress/internal/core"
 	"hcompress/internal/manager"
 	"hcompress/internal/stats"
+	"hcompress/internal/telemetry"
 )
 
 // batchGroupKey identifies one HCDP planning equivalence class within a
@@ -111,10 +112,18 @@ func (c *Shard) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Repo
 	// Stage 3: execute the whole batch as one pool schedule.
 	results, rerrs := c.mgr.ExecuteWriteBatchCtx(ctx, start, reqs)
 	maxEnd := start
+	var ri telemetry.ReqInfo
+	if c.tel != nil {
+		// One identity per batch call: every task's span tree shares the
+		// propagated (or synthesized) trace ID, so the whole burst is
+		// groupable as one request.
+		ri = c.reqInfo(ctx)
+	}
 	for r := range reqs {
 		i := reqIdx[r]
 		res := results[r]
 		var degraded *DegradedError
+		replanned := false
 		if rerrs[r] != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				errs[i] = fmt.Errorf("hcompress: %q: %w", tasks[i].Key, cerr)
@@ -125,6 +134,7 @@ func (c *Shard) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Repo
 			// any healthy tier — mirroring Compress.
 			c.mon.ForceRefresh()
 			c.cm.replans.Inc()
+			replanned = true
 			err2 := rerrs[r]
 			if schema2, perr := c.eng.Plan(start, attrs[i], reqs[r].Size); perr == nil {
 				res, err2 = c.mgr.ExecuteWriteCtx(ctx, start, reqs[r].Key, reqs[r].Data, reqs[r].Size, attrs[i], schema2)
@@ -157,7 +167,8 @@ func (c *Shard) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Repo
 		rep.Degraded = degraded
 		reps[i] = rep
 		if c.tel != nil {
-			c.compressTrace(tasks[i].Key, attrs[i], reqs[r].Size, reqs[r].Schema, res, start)
+			c.cm.observeStages(res)
+			c.compressTrace(ri, tasks[i].Key, attrs[i], reqs[r].Size, reqs[r].Schema, res, start, replanned)
 		}
 	}
 	c.clock.AdvanceTo(maxEnd)
@@ -218,6 +229,10 @@ func (c *Shard) DecompressBatchContext(ctx context.Context, keys []string) ([]*R
 	start := c.clock.Now()
 	results, rerrs := c.mgr.ExecuteReadBatchCtx(ctx, start, keys)
 	maxEnd := start
+	var ri telemetry.ReqInfo
+	if c.tel != nil {
+		ri = c.reqInfo(ctx)
+	}
 	for i := range keys {
 		if errs[i] != nil {
 			continue
@@ -234,7 +249,8 @@ func (c *Shard) DecompressBatchContext(ctx context.Context, keys []string) ([]*R
 		rep.Data = res.Data
 		reps[i] = rep
 		if c.tel != nil {
-			c.decompressTrace(keys[i], res, start)
+			c.cm.observeStages(res)
+			c.decompressTrace(ri, keys[i], res, start)
 		}
 	}
 	c.clock.AdvanceTo(maxEnd)

@@ -8,9 +8,11 @@ package hcompress
 // full tables.
 
 import (
+	"io"
 	"strconv"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hcompress/internal/analyzer"
 	"hcompress/internal/codec"
@@ -352,6 +354,20 @@ func BenchmarkClientParallel(b *testing.B) {
 // against the plain benchmark should stay within noise (<5%).
 func BenchmarkClientParallelTelemetry(b *testing.B) {
 	benchClientParallel(b, Config{EnableTelemetry: true})
+}
+
+// BenchmarkClientParallelFullObs measures the complete observability
+// stack under load: metrics registry, span-tree export (to a discarded
+// writer), stage-attribution histograms, and threshold+sampled slow-op
+// logging. Compare against BenchmarkClientParallel for the total
+// tracing overhead; TestObservabilityOverheadGate enforces the bound.
+func BenchmarkClientParallelFullObs(b *testing.B) {
+	benchClientParallel(b, Config{
+		EnableTelemetry:   true,
+		TraceWriter:       io.Discard,
+		SlowOpThreshold:   50 * time.Millisecond,
+		SlowOpSampleEvery: 32,
+	})
 }
 
 func benchClientParallel(b *testing.B, cfg Config) {

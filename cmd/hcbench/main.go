@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -44,6 +45,7 @@ func main() {
 		mix      = flag.Float64("mix", 1.0, "with the throughput harness: fraction of operations that are writes (1.0 = write-only, 0.7 = 70% writes / 30% reads)")
 		demote   = flag.Duration("demote", 0, "with the throughput harness: background demotion interval (0 = off), e.g. 5ms")
 		metrics  = flag.Bool("metrics", false, "with the throughput harness: enable telemetry and dump the Prometheus exposition at exit")
+		slo      = flag.Bool("slo", false, "with the throughput harness or -service: full observability (tracing, slow-op log, SLO engine); prints per-stage latency attribution quantiles, the top slow ops, and (with -service) the /v1/slo burn rates")
 		faults   = flag.Bool("faults", false, "instead of experiments: run the fault-tolerance availability gate (scripted tier outage; exits non-zero on any write failure)")
 		shards   = flag.Int("shards", 1, "with the throughput harness: drive a key-routed router with this many shards instead of a single client")
 		service  = flag.Bool("service", false, "instead of experiments: serve the router over loopback HTTP and drive the same mixed workload through the service API (honors -shards/-parallel/-tasks/-tasksize/-mix)")
@@ -67,7 +69,7 @@ func main() {
 	case *sweep != "":
 		err = runShardSweep(*sweep, orDefault(*parallel, 8), orDefault(*tasks, 64), *taskSize, *batch, *mix)
 	case *service:
-		err = runService(*shards, orDefault(*parallel, 4), orDefault(*tasks, 64), *taskSize, *mix)
+		err = runService(*shards, orDefault(*parallel, 4), orDefault(*tasks, 64), *taskSize, *mix, *slo)
 	case *parallel > 0 || *cycles > 0 || *shards > 1:
 		p := *parallel
 		if p == 0 {
@@ -77,7 +79,7 @@ func main() {
 		if *cycles > 0 {
 			tasksPer = (*cycles + p - 1) / p
 		}
-		err = runParallel(*shards, p, tasksPer, *taskSize, *batch, *mix, *demote, *metrics)
+		err = runParallel(*shards, p, tasksPer, *taskSize, *batch, *mix, *demote, *metrics, *slo)
 	default:
 		err = run(*exp, *scale, *profile, *seedOut)
 	}
@@ -95,10 +97,18 @@ func main() {
 // turns on the background demoter at that interval. Aggregate ops/s, MB/s
 // and client-side latency quantiles are printed; with metrics, the full
 // (shard-merged) Prometheus exposition is dumped to stdout as well.
-func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote time.Duration, metrics bool) error {
+func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote time.Duration, metrics, slo bool) error {
 	cfg := hcompress.Config{
-		EnableTelemetry:  metrics,
+		EnableTelemetry:  metrics || slo,
 		DemotionInterval: demote,
+	}
+	if slo {
+		// Full observability, as a production deployment would run it:
+		// span trees emitted (and discarded), a latency threshold plus a
+		// background sample feeding the slow-op ring.
+		cfg.TraceWriter = io.Discard
+		cfg.SlowOpThreshold = 50 * time.Millisecond
+		cfg.SlowOpSampleEvery = 32
 	}
 	var c benchTarget
 	if shards == 1 {
@@ -126,6 +136,10 @@ func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote t
 		res.wall, res.opsPerSec(), res.mbPerSec(taskSize), res.writeOps, res.readOps)
 	printQuantiles("write", batch, res.writeLats)
 	printQuantiles("read", batch, res.readLats)
+	if slo {
+		printStageAttribution(c.Snapshot())
+		printTopSlowOps(c.SlowOps(), 10)
+	}
 	if metrics {
 		fmt.Println("--- prometheus exposition ---")
 		if err := c.WriteMetrics(os.Stdout); err != nil {
@@ -133,6 +147,47 @@ func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote t
 		}
 	}
 	return nil
+}
+
+// printStageAttribution renders every hc_stage_seconds series from the
+// snapshot — where the run's latency went, stage by stage (analyze/plan/
+// queue in wall seconds, codec/io/retry in virtual seconds).
+func printStageAttribution(snap hcompress.MetricsSnapshot) {
+	var names []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "hc_stage_seconds{") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("--- per-stage latency attribution ---")
+	fmt.Printf("%-44s %9s %11s %11s %11s %11s\n", "series", "n", "sum ms", "p50 ms", "p90 ms", "p99 ms")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("%-44s %9d %11.3f %11.4f %11.4f %11.4f\n",
+			strings.TrimPrefix(name, "hc_stage_seconds"), h.Count, h.Sum*1e3, h.P50*1e3, h.P90*1e3, h.P99*1e3)
+	}
+}
+
+// printTopSlowOps prints the worst n entries of the drained slow-op log
+// with their stage breakdowns.
+func printTopSlowOps(ops []hcompress.SlowOpRecord, n int) {
+	if len(ops) == 0 {
+		return
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].WallSeconds > ops[j].WallSeconds })
+	if len(ops) > n {
+		ops = ops[:n]
+	}
+	fmt.Printf("--- top %d slow ops (wall / analyze / plan / codec / io / retry, ms) ---\n", len(ops))
+	for _, op := range ops {
+		fmt.Printf("%-10s %-20s %8.3f / %.3f / %.3f / %.3f / %.3f / %.3f  trace=%s tenant=%s\n",
+			op.Op, op.Key, op.WallSeconds*1e3, op.AnalyzeSeconds*1e3, op.PlanSeconds*1e3,
+			op.CodecSeconds*1e3, op.IOSeconds*1e3, op.RetrySeconds*1e3, op.Trace, op.Tenant)
+	}
 }
 
 // printQuantiles merges per-goroutine submission latencies and prints

@@ -32,6 +32,8 @@ type benchTarget interface {
 	DecompressBatch(keys []string) ([]*hcompress.Report, error)
 	Delete(key string) error
 	WriteMetrics(w io.Writer) error
+	Snapshot() hcompress.MetricsSnapshot
+	SlowOps() []hcompress.SlowOpRecord
 	Close() error
 }
 
@@ -305,8 +307,17 @@ func runShardSweep(path string, goroutines, tasksPer, taskSize, batch int, mix f
 // /v1/decompress. It reports aggregate ops/s including the full
 // JSON/base64/HTTP round-trip cost, so comparing against -shards shows
 // the service-layer overhead directly.
-func runService(shards, goroutines, tasksPer, taskSize int, mix float64) error {
-	r, err := hcompress.NewRouter(hcompress.Config{}, shards)
+func runService(shards, goroutines, tasksPer, taskSize int, mix float64, slo bool) error {
+	rcfg := hcompress.Config{}
+	if slo {
+		rcfg.EnableTelemetry = true
+		rcfg.SlowOpThreshold = 50 * time.Millisecond
+		// Sampling is per shard, so size the period to the share of the
+		// workload each shard will see — a smoke run of a few dozen ops
+		// must still land samples in every shard's ring.
+		rcfg.SlowOpSampleEvery = max(1, goroutines*tasksPer/(shards*4))
+	}
+	r, err := hcompress.NewRouter(rcfg, shards)
 	if err != nil {
 		return err
 	}
@@ -314,7 +325,7 @@ func runService(shards, goroutines, tasksPer, taskSize int, mix float64) error {
 	// Benchmark tenants run unthrottled and unmetered: QuotaBytes < 0
 	// lifts the byte quota, Burst < 0 disables admission control, so the
 	// numbers measure the data path, not the limiter.
-	var scfg service.Config
+	scfg := service.Config{EnableTelemetry: slo}
 	for g := 0; g < goroutines; g++ {
 		scfg.Tenants = append(scfg.Tenants, service.TenantSpec{
 			Name: fmt.Sprintf("bench%d", g), QuotaBytes: -1, Burst: -1,
@@ -426,5 +437,34 @@ func runService(shards, goroutines, tasksPer, taskSize int, mix float64) error {
 		wall, float64(ops)/wall, float64(ops)*float64(taskSize)/wall/1e6, wOps, rOps)
 	printQuantiles("write", 1, writeLats)
 	printQuantiles("read", 1, readLats)
+	if slo {
+		// CI smoke surface: the SLO report over the wire and the slow-op
+		// log with stage breakdowns must both be populated.
+		var sr service.SLOResponse
+		hr, err := http.Get(base + "/v1/slo")
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(hr.Body).Decode(&sr)
+		hr.Body.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- /v1/slo (%d series) ---\n", len(sr.SLOs))
+		for _, s := range sr.SLOs {
+			fmt.Printf("tenant=%-10s class=%-10s good=%d/%d ratio=%.4f burn=%.3f (objective %.4f, target %.0fms, window %.0fs)\n",
+				s.Tenant, s.Class, s.Good, s.Total, s.GoodRatio, s.BurnRate,
+				s.Objective, s.LatencyTarget*1e3, s.WindowSeconds)
+		}
+		if len(sr.SLOs) == 0 {
+			return fmt.Errorf("-slo: /v1/slo returned no series after %d ops", ops)
+		}
+		printStageAttribution(r.Snapshot())
+		slow := r.SlowOps()
+		printTopSlowOps(slow, 10)
+		if len(slow) == 0 {
+			return fmt.Errorf("-slo: slow-op log empty after %d ops (SlowOpSampleEvery should have sampled)", ops)
+		}
+	}
 	return nil
 }

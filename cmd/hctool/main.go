@@ -8,6 +8,7 @@
 //	hctool file1.dat file2.h5 ...
 //	hctool -priorities archival -seed seed.json big.csv
 //	hctool -v -trace trace.jsonl big.csv     # decision audit + JSONL trace
+//	hctool -slow big.csv                     # per-op stage breakdown table
 //	echo "some text" | hctool -
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"hcompress"
 )
@@ -27,6 +29,7 @@ func main() {
 		verify    = flag.Bool("verify", true, "decompress and verify round-trip")
 		verbose   = flag.Bool("v", false, "per-file decision audit: predicted vs actual size and time per sub-task")
 		tracePath = flag.String("trace", "", "write the JSONL span/audit trace to this file")
+		slow      = flag.Bool("slow", false, "record every operation in the slow-op log and print the stage breakdown table")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -44,6 +47,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := hcompress.Config{Priorities: p, SeedPath: *seedPath, EnableTelemetry: *verbose}
+	if *slow {
+		// SampleEvery 1 admits every completed op, so the table shows the
+		// full stage anatomy of the run, slow or not.
+		cfg.SlowOpSampleEvery = 1
+	}
 	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -71,7 +79,43 @@ func main() {
 			exit = 1
 		}
 	}
+	if *slow {
+		printSlowOps(client)
+	}
 	os.Exit(exit)
+}
+
+// printSlowOps renders the slow-op log as a stage-breakdown table,
+// slowest first: where each operation's wall time went (analyze/plan are
+// wall clocks; codec/io/retry are the modeled virtual anatomy).
+func printSlowOps(client *hcompress.Client) {
+	ops := client.SlowOps()
+	if len(ops) == 0 {
+		return
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].WallSeconds > ops[j].WallSeconds })
+	fmt.Printf("\nslow-op log (%d ops, slowest first):\n", len(ops))
+	fmt.Printf("%-10s %-24s %9s %9s %9s %9s %9s %9s %5s %s\n",
+		"op", "key", "wall ms", "analyze", "plan", "codec", "io", "retry", "subs", "flags")
+	for _, op := range ops {
+		flags := ""
+		if op.Replanned {
+			flags += "R"
+		}
+		if op.Degraded {
+			flags += "D"
+		}
+		if op.Retries > 0 {
+			flags += fmt.Sprintf("r%d", op.Retries)
+		}
+		key := op.Key
+		if len(key) > 24 {
+			key = key[:21] + "..."
+		}
+		fmt.Printf("%-10s %-24s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %5d %s\n",
+			op.Op, key, op.WallSeconds*1e3, op.AnalyzeSeconds*1e3, op.PlanSeconds*1e3,
+			op.CodecSeconds*1e3, op.IOSeconds*1e3, op.RetrySeconds*1e3, len(op.Audits), flags)
+	}
 }
 
 func process(client *hcompress.Client, path string, verify, verbose bool) error {

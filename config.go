@@ -99,7 +99,8 @@ type Config struct {
 	DisablePlanCache bool
 	// EnableTelemetry turns on the metrics registry, trace spans, and
 	// decision-audit records (Snapshot, WriteMetrics, Audits). Telemetry
-	// is also enabled implicitly by MetricsAddr or TraceWriter. Off, the
+	// is also enabled implicitly by MetricsAddr, TraceWriter, or the
+	// SlowOp* knobs. Off, the
 	// pipeline carries no instruments at all (nil-registry fast path), so
 	// the zero-value Config pays nothing for observability.
 	EnableTelemetry bool
@@ -116,6 +117,22 @@ type Config struct {
 	// AuditLogSize bounds the in-memory decision-audit ring returned by
 	// Client.Audits (default 1024 when telemetry is on).
 	AuditLogSize int
+	// EnableProfiling mounts net/http/pprof handlers under /debug/pprof/
+	// on the MetricsAddr listener. Off by default: profiling endpoints
+	// are a debugging surface, not something to expose unconditionally.
+	EnableProfiling bool
+	// SlowOpThreshold, when positive, records every operation whose wall
+	// latency reaches the threshold into the slow-op ring (Client.SlowOps,
+	// hctool -slow) with its full stage breakdown and HCDP audits.
+	SlowOpThreshold time.Duration
+	// SlowOpSampleEvery, when positive, additionally records every Nth
+	// completed operation regardless of latency, so the ring always holds
+	// a background sample to compare outliers against. 1 records
+	// everything; 0 (the default) disables sampling.
+	SlowOpSampleEvery int
+	// SlowOpLogSize bounds the slow-op ring (default 256 when either
+	// SlowOpThreshold or SlowOpSampleEvery is set).
+	SlowOpLogSize int
 	// DemotionInterval, when positive, starts a background demoter: a
 	// goroutine that wakes every interval and, for each tier filled past
 	// its high watermark, trickles the oldest tasks one tier down in
@@ -173,8 +190,12 @@ type Config struct {
 }
 
 // telemetryEnabled reports whether any telemetry surface is requested.
+// The slow-op knobs imply telemetry the same way MetricsAddr and
+// TraceWriter do: a slow-op record is a telemetry artifact, and its wall
+// clocks come from the same instrumentation points.
 func (c Config) telemetryEnabled() bool {
-	return c.EnableTelemetry || c.MetricsAddr != "" || c.TraceWriter != nil
+	return c.EnableTelemetry || c.MetricsAddr != "" || c.TraceWriter != nil ||
+		c.SlowOpThreshold > 0 || c.SlowOpSampleEvery > 0
 }
 
 // DefaultTiers returns the default laptop-scale hierarchy.

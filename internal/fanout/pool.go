@@ -43,6 +43,7 @@ type Pool struct {
 
 	// Telemetry (nil when off; instrument methods no-op on nil).
 	depth *telemetry.Gauge
+	busy  *telemetry.Gauge
 	wait  *telemetry.Histogram
 	runs  *telemetry.Counter
 }
@@ -90,7 +91,8 @@ func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	p.depth = reg.Gauge("hc_pool_queue_depth", "sub-tasks submitted to the shared worker pool and not yet claimed")
+	p.depth = reg.Gauge("hc_pool_queued", "sub-tasks submitted to the shared worker pool and not yet claimed")
+	p.busy = reg.Gauge("hc_pool_workers_busy", "goroutines (workers and helping submitters) currently executing pool chunks")
 	p.wait = reg.Histogram("hc_pool_queue_wait_seconds", "time from job submission to each of its work spans starting", telemetry.SecondsBuckets)
 	p.runs = reg.Counter("hc_pool_jobs_total", "jobs submitted to the shared worker pool")
 }
@@ -305,6 +307,8 @@ func (p *Pool) runSpan(j *poolJob, s *bufpool.Scratch, lo, hi int) {
 	if j.timed {
 		p.wait.Observe(time.Since(j.enq).Seconds())
 	}
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
 	for i := lo; i < hi; i++ {
 		if err := j.fn(s, i); err != nil {
 			j.errs[i] = err

@@ -34,7 +34,7 @@ func TestPutSubRetriesTransientBlip(t *testing.T) {
 	}})
 	m := New(st, nil, RealOracle{})
 	payload := bufpool.Get(4096)
-	end, tierIdx, err := m.putSub(0, 0, "k#0", payload, 4096)
+	end, tierIdx, retrySecs, retries, err := m.putSub(0, 0, "k#0", payload, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +43,12 @@ func TestPutSubRetriesTransientBlip(t *testing.T) {
 	}
 	if end < 0.003 {
 		t.Fatalf("end %v: backoff must have advanced past the window", end)
+	}
+	if retries == 0 || retrySecs <= 0 {
+		t.Fatalf("retry attribution missing: retries=%d retrySecs=%v", retries, retrySecs)
+	}
+	if retrySecs >= end {
+		t.Fatalf("retrySecs %v must be a strict share of the sub-task time %v", retrySecs, end)
 	}
 }
 
@@ -59,12 +65,15 @@ func TestPutSubSpillsOnStickyOutage(t *testing.T) {
 	}})
 	m := New(st, nil, RealOracle{})
 	payload := bufpool.Get(4096)
-	_, tierIdx, err := m.putSub(0, 0, "k#0", payload, 4096)
+	_, tierIdx, _, retries, err := m.putSub(0, 0, "k#0", payload, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tierIdx != 1 {
 		t.Fatalf("sticky outage should spill to tier 1, got %d", tierIdx)
+	}
+	if retries != 0 {
+		t.Fatalf("sticky outage must not count retries, got %d", retries)
 	}
 }
 
@@ -81,12 +90,15 @@ func TestPutSubExhaustsRetriesThenSpills(t *testing.T) {
 	}})
 	m := New(st, nil, RealOracle{})
 	payload := bufpool.Get(4096)
-	_, tierIdx, err := m.putSub(0, 0, "k#0", payload, 4096)
+	_, tierIdx, retrySecs, retries, err := m.putSub(0, 0, "k#0", payload, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tierIdx != 1 {
 		t.Fatalf("exhausted retries should spill to tier 1, got %d", tierIdx)
+	}
+	if retries == 0 || retrySecs <= 0 {
+		t.Fatalf("exhausted retries must still be attributed: retries=%d retrySecs=%v", retries, retrySecs)
 	}
 }
 

@@ -199,6 +199,12 @@ type Result struct {
 	CodecTime float64 // compression or decompression seconds
 	IOTime    float64 // storage I/O seconds
 	Stored    int64   // bytes occupying the hierarchy (writes)
+	// Retries counts transient-fault retries absorbed by the task;
+	// RetrySecs is the virtual backoff those retries consumed. IOTime
+	// includes RetrySecs (the blocked lane is I/O wall from the task's
+	// point of view); subtract to get pure transfer time.
+	Retries   int
+	RetrySecs float64
 	// Data is the reassembled task (reads, real mode only). It is an
 	// arena buffer whose ownership transfers to the caller; return it
 	// with bufpool.Put when finished (Report.Release at the API layer)
@@ -226,6 +232,10 @@ type SubResult struct {
 	// when the placement spilled down because the prediction was
 	// optimistic or the monitor's view was stale. Reads echo Tier.
 	PlannedTier int
+	// Retries counts transient-fault retries this sub-task absorbed;
+	// RetrySecs is the virtual backoff they consumed (included in IOTime).
+	Retries   int
+	RetrySecs float64
 }
 
 // Manager executes schemas against a store. Safe for concurrent use.
@@ -267,8 +277,9 @@ type mgrMetrics struct {
 	outBytes  []*telemetry.Counter   // stored bytes leaving each codec (writes)
 	readBytes []*telemetry.Counter   // original bytes recovered per codec (reads)
 	ratio     []*telemetry.Histogram // achieved compression ratio per codec
-	queueWait *telemetry.Histogram   // wall seconds a sub-task waited for a pool worker
-	writes    *telemetry.Counter
+	queueWait  *telemetry.Histogram // wall seconds a sub-task waited for a pool worker
+	stageQueue *telemetry.Histogram // the same wait as hc_stage_seconds{stage="queue"}
+	writes     *telemetry.Counter
 	reads     *telemetry.Counter
 	spills    *telemetry.Counter // placements that fell below the planned tier
 	retries   *telemetry.Counter // transient-fault retries (reads and writes)
@@ -298,7 +309,9 @@ func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
 		readBytes: make([]*telemetry.Counter, int(maxID)+1),
 		ratio:     make([]*telemetry.Histogram, int(maxID)+1),
 		queueWait: reg.Histogram("hc_fanout_queue_wait_seconds", "wall time a sub-task waited for a pool worker", telemetry.SecondsBuckets),
-		writes:    reg.Counter("hc_manager_writes_total", "tasks written"),
+		stageQueue: reg.Histogram("hc_stage_seconds", "per-stage latency attribution",
+			telemetry.SecondsBuckets, telemetry.L("stage", "queue")),
+		writes: reg.Counter("hc_manager_writes_total", "tasks written"),
 		reads:     reg.Counter("hc_manager_reads_total", "tasks read"),
 		spills:    reg.Counter("hc_manager_spills_total", "sub-tasks placed below their planned tier"),
 		retries:   reg.Counter("hc_retries_total", "transient store faults retried with backoff"),
@@ -586,7 +599,9 @@ func (m *Manager) compressFan(ctx context.Context, data []byte, attr analyzer.Re
 			return err
 		}
 		if m.tm.queueWait != nil {
-			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+			w := time.Since(fanStart).Seconds()
+			m.tm.queueWait.Observe(w)
+			m.tm.stageQueue.Observe(w)
 		}
 		o, err := m.compressOne(s, data, attr, &subs[k])
 		if err != nil {
@@ -633,22 +648,26 @@ func (m *Manager) ExecuteWriteCtx(ctx context.Context, now float64, key string, 
 // transient store faults are retried on the same tier with capped
 // exponential virtual-time backoff; capacity misses, sticky outages, and
 // exhausted retries spill down the hierarchy. It returns the virtual
-// completion time and the tier that finally took the payload.
-func (m *Manager) putSub(t float64, tier int, sk string, payload []byte, stored int64) (float64, int, error) {
+// completion time, the tier that finally took the payload, and the
+// retry bill (attempt count and virtual backoff seconds consumed) for
+// latency attribution.
+func (m *Manager) putSub(t float64, tier int, sk string, payload []byte, stored int64) (end float64, placed int, retrySecs float64, retries int, err error) {
 	nTiers := m.st.Hierarchy().Len()
 	for {
-		end, err := m.st.PutOwned(t, tier, sk, payload, stored)
+		end, err = m.st.PutOwned(t, tier, sk, payload, stored)
 		backoff := m.retryBase
 		for r := 0; err != nil && hcerr.IsTransient(err) && r < m.retryMax; r++ {
 			m.tm.retries.Inc()
 			t += backoff // backoff advances the virtual clock, so a retry can outlive a blip window
+			retrySecs += backoff
+			retries++
 			if backoff < m.retryCap {
 				backoff *= 2
 			}
 			end, err = m.st.PutOwned(t, tier, sk, payload, stored)
 		}
 		if err == nil {
-			return end, tier, nil
+			return end, tier, retrySecs, retries, nil
 		}
 		spillable := errors.Is(err, store.ErrNoCapacity) ||
 			errors.Is(err, hcerr.ErrTierOffline) || hcerr.IsTransient(err)
@@ -656,7 +675,7 @@ func (m *Manager) putSub(t float64, tier int, sk string, payload []byte, stored 
 			tier++
 			continue
 		}
-		return end, tier, err
+		return end, tier, retrySecs, retries, err
 	}
 }
 
@@ -679,7 +698,7 @@ func (m *Manager) placeTask(now float64, key string, attr analyzer.Result, subTa
 		// stale, or the tier can be faulting. putSub applies the repair a
 		// real deployment performs: retry transient blips with backoff,
 		// spill capacity misses and outages down the hierarchy.
-		end, tierIdx, err := m.putSub(t, st.Tier, sk, o.payload, o.stored)
+		end, tierIdx, retrySecs, retries, err := m.putSub(t, st.Tier, sk, o.payload, o.stored)
 		if err != nil {
 			for i := k; i < len(outs); i++ { // unplaced payloads go back to the arena
 				bufpool.Put(outs[i].payload)
@@ -692,10 +711,13 @@ func (m *Manager) placeTask(now float64, key string, attr analyzer.Result, subTa
 		res.CodecTime += o.secs
 		res.IOTime += ioSecs
 		res.Stored += o.stored
+		res.Retries += retries
+		res.RetrySecs += retrySecs
 		res.SubResults = append(res.SubResults, SubResult{
 			Tier: tierIdx, Codec: st.Codec, OrigLen: st.Length,
 			Stored: o.stored, CodecTime: o.secs, IOTime: ioSecs,
 			PredStored: st.PredSize, PredTime: st.PredTime, PlannedTier: st.Tier,
+			Retries: retries, RetrySecs: retrySecs,
 		})
 		if m.tm.inBytes != nil {
 			m.tm.inBytes[st.Codec].Add(st.Length)
@@ -848,7 +870,9 @@ func (m *Manager) ExecuteWriteBatchCtx(ctx context.Context, now float64, reqs []
 			return nil
 		}
 		if m.tm.queueWait != nil {
-			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+			w := time.Since(fanStart).Seconds()
+			m.tm.queueWait.Observe(w)
+			m.tm.stageQueue.Observe(w)
 		}
 		o, err := m.compressOne(s, reqs[i].Data, reqs[i].Attr, &reqs[i].Schema.SubTasks[f-offs[i]])
 		o.err = err
@@ -1003,19 +1027,23 @@ func (m *Manager) peekRetry(now float64, key string) (store.Blob, error) {
 }
 
 // readTimeRetry models one timed sub-task read, retrying transient
-// faults with capped virtual-time backoff.
-func (m *Manager) readTimeRetry(t float64, key string) (float64, error) {
-	end, err := m.st.ReadTime(t, key)
+// faults with capped virtual-time backoff. Alongside the completion
+// time it returns the retry bill (attempts and virtual backoff seconds)
+// for latency attribution.
+func (m *Manager) readTimeRetry(t float64, key string) (end, retrySecs float64, retries int, err error) {
+	end, err = m.st.ReadTime(t, key)
 	backoff := m.retryBase
 	for r := 0; err != nil && hcerr.IsTransient(err) && r < m.retryMax; r++ {
 		m.tm.retries.Inc()
 		t += backoff
+		retrySecs += backoff
+		retries++
 		if backoff < m.retryCap {
 			backoff *= 2
 		}
 		end, err = m.st.ReadTime(t, key)
 	}
-	return end, err
+	return end, retrySecs, retries, err
 }
 
 // replayRead is stage 3 of a read: the serial timeline replay (tier
@@ -1030,7 +1058,7 @@ func (m *Manager) replayRead(now float64, attr analyzer.Result, subs []subMeta, 
 	for k := range subs {
 		sm := &subs[k]
 		o := &outs[k]
-		end, err := m.readTimeRetry(t, sm.key)
+		end, retrySecs, retries, err := m.readTimeRetry(t, sm.key)
 		if err != nil {
 			bufpool.Put(resData)
 			return Result{}, err
@@ -1040,10 +1068,12 @@ func (m *Manager) replayRead(now float64, attr analyzer.Result, subs []subMeta, 
 		res.CodecTime += o.secs
 		res.IOTime += ioSecs
 		res.Stored += blobs[k].Size
+		res.Retries += retries
+		res.RetrySecs += retrySecs
 		res.SubResults = append(res.SubResults, SubResult{
 			Tier: sm.tier, Codec: o.hdr.Codec, OrigLen: o.hdr.Length,
 			Stored: blobs[k].Size, CodecTime: o.secs, IOTime: ioSecs,
-			PlannedTier: sm.tier,
+			PlannedTier: sm.tier, Retries: retries, RetrySecs: retrySecs,
 		})
 		if m.tm.readBytes != nil {
 			m.tm.readBytes[o.hdr.Codec].Add(o.hdr.Length)
@@ -1125,7 +1155,9 @@ func (m *Manager) ExecuteReadCtx(ctx context.Context, now float64, key string) (
 			return err
 		}
 		if m.tm.queueWait != nil {
-			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+			w := time.Since(fanStart).Seconds()
+			m.tm.queueWait.Observe(w)
+			m.tm.stageQueue.Observe(w)
 		}
 		o, err := m.decompressSub(s, attr, &subs[k], blobs[k], resData, k, real)
 		if err != nil {
@@ -1218,7 +1250,9 @@ func (m *Manager) ExecuteReadBatchCtx(ctx context.Context, now float64, keys []s
 			return nil
 		}
 		if m.tm.queueWait != nil {
-			m.tm.queueWait.Observe(time.Since(fanStart).Seconds())
+			w := time.Since(fanStart).Seconds()
+			m.tm.queueWait.Observe(w)
+			m.tm.stageQueue.Observe(w)
 		}
 		i := int(reqOf[f])
 		k := f - offs[i]

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"hcompress"
 	"hcompress/internal/hcerr"
+	"hcompress/internal/telemetry"
 )
 
 // The HTTP/JSON protocol. Payload bytes travel base64-encoded inside
@@ -103,17 +105,33 @@ func (s *Server) shardInfo(key string) (shards, owner int) {
 //	POST /v1/decompress  read it back
 //	POST /v1/delete      remove it
 //	GET  /v1/stat        cluster + per-tenant accounting (?tenant=name)
+//	GET  /v1/slo         per-tenant, per-op SLO compliance and burn rates
 //	GET  /v1/healthz     aggregate tier health (200 unless a tier is offline)
 //	GET  /metrics        merged Prometheus exposition (shards + service)
+//
+// Requests may carry an X-Request-Id header; it becomes the trace ID on
+// every span the request's shard emits (one is assigned otherwise).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
 	mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	mux.HandleFunc("GET /v1/stat", s.handleStat)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// reqContext lifts the caller-supplied request ID (X-Request-Id) into
+// the context so the service's reqCtx propagates it instead of assigning
+// one.
+func reqContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		ctx = telemetry.WithReq(ctx, telemetry.ReqInfo{ID: id})
+	}
+	return ctx
 }
 
 // writeError maps the typed error taxonomy onto HTTP statuses. Every
@@ -161,7 +179,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "service: empty task data", Code: "bad_request"})
 		return
 	}
-	rep, err := s.Compress(r.Context(), req.Tenant, hcompress.Task{
+	rep, err := s.Compress(reqContext(r), req.Tenant, hcompress.Task{
 		Key: req.Key, Data: req.Data, DataType: req.Type, Distribution: req.Dist,
 	}, req.Priority)
 	if err != nil {
@@ -185,7 +203,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	rep, err := s.Decompress(r.Context(), req.Tenant, req.Key, req.Priority)
+	rep, err := s.Decompress(reqContext(r), req.Tenant, req.Key, req.Priority)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -233,6 +251,16 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// SLOResponse is the GET /v1/slo reply: one entry per (tenant, op)
+// series seen inside the rolling window.
+type SLOResponse struct {
+	SLOs []telemetry.SLOStatus `json:"slos"`
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SLOResponse{SLOs: s.SLOReport()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	health := s.backend.Health()
 	status := http.StatusOK
@@ -252,6 +280,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.backend.WriteMetrics(w)
 	if s.reg != nil {
+		s.slo.Report() // refresh the hc_slo_* gauges at scrape time
 		_ = s.reg.WritePrometheus(w)
 	}
 }

@@ -26,7 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hcompress"
@@ -82,8 +84,19 @@ type Config struct {
 	StrictTenants bool
 	// EnableTelemetry registers per-tenant request/reject/byte series on
 	// the service's own registry, served by /metrics alongside the
-	// backend's merged exposition.
+	// backend's merged exposition, and turns on the SLO engine behind
+	// GET /v1/slo and the hc_slo_* series.
 	EnableTelemetry bool
+	// SLOObjective is the targeted fraction of good requests per tenant
+	// and op class (default 0.999). A request is good when it succeeded
+	// and finished within SLOLatencyTarget.
+	SLOObjective float64
+	// SLOLatencyTarget is the per-request latency goal the SLO engine
+	// judges requests against (default 250ms).
+	SLOLatencyTarget time.Duration
+	// SLOWindow is the rolling window the burn rate is computed over
+	// (default 60s).
+	SLOWindow time.Duration
 	// now overrides the admission clock (tests only).
 	now func() time.Time
 }
@@ -103,6 +116,11 @@ type tenant struct {
 	ops        *telemetry.Counter
 	rejections map[string]*telemetry.Counter
 	usedGauge  *telemetry.Gauge
+	// Per-op, tenant-labeled request series: every latency and error
+	// sample carries {op, tenant} so one tenant's burn cannot hide in
+	// another's aggregate.
+	reqSecs map[string]*telemetry.Histogram // hc_service_request_seconds{op,tenant}
+	reqErrs map[string]*telemetry.Counter   // hc_service_request_errors_total{op,tenant}
 }
 
 // Server is the multi-tenant front-end over a Backend.
@@ -110,11 +128,15 @@ type Server struct {
 	backend Backend
 	cfg     Config
 	reg     *telemetry.Registry
+	slo     *telemetry.SLOEngine
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
 
-	reqSeconds map[string]*telemetry.Histogram
+	// reqSeq assigns request IDs to requests that did not arrive with one
+	// (X-Request-Id); the ID rides the context into every shard's span
+	// tree and slow-op record.
+	reqSeq atomic.Uint64
 }
 
 // New builds a Server over backend. The Backend is not owned: callers
@@ -130,11 +152,12 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	}
 	if cfg.EnableTelemetry {
 		s.reg = telemetry.New()
-		s.reqSeconds = make(map[string]*telemetry.Histogram, 3)
-		for _, op := range []string{"compress", "decompress", "delete"} {
-			s.reqSeconds[op] = s.reg.Histogram("hc_service_request_seconds",
-				"service request wall latency", telemetry.SecondsBuckets, telemetry.L("op", op))
-		}
+		s.slo = telemetry.NewSLOEngine(telemetry.SLOOptions{
+			Objective:     cfg.SLOObjective,
+			LatencyTarget: cfg.SLOLatencyTarget,
+			Window:        cfg.SLOWindow,
+			Now:           cfg.now,
+		}, s.reg)
 	}
 	for _, spec := range cfg.Tenants {
 		if _, err := s.registerTenant(spec); err != nil {
@@ -188,6 +211,15 @@ func (s *Server) registerTenant(spec TenantSpec) (*tenant, error) {
 			"throttle": s.reg.Counter("hc_service_rejects_total", "service requests rejected", l, telemetry.L("reason", "throttle")),
 		}
 		t.usedGauge = s.reg.Gauge("hc_service_tenant_used_bytes", "stored bytes accounted to the tenant", l)
+		t.reqSecs = make(map[string]*telemetry.Histogram, 3)
+		t.reqErrs = make(map[string]*telemetry.Counter, 3)
+		for _, op := range []string{"compress", "decompress", "delete"} {
+			lo := telemetry.L("op", op)
+			t.reqSecs[op] = s.reg.Histogram("hc_service_request_seconds",
+				"service request wall latency", telemetry.SecondsBuckets, lo, l)
+			t.reqErrs[op] = s.reg.Counter("hc_service_request_errors_total",
+				"service requests that failed after admission", lo, l)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -299,6 +331,47 @@ func classFor(priority string, def fanout.Class) (fanout.Class, error) {
 	}
 }
 
+// reqCtx stamps ctx with the request identity the shards propagate into
+// span trees and slow-op records: the request ID that arrived with the
+// request (X-Request-Id, already in ctx) or a service-assigned one, the
+// tenant, and the resolved scheduling class.
+func (s *Server) reqCtx(ctx context.Context, tenantName string, cls fanout.Class) context.Context {
+	ri := telemetry.ReqOf(ctx)
+	if ri.ID == "" {
+		ri.ID = "svc-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	}
+	ri.Tenant = tenantName
+	if cls == fanout.Batch {
+		ri.Class = "batch"
+	} else {
+		ri.Class = "interactive"
+	}
+	return telemetry.WithReq(fanout.WithClass(ctx, cls), ri)
+}
+
+// observe settles one served request's accounting: the tenant-labeled
+// latency histogram or error counter, and the SLO record. Policy rejects
+// (throttle, quota) never reach here — the SLO measures what the service
+// actually attempted to serve, not what it turned away by design.
+func (s *Server) observe(tn *tenant, op string, start time.Time, reqErr error) {
+	if s.reg == nil {
+		return
+	}
+	lat := time.Since(start)
+	if reqErr != nil {
+		tn.reqErrs[op].Inc()
+	} else {
+		tn.reqSecs[op].Observe(lat.Seconds())
+	}
+	s.slo.Record(tn.spec.Name, op, lat, reqErr != nil)
+}
+
+// SLOReport returns every (tenant, op) series' rolling-window SLO status
+// and refreshes the hc_slo_* gauges. Empty unless EnableTelemetry.
+func (s *Server) SLOReport() []telemetry.SLOStatus {
+	return s.slo.Report()
+}
+
 // Compress admits, quota-checks, namespaces, and executes one tenant
 // write at Batch priority (unless overridden). Typed failures:
 // ErrThrottled, ErrQuotaExceeded, plus everything the library returns.
@@ -326,14 +399,12 @@ func (s *Server) Compress(ctx context.Context, tenantName string, t hcompress.Ta
 		return nil, err
 	}
 	t.Key = fk
-	rep, err := s.backend.CompressContext(fanout.WithClass(ctx, cls), t)
+	rep, err := s.backend.CompressContext(s.reqCtx(ctx, tenantName, cls), t)
+	s.observe(tn, "compress", start, err)
 	if err != nil {
 		return nil, err
 	}
 	tn.commit(fk, rep.StoredBytes)
-	if h := s.reqSeconds["compress"]; h != nil {
-		h.Observe(time.Since(start).Seconds())
-	}
 	return rep, nil
 }
 
@@ -356,12 +427,10 @@ func (s *Server) Decompress(ctx context.Context, tenantName, key, priority strin
 	if err := tn.admit(s.cfg.now()); err != nil {
 		return nil, err
 	}
-	rep, err := s.backend.DecompressContext(fanout.WithClass(ctx, cls), fullKey(tenantName, key))
+	rep, err := s.backend.DecompressContext(s.reqCtx(ctx, tenantName, cls), fullKey(tenantName, key))
+	s.observe(tn, "decompress", start, err)
 	if err != nil {
 		return nil, err
-	}
-	if h := s.reqSeconds["decompress"]; h != nil {
-		h.Observe(time.Since(start).Seconds())
 	}
 	return rep, nil
 }
@@ -380,13 +449,12 @@ func (s *Server) Delete(tenantName, key string) error {
 		return err
 	}
 	fk := fullKey(tenantName, key)
-	if err := s.backend.Delete(fk); err != nil {
+	err = s.backend.Delete(fk)
+	s.observe(tn, "delete", start, err)
+	if err != nil {
 		return err
 	}
 	tn.forget(fk)
-	if h := s.reqSeconds["delete"]; h != nil {
-		h.Observe(time.Since(start).Seconds())
-	}
 	return nil
 }
 

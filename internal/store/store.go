@@ -99,6 +99,8 @@ type tierMetrics struct {
 	deletes   *telemetry.Counter
 	evictions *telemetry.Counter
 	usedGauge *telemetry.Gauge
+	putSecs   *telemetry.Histogram // modeled (virtual) seconds per put
+	getSecs   *telemetry.Histogram // modeled (virtual) seconds per read
 }
 
 // Store is a multi-tier object store. All methods are safe for concurrent
@@ -185,6 +187,10 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 			deletes:   reg.Counter("hc_tier_delete_ops_total", "blobs deleted per tier", l),
 			evictions: reg.Counter("hc_tier_evictions_total", "blobs moved off this tier (drain/spill)", l),
 			usedGauge: reg.Gauge("hc_tier_used_bytes", "bytes currently allocated per tier", l),
+			putSecs: reg.Histogram("hc_tier_io_seconds", "modeled seconds per tier I/O (queueing included)",
+				telemetry.SecondsBuckets, l, telemetry.L("op", "put")),
+			getSecs: reg.Histogram("hc_tier_io_seconds", "modeled seconds per tier I/O (queueing included)",
+				telemetry.SecondsBuckets, l, telemetry.L("op", "get")),
 		}
 		reg.Gauge("hc_tier_capacity_bytes", "configured capacity per tier", l).
 			Set(float64(ts.spec.Capacity))
@@ -283,6 +289,7 @@ func (s *Store) put(now float64, t int, key string, data []byte, size int64, own
 	end = ts.res.Acquire(now, size)
 	ts.tm.puts.Inc()
 	ts.tm.putBytes.Add(size)
+	ts.tm.putSecs.Observe(end - now)
 	ts.tm.usedGauge.Set(float64(ts.used))
 	ts.mu.Unlock()
 
@@ -350,6 +357,7 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 	end = ts.res.Acquire(now, b.Size)
 	ts.tm.gets.Inc()
 	ts.tm.getBytes.Add(b.Size)
+	ts.tm.getSecs.Observe(end - now)
 	ts.mu.Unlock()
 	s.observe(end, b.Tier, nil)
 	return b, end, nil
@@ -431,6 +439,7 @@ func (s *Store) ReadTime(now float64, key string) (end float64, err error) {
 	end = ts.res.Acquire(now, size)
 	ts.tm.gets.Inc()
 	ts.tm.getBytes.Add(size)
+	ts.tm.getSecs.Observe(end - now)
 	ts.mu.Unlock()
 	s.observe(end, t, nil)
 	return end, nil

@@ -1,0 +1,32 @@
+package telemetry
+
+import "context"
+
+// ReqInfo is the request identity propagated from the service front-end
+// down through the router, shard, manager, and fanout pool. It rides the
+// context (like fanout's scheduling class) so no hot-path signature has
+// to change when a new layer wants to attribute work to a request.
+//
+// ID is the trace identifier stamped on every span of the op's span
+// tree. Tenant and Class are attribution labels; Class is a plain
+// string ("interactive"/"batch") rather than the fanout type so this
+// package stays dependency-free.
+type ReqInfo struct {
+	ID     string
+	Tenant string
+	Class  string
+}
+
+type reqKey struct{}
+
+// WithReq returns a context carrying the request identity.
+func WithReq(ctx context.Context, ri ReqInfo) context.Context {
+	return context.WithValue(ctx, reqKey{}, ri)
+}
+
+// ReqOf extracts the request identity, or the zero ReqInfo when the
+// context carries none (library callers that never heard of tracing).
+func ReqOf(ctx context.Context) ReqInfo {
+	ri, _ := ctx.Value(reqKey{}).(ReqInfo)
+	return ri
+}

@@ -406,6 +406,16 @@ func (r *Router) Audits() []AuditRecord {
 	return out
 }
 
+// SlowOps drains every shard's slow-op ring, shard 0 first. Empty unless
+// Config.SlowOpThreshold or Config.SlowOpSampleEvery is set.
+func (r *Router) SlowOps() []SlowOpRecord {
+	var out []SlowOpRecord
+	for _, s := range r.shards {
+		out = append(out, s.SlowOps()...)
+	}
+	return out
+}
+
 // FaultEvents drains every shard's health-transition ring, shard 0 first.
 func (r *Router) FaultEvents() []FaultEvent {
 	var out []FaultEvent

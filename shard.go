@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hcompress/internal/analyzer"
@@ -144,9 +145,19 @@ type Shard struct {
 	cm         clientMetrics
 	audit      auditLog
 	faults     faultLog // health-transition ring; always on (small, self-locked)
+	slow       *slowLog // slow-op ring; nil unless a SlowOp* policy is set
 	metricsLn  net.Listener
 	metricsSrv *http.Server
 	expvarID   uint64
+
+	// Request identity: operations arriving without a propagated request
+	// ID (direct library use) get one synthesized from reqSeq so every
+	// span tree is still groupable by trace ID. reqPrefix carries the
+	// shard label so IDs stay unique across a Router's shards; it is
+	// empty on a single-shard Client, keeping its traces byte-identical
+	// to the pre-sharding format.
+	reqSeq    atomic.Uint64
+	reqPrefix string
 
 	seedPath string
 	saveSeed bool
@@ -258,8 +269,21 @@ func newShard(cfg Config) (*Shard, error) {
 		}
 		c.expvarID = expvarRegister(reg)
 	}
+	if cfg.SlowOpThreshold > 0 || cfg.SlowOpSampleEvery > 0 {
+		sl := &slowLog{thresh: cfg.SlowOpThreshold.Seconds(), cap: cfg.SlowOpLogSize}
+		if cfg.SlowOpSampleEvery > 0 {
+			sl.every = uint64(cfg.SlowOpSampleEvery)
+		}
+		if sl.cap == 0 {
+			sl.cap = 256
+		}
+		c.slow = sl
+	}
+	if cfg.shardLabel != "" {
+		c.reqPrefix = "s" + cfg.shardLabel + "-"
+	}
 	if cfg.MetricsAddr != "" {
-		if err := c.startMetricsServer(cfg.MetricsAddr); err != nil {
+		if err := c.startMetricsServer(cfg.MetricsAddr, cfg.EnableProfiling); err != nil {
 			expvarUnregister(c.expvarID)
 			pool.Close()
 			return nil, err
@@ -348,6 +372,29 @@ func (c *Shard) demoteOnce(high, low float64, sliceN int) {
 	}
 }
 
+// reqInfo resolves the identity an operation runs under: the request ID,
+// tenant, and priority class the service layer propagated via
+// telemetry.WithReq, with gaps filled locally — the scheduling class is
+// read off the fanout context tag, and an absent request ID is
+// synthesized from the shard's own counter so direct library use still
+// yields groupable span trees. The counter only advances when something
+// will consume the ID (trace sink or slow-op log), keeping the
+// metrics-only fast path free of shared-counter traffic.
+func (c *Shard) reqInfo(ctx context.Context) telemetry.ReqInfo {
+	ri := telemetry.ReqOf(ctx)
+	if ri.Class == "" {
+		if fanout.ClassOf(ctx) == fanout.Batch {
+			ri.Class = "batch"
+		} else {
+			ri.Class = "interactive"
+		}
+	}
+	if ri.ID == "" && (c.sink != nil || c.slow != nil) {
+		ri.ID = fmt.Sprintf("%sr%d", c.reqPrefix, c.reqSeq.Add(1))
+	}
+	return ri
+}
+
 func (c *Shard) attrFor(t Task) analyzer.Result {
 	var hint analyzer.Hint
 	if dt, ok := stats.TypeByName(t.DataType); ok && t.DataType != "" {
@@ -391,7 +438,8 @@ func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
 	}
 
 	var wall time.Time
-	if c.tel != nil {
+	timed := c.tel != nil
+	if timed {
 		wall = time.Now()
 	}
 
@@ -399,6 +447,10 @@ func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
 	// caller's buffer and must overlap other ranks' codec work.
 	attr := c.attrFor(t)
 	size := int64(len(t.Data))
+	var analyzeSecs, planSecs float64
+	if timed {
+		analyzeSecs = time.Since(wall).Seconds()
+	}
 
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -406,9 +458,18 @@ func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
 		return nil, ErrClosed
 	}
 	start := c.clock.Now()
+	plan := func() (core.Schema, error) {
+		if !timed {
+			return c.eng.Plan(start, attr, size)
+		}
+		pw := time.Now()
+		schema, err := c.eng.Plan(start, attr, size)
+		planSecs += time.Since(pw).Seconds()
+		return schema, err
+	}
 
 	// Stage 2: plan. Stage 3: execute.
-	schema, err := c.eng.Plan(start, attr, size)
+	schema, err := plan()
 	if err != nil {
 		err = fmt.Errorf("hcompress: planning %q: %w", t.Key, err)
 	}
@@ -416,13 +477,15 @@ func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
 	if err == nil {
 		res, err = c.mgr.ExecuteWriteCtx(ctx, start, t.Key, t.Data, size, attr, schema)
 	}
+	replanned := false
 	if err != nil && ctx.Err() == nil {
 		// The monitor's view may have been stale — or a tier just went
 		// offline and the health machine masked it. Refresh and replan
 		// once; the new plan cannot target a masked tier.
 		c.mon.ForceRefresh()
 		c.cm.replans.Inc()
-		schema2, err2 := c.eng.Plan(start, attr, size)
+		replanned = true
+		schema2, err2 := plan()
 		if err2 != nil {
 			err = fmt.Errorf("hcompress: replanning %q: %w (after %v)", t.Key, err2, err)
 		} else {
@@ -461,9 +524,17 @@ func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
 	rep.PredictedSeconds = schema.PredTime
 	rep.Degraded = degraded
 	if c.tel != nil {
+		wallSecs := time.Since(wall).Seconds()
 		c.cm.ops["compress"].Inc()
-		c.cm.opSeconds["compress"].Observe(time.Since(wall).Seconds())
-		c.compressTrace(t.Key, attr, size, schema, res, start)
+		c.cm.opSeconds["compress"].Observe(wallSecs)
+		c.cm.stageAnalyze.Observe(analyzeSecs)
+		c.cm.stagePlan.Observe(planSecs)
+		c.cm.observeStages(res)
+		ri := c.reqInfo(ctx)
+		audits := c.compressTrace(ri, t.Key, attr, size, schema, res, start, replanned)
+		if c.slow.shouldRecord(wallSecs) {
+			c.slowOp(ri, "compress", t.Key, res, wallSecs, analyzeSecs, planSecs, replanned, degraded != nil, audits)
+		}
 	}
 	return rep, nil
 }
@@ -517,9 +588,15 @@ func (c *Shard) DecompressContext(ctx context.Context, key string) (*Report, err
 	rep := c.report(key, size, attr, res, start)
 	rep.Data = res.Data
 	if c.tel != nil {
+		wallSecs := time.Since(wall).Seconds()
 		c.cm.ops["decompress"].Inc()
-		c.cm.opSeconds["decompress"].Observe(time.Since(wall).Seconds())
-		c.decompressTrace(key, res, start)
+		c.cm.opSeconds["decompress"].Observe(wallSecs)
+		c.cm.observeStages(res)
+		ri := c.reqInfo(ctx)
+		c.decompressTrace(ri, key, res, start)
+		if c.slow.shouldRecord(wallSecs) {
+			c.slowOp(ri, "decompress", key, res, wallSecs, 0, 0, false, false, nil)
+		}
 	}
 	return rep, nil
 }

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hcompress/internal/analyzer"
 	"hcompress/internal/codec"
@@ -23,15 +26,33 @@ import (
 // telemetry — the registry, sink, and instrument handles are nil and
 // every call site takes the nil fast path.
 
-// TraceSpan is one stage of one operation in the JSONL trace export.
-// Timestamps are virtual-clock seconds (the modeled timeline), never
-// wall clocks, so a serial workload exports byte-identical traces
-// regardless of the Parallelism setting.
+// TraceSpan is one node of one operation's span tree in the JSONL trace
+// export. Every op emits a root span (stage "op") and children for each
+// pipeline stage; fan-out sub-tasks additionally get per-sub-task
+// queue/codec/retry/io leaves, so the whole latency anatomy of a
+// request is reconstructible from its trace ID. Timestamps are
+// virtual-clock seconds (the modeled timeline), never wall clocks, so a
+// serial workload exports byte-identical traces regardless of the
+// Parallelism setting.
+//
+// Span IDs are 1-based and assigned in emission order within the op;
+// Parent is 0 on the root. The invariant tests pin: the codec, retry,
+// and io leaf widths of a tree sum exactly to the root's width (queue
+// leaves overlap them — they measure serial wait, not extra work; the
+// analyze and plan stages are zero-width on the virtual timeline).
 type TraceSpan struct {
-	Record string  `json:"record"` // always "span"
-	Op     string  `json:"op"`     // "compress" | "decompress"
-	Key    string  `json:"key"`
-	Stage  string  `json:"stage"` // "analyze" | "plan" | "execute"
+	Record string `json:"record"`           // always "span"
+	Trace  string `json:"trace,omitempty"`  // request/trace ID (propagated or shard-assigned)
+	Span   int    `json:"span,omitempty"`   // span ID within the op, root = 1
+	Parent int    `json:"parent,omitempty"` // parent span ID, 0 on the root
+	Tenant string `json:"tenant,omitempty"` // from the service layer, when present
+	Class  string `json:"class,omitempty"`  // scheduling class: "interactive" | "batch"
+	Op     string `json:"op"`               // "compress" | "decompress"
+	Key    string `json:"key"`
+	// Stage is "op" (root) | "analyze" | "plan" | "replan" | "execute"
+	// | "queue" | "codec" | "retry" | "io".
+	Stage  string  `json:"stage"`
+	Sub    int     `json:"sub,omitempty"` // 1-based sub-task index on queue/codec/retry/io leaves
 	VStart float64 `json:"vstart"`
 	VEnd   float64 `json:"vend"`
 	// Analyze attributes.
@@ -41,10 +62,90 @@ type TraceSpan struct {
 	// Plan attributes.
 	SubTasks    int     `json:"subtasks,omitempty"`
 	PredSeconds float64 `json:"predSecs,omitempty"`
-	// Execute attributes (virtual-time anatomy).
+	// Execute/io attributes (virtual-time anatomy).
 	CodecSeconds float64 `json:"codecSecs,omitempty"`
 	IOSeconds    float64 `json:"ioSecs,omitempty"`
 	StoredBytes  int64   `json:"storedBytes,omitempty"`
+	Tier         string  `json:"tier,omitempty"`        // io leaves: the tier that served the I/O
+	PlannedTier  string  `json:"plannedTier,omitempty"` // io leaves: set only when the placement spilled
+	Retries      int     `json:"retries,omitempty"`     // retry leaves: attempts absorbed
+}
+
+// jsonField starts one field inside an under-construction JSON object:
+// a comma unless this is the first field, then the quoted key and colon.
+// Keys are compile-time literals, never escaped.
+func jsonField(dst []byte, key string) []byte {
+	if dst[len(dst)-1] != '{' {
+		dst = append(dst, ',')
+	}
+	dst = append(dst, '"')
+	dst = append(dst, key...)
+	return append(dst, '"', ':')
+}
+
+// AppendJSON encodes the span exactly as encoding/json would, field
+// order and omitempty semantics included — the telemetry.Appender fast
+// path that keeps per-operation tracing off the reflection walk.
+func (s TraceSpan) AppendJSON(dst []byte) []byte {
+	dst = append(dst, '{')
+	dst = telemetry.AppendJSONString(jsonField(dst, "record"), s.Record)
+	if s.Trace != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "trace"), s.Trace)
+	}
+	if s.Span != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "span"), int64(s.Span))
+	}
+	if s.Parent != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "parent"), int64(s.Parent))
+	}
+	if s.Tenant != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "tenant"), s.Tenant)
+	}
+	if s.Class != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "class"), s.Class)
+	}
+	dst = telemetry.AppendJSONString(jsonField(dst, "op"), s.Op)
+	dst = telemetry.AppendJSONString(jsonField(dst, "key"), s.Key)
+	dst = telemetry.AppendJSONString(jsonField(dst, "stage"), s.Stage)
+	if s.Sub != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "sub"), int64(s.Sub))
+	}
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "vstart"), s.VStart)
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "vend"), s.VEnd)
+	if s.DataType != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "type"), s.DataType)
+	}
+	if s.Distribution != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "dist"), s.Distribution)
+	}
+	if s.Bytes != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "bytes"), s.Bytes)
+	}
+	if s.SubTasks != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "subtasks"), int64(s.SubTasks))
+	}
+	if s.PredSeconds != 0 {
+		dst = telemetry.AppendJSONFloat(jsonField(dst, "predSecs"), s.PredSeconds)
+	}
+	if s.CodecSeconds != 0 {
+		dst = telemetry.AppendJSONFloat(jsonField(dst, "codecSecs"), s.CodecSeconds)
+	}
+	if s.IOSeconds != 0 {
+		dst = telemetry.AppendJSONFloat(jsonField(dst, "ioSecs"), s.IOSeconds)
+	}
+	if s.StoredBytes != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "storedBytes"), s.StoredBytes)
+	}
+	if s.Tier != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "tier"), s.Tier)
+	}
+	if s.PlannedTier != "" {
+		dst = telemetry.AppendJSONString(jsonField(dst, "plannedTier"), s.PlannedTier)
+	}
+	if s.Retries != 0 {
+		dst = telemetry.AppendJSONInt(jsonField(dst, "retries"), int64(s.Retries))
+	}
+	return append(dst, '}')
 }
 
 // AuditRecord captures one HCDP decision and its outcome: the (codec,
@@ -72,6 +173,28 @@ type AuditRecord struct {
 	// duration. Zero predictions yield zero errors.
 	SizeErr float64 `json:"sizeErr"`
 	TimeErr float64 `json:"timeErr"`
+}
+
+// AppendJSON encodes the audit record exactly as encoding/json would —
+// the telemetry.Appender fast path (every field is unconditional, so
+// this is a straight field walk).
+func (a AuditRecord) AppendJSON(dst []byte) []byte {
+	dst = append(dst, '{')
+	dst = telemetry.AppendJSONString(jsonField(dst, "record"), a.Record)
+	dst = telemetry.AppendJSONString(jsonField(dst, "key"), a.Key)
+	dst = telemetry.AppendJSONInt(jsonField(dst, "sub"), int64(a.Sub))
+	dst = telemetry.AppendJSONString(jsonField(dst, "plannedTier"), a.PlannedTier)
+	dst = telemetry.AppendJSONString(jsonField(dst, "tier"), a.Tier)
+	dst = telemetry.AppendJSONString(jsonField(dst, "codec"), a.Codec)
+	dst = telemetry.AppendJSONInt(jsonField(dst, "origBytes"), a.OrigBytes)
+	dst = telemetry.AppendJSONInt(jsonField(dst, "predBytes"), a.PredBytes)
+	dst = telemetry.AppendJSONInt(jsonField(dst, "storedBytes"), a.StoredBytes)
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "predSecs"), a.PredSeconds)
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "codecSecs"), a.CodecSeconds)
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "ioSecs"), a.IOSeconds)
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "sizeErr"), a.SizeErr)
+	dst = telemetry.AppendJSONFloat(jsonField(dst, "timeErr"), a.TimeErr)
+	return append(dst, '}')
 }
 
 // HistogramStat summarizes one histogram series in a MetricsSnapshot.
@@ -119,11 +242,7 @@ func (c *Shard) WriteMetrics(w io.Writer) error {
 // off. The ring holds Config.AuditLogSize records (default 1024);
 // overflow drops the oldest.
 func (c *Shard) Audits() []AuditRecord {
-	c.audit.mu.Lock()
-	defer c.audit.mu.Unlock()
-	out := c.audit.ring
-	c.audit.ring = nil
-	return out
+	return c.audit.drain()
 }
 
 // MetricsAddr reports the bound address of the metrics listener (useful
@@ -191,11 +310,119 @@ func (c *Shard) onHealthEvent(ev monitor.Event) {
 	c.sink.Emit(fe)
 }
 
-// auditLog is the bounded decision-audit ring.
+// SlowOpRecord is one sampled or threshold-crossing operation in the
+// slow-op log: the full per-stage latency breakdown (analyze/plan in
+// wall seconds; codec/io/retry in virtual seconds, io net of backoff)
+// plus the HCDP audit records behind the op's placement. Records live
+// in a bounded in-memory ring (Client.SlowOps, hctool -slow); they are
+// not written to the trace sink because wall latencies would break the
+// byte-identical replay contract.
+type SlowOpRecord struct {
+	Record         string        `json:"record"` // always "slowop"
+	Trace          string        `json:"trace,omitempty"`
+	Tenant         string        `json:"tenant,omitempty"`
+	Class          string        `json:"class,omitempty"`
+	Op             string        `json:"op"`
+	Key            string        `json:"key"`
+	WallSeconds    float64       `json:"wallSecs"`
+	VirtualSeconds float64       `json:"virtualSecs"`
+	AnalyzeSeconds float64       `json:"analyzeSecs,omitempty"` // wall
+	PlanSeconds    float64       `json:"planSecs,omitempty"`    // wall
+	CodecSeconds   float64       `json:"codecSecs"`             // virtual
+	IOSeconds      float64       `json:"ioSecs"`                // virtual, net of retry backoff
+	RetrySeconds   float64       `json:"retrySecs,omitempty"`   // virtual backoff
+	Retries        int           `json:"retries,omitempty"`
+	Replanned      bool          `json:"replanned,omitempty"`
+	Degraded       bool          `json:"degraded,omitempty"`
+	Audits         []AuditRecord `json:"audits,omitempty"`
+}
+
+// slowLog is the bounded slow-op ring with its threshold-or-sampled
+// admission policy. nil (telemetry off or no policy configured) means
+// every method no-ops.
+type slowLog struct {
+	thresh float64 // wall seconds; 0 disables the threshold arm
+	every  uint64  // record every Nth op; 0 disables the sampling arm
+	seq    atomic.Uint64
+	mu     sync.Mutex
+	ring   []SlowOpRecord
+	cap    int
+}
+
+// shouldRecord rules on one completed op. The sampling counter advances
+// on every call so "every Nth op" means Nth completed, not Nth slow.
+func (s *slowLog) shouldRecord(wallSecs float64) bool {
+	if s == nil {
+		return false
+	}
+	n := s.seq.Add(1)
+	if s.thresh > 0 && wallSecs >= s.thresh {
+		return true
+	}
+	return s.every > 0 && n%s.every == 0
+}
+
+func (s *slowLog) append(rec SlowOpRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring = append(s.ring, rec)
+	if over := len(s.ring) - s.cap; over > 0 && s.cap > 0 {
+		s.ring = append([]SlowOpRecord(nil), s.ring[over:]...)
+	}
+}
+
+// SlowOps drains the slow-op ring: every threshold-crossing or sampled
+// operation recorded since the previous call, oldest first. Empty
+// unless Config.SlowOpThreshold or Config.SlowOpSampleEvery is set.
+func (c *Shard) SlowOps() []SlowOpRecord {
+	if c.slow == nil {
+		return nil
+	}
+	c.slow.mu.Lock()
+	defer c.slow.mu.Unlock()
+	out := c.slow.ring
+	c.slow.ring = nil
+	return out
+}
+
+// slowOp assembles and records one slow-op entry from an executed op's
+// Result and stage timings. Callers gate on slow.shouldRecord first.
+func (c *Shard) slowOp(ri telemetry.ReqInfo, op, key string, res manager.Result, wallSecs, analyzeSecs, planSecs float64, replanned, degraded bool, audits []AuditRecord) {
+	c.slow.append(SlowOpRecord{
+		Record:         "slowop",
+		Trace:          ri.ID,
+		Tenant:         ri.Tenant,
+		Class:          ri.Class,
+		Op:             op,
+		Key:            key,
+		WallSeconds:    wallSecs,
+		VirtualSeconds: res.CodecTime + res.IOTime,
+		AnalyzeSeconds: analyzeSecs,
+		PlanSeconds:    planSecs,
+		CodecSeconds:   res.CodecTime,
+		IOSeconds:      res.IOTime - res.RetrySecs,
+		RetrySeconds:   res.RetrySecs,
+		Retries:        res.Retries,
+		Replanned:      replanned,
+		Degraded:       degraded,
+		Audits:         audits,
+	})
+}
+
+// auditLog is the bounded decision-audit ring: a fixed circular buffer
+// so steady-state appends never reallocate or shift — overflow just
+// overwrites the oldest slot. (A naive slice-with-trim here cost a
+// full-ring copy per operation once warm, which dominated telemetry
+// overhead on the write path.)
 type auditLog struct {
-	mu   sync.Mutex
-	ring []AuditRecord
-	cap  int
+	mu    sync.Mutex
+	buf   []AuditRecord
+	start int // index of the oldest record
+	size  int
+	cap   int
 }
 
 func (a *auditLog) append(recs []AuditRecord) {
@@ -204,10 +431,35 @@ func (a *auditLog) append(recs []AuditRecord) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.ring = append(a.ring, recs...)
-	if over := len(a.ring) - a.cap; over > 0 {
-		a.ring = append([]AuditRecord(nil), a.ring[over:]...)
+	if a.buf == nil {
+		a.buf = make([]AuditRecord, a.cap)
 	}
+	for i := range recs {
+		if a.size == a.cap {
+			a.buf[a.start] = recs[i]
+			a.start = (a.start + 1) % a.cap
+		} else {
+			a.buf[(a.start+a.size)%a.cap] = recs[i]
+			a.size++
+		}
+	}
+}
+
+// drain returns the buffered records oldest-first and empties the ring,
+// releasing the backing array so an idle shard holds no audit memory.
+func (a *auditLog) drain() []AuditRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.size == 0 {
+		a.buf = nil
+		a.start = 0
+		return nil
+	}
+	out := make([]AuditRecord, a.size)
+	n := copy(out, a.buf[a.start:min(a.start+a.size, a.cap)])
+	copy(out[n:], a.buf[:a.size-n])
+	a.buf, a.start, a.size = nil, 0, 0
+	return out
 }
 
 // clientMetrics are the client-level instruments (nil when off).
@@ -226,6 +478,27 @@ type clientMetrics struct {
 	demoteSlices  *telemetry.Counter   // demotion slices executed
 	demoteBytes   *telemetry.Counter   // bytes moved down by the demoter
 	demoteSeconds *telemetry.Histogram // wall pause per demotion slice
+
+	// stageSeconds is the latency-attribution family
+	// hc_stage_seconds{stage=...}: analyze and plan observe wall seconds
+	// at the shard, codec/io/retry observe per-op virtual seconds from
+	// the manager's Result (io net of retry backoff). The queue stage of
+	// the same family is registered and observed in the manager, at the
+	// fanout wait site.
+	stageAnalyze *telemetry.Histogram
+	stagePlan    *telemetry.Histogram
+	stageCodec   *telemetry.Histogram
+	stageIO      *telemetry.Histogram
+	stageRetry   *telemetry.Histogram
+}
+
+// observeStages folds one executed op's Result into the attribution
+// histograms. All instruments no-op on nil, so this is free when
+// telemetry is off.
+func (cm *clientMetrics) observeStages(res manager.Result) {
+	cm.stageCodec.Observe(res.CodecTime)
+	cm.stageIO.Observe(res.IOTime - res.RetrySecs)
+	cm.stageRetry.Observe(res.RetrySecs)
 }
 
 func newClientMetrics(reg *telemetry.Registry) clientMetrics {
@@ -252,12 +525,86 @@ func newClientMetrics(reg *telemetry.Registry) clientMetrics {
 		cm.ops[op] = reg.Counter("hc_client_ops_total", "operations completed", l)
 		cm.opErrs[op] = reg.Counter("hc_client_op_errors_total", "operations failed", l)
 	}
+	stage := func(name string) *telemetry.Histogram {
+		return reg.Histogram("hc_stage_seconds", "per-stage latency attribution",
+			telemetry.SecondsBuckets, telemetry.L("stage", name))
+	}
+	cm.stageAnalyze = stage("analyze")
+	cm.stagePlan = stage("plan")
+	cm.stageCodec = stage("codec")
+	cm.stageIO = stage("io")
+	cm.stageRetry = stage("retry")
 	return cm
 }
 
-// compressTrace builds the spans and audit records for one executed
+// spanTree builds one op's span tree in deterministic emission order:
+// root, any zero-width marker children (analyze/plan/replan on writes),
+// the execute span, then per sub-task leaves replaying the serial
+// virtual timeline. Writes replay codec→retry→io per sub-task; reads
+// retry→io→codec, mirroring the manager's placeTask/replayRead exactly
+// — so the leaf widths reconstruct End-start to fp rounding.
+func (c *Shard) spanTree(ri telemetry.ReqInfo, op, key string, res manager.Result, start float64, write bool, markers ...TraceSpan) []TraceSpan {
+	spans := make([]TraceSpan, 0, 3+len(markers)+4*len(res.SubResults))
+	next := 0
+	add := func(s TraceSpan) int {
+		next++
+		s.Record, s.Span = "span", next
+		s.Trace, s.Tenant, s.Class = ri.ID, ri.Tenant, ri.Class
+		s.Op, s.Key = op, key
+		spans = append(spans, s)
+		return next
+	}
+	root := add(TraceSpan{Stage: "op", VStart: start, VEnd: res.End,
+		CodecSeconds: res.CodecTime, IOSeconds: res.IOTime, StoredBytes: res.Stored})
+	for _, m := range markers {
+		m.Parent = root
+		add(m)
+	}
+	exec := add(TraceSpan{Stage: "execute", Parent: root, VStart: start, VEnd: res.End})
+	t := start
+	for k, sr := range res.SubResults {
+		sub := k + 1
+		add(TraceSpan{Stage: "queue", Parent: exec, Sub: sub, VStart: start, VEnd: t})
+		codecSpan := TraceSpan{Stage: "codec", Parent: exec, Sub: sub, CodecSeconds: sr.CodecTime}
+		retrySpan := TraceSpan{Stage: "retry", Parent: exec, Sub: sub, Retries: sr.Retries}
+		ioSpan := TraceSpan{Stage: "io", Parent: exec, Sub: sub,
+			IOSeconds: sr.IOTime - sr.RetrySecs, StoredBytes: sr.Stored,
+			Tier: c.hier.Tiers[sr.Tier].Name}
+		if sr.PlannedTier != sr.Tier {
+			ioSpan.PlannedTier = c.hier.Tiers[sr.PlannedTier].Name
+		}
+		place := func(s *TraceSpan, width float64) {
+			s.VStart, s.VEnd = t, t+width
+			t += width
+		}
+		if write {
+			place(&codecSpan, sr.CodecTime)
+			place(&retrySpan, sr.RetrySecs)
+			place(&ioSpan, sr.IOTime-sr.RetrySecs)
+			add(codecSpan)
+			if sr.Retries > 0 {
+				add(retrySpan)
+			}
+			add(ioSpan)
+		} else {
+			place(&retrySpan, sr.RetrySecs)
+			place(&ioSpan, sr.IOTime-sr.RetrySecs)
+			place(&codecSpan, sr.CodecTime)
+			if sr.Retries > 0 {
+				add(retrySpan)
+			}
+			add(ioSpan)
+			add(codecSpan)
+		}
+	}
+	return spans
+}
+
+// compressTrace builds the span tree and audit records for one executed
 // write and hands them to the ring and the sink as one contiguous batch.
-func (c *Shard) compressTrace(key string, attr analyzer.Result, size int64, schema core.Schema, res manager.Result, start float64) {
+// replanned marks writes that went through the stale-capacity
+// refresh+replan path; they get a zero-width "replan" marker span.
+func (c *Shard) compressTrace(ri telemetry.ReqInfo, key string, attr analyzer.Result, size int64, schema core.Schema, res manager.Result, start float64, replanned bool) []AuditRecord {
 	audits := make([]AuditRecord, 0, len(res.SubResults))
 	for k, sr := range res.SubResults {
 		rec := AuditRecord{
@@ -286,35 +633,44 @@ func (c *Shard) compressTrace(key string, attr analyzer.Result, size int64, sche
 	}
 	c.audit.append(audits)
 	if c.sink == nil {
-		return
+		return audits
 	}
-	records := make([]any, 0, 3+len(audits))
-	records = append(records,
-		TraceSpan{Record: "span", Op: "compress", Key: key, Stage: "analyze",
-			VStart: start, VEnd: start,
+	markers := []TraceSpan{
+		{Stage: "analyze", VStart: start, VEnd: start,
 			DataType: attr.Type.String(), Distribution: attr.Dist.String(), Bytes: size},
-		TraceSpan{Record: "span", Op: "compress", Key: key, Stage: "plan",
-			VStart: start, VEnd: start,
+		{Stage: "plan", VStart: start, VEnd: start,
 			SubTasks: len(schema.SubTasks), PredSeconds: schema.PredTime},
-		TraceSpan{Record: "span", Op: "compress", Key: key, Stage: "execute",
-			VStart: start, VEnd: res.End,
-			CodecSeconds: res.CodecTime, IOSeconds: res.IOTime, StoredBytes: res.Stored},
-	)
-	for i := range audits {
-		records = append(records, audits[i])
 	}
-	c.sink.Emit(records...)
+	if replanned {
+		markers = append(markers, TraceSpan{Stage: "replan", VStart: start, VEnd: start})
+	}
+	spans := c.spanTree(ri, "compress", key, res, start, true, markers...)
+	c.sink.EmitBatch(func(buf []byte) []byte {
+		for i := range spans {
+			buf = append(spans[i].AppendJSON(buf), '\n')
+		}
+		for i := range audits {
+			buf = append(audits[i].AppendJSON(buf), '\n')
+		}
+		return buf
+	})
+	return audits
 }
 
-// decompressTrace emits the read-side execute span (reads have no plan
-// stage and no decision to audit — the write-time schema governs).
-func (c *Shard) decompressTrace(key string, res manager.Result, start float64) {
+// decompressTrace emits the read-side span tree (reads have no analyze
+// or plan stage and no decision to audit — the write-time schema
+// governs; per-sub-task leaves replay retry→io→codec in serial order).
+func (c *Shard) decompressTrace(ri telemetry.ReqInfo, key string, res manager.Result, start float64) {
 	if c.sink == nil {
 		return
 	}
-	c.sink.Emit(TraceSpan{Record: "span", Op: "decompress", Key: key, Stage: "execute",
-		VStart: start, VEnd: res.End,
-		CodecSeconds: res.CodecTime, IOSeconds: res.IOTime, StoredBytes: res.Stored})
+	spans := c.spanTree(ri, "decompress", key, res, start, false)
+	c.sink.EmitBatch(func(buf []byte) []byte {
+		for i := range spans {
+			buf = append(spans[i].AppendJSON(buf), '\n')
+		}
+		return buf
+	})
 }
 
 func codecName(id codec.ID) string {
@@ -332,18 +688,30 @@ func abs(v float64) float64 {
 }
 
 // startMetricsServer binds addr and serves /metrics (Prometheus text
-// format) and /debug/vars (expvar) until Close.
-func (c *Shard) startMetricsServer(addr string) error {
+// format) and /debug/vars (expvar) until Close. With profiling enabled
+// the net/http/pprof handlers mount under /debug/pprof/.
+func (c *Shard) startMetricsServer(addr string, profiling bool) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("hcompress: metrics listener: %w", err)
 	}
+	goroutines := c.tel.Gauge("hc_goroutines", "goroutines alive in the process at scrape time")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// The registry has no callback gauges, so process-level readings
+		// are refreshed at scrape time.
+		goroutines.Set(float64(runtime.NumGoroutine()))
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = c.tel.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	c.metricsLn, c.metricsSrv = ln, srv
 	go func() { _ = srv.Serve(ln) }()

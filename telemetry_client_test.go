@@ -64,12 +64,14 @@ func TestTraceDeterminismAcrossParallelism(t *testing.T) {
 		return buf.Bytes()
 	}
 	serial := run(1)
-	fanned := run(8)
 	if len(serial) == 0 {
 		t.Fatal("no trace output")
 	}
-	if !bytes.Equal(serial, fanned) {
-		t.Fatalf("trace differs across Parallelism:\n-- serial --\n%s\n-- fanned --\n%s", serial, fanned)
+	for _, parallelism := range []int{4, 8} {
+		if fanned := run(parallelism); !bytes.Equal(serial, fanned) {
+			t.Fatalf("trace differs between Parallelism 1 and %d:\n-- serial --\n%s\n-- fanned --\n%s",
+				parallelism, serial, fanned)
+		}
 	}
 	// Every line must be valid JSON with a record discriminator.
 	for _, line := range bytes.Split(bytes.TrimSpace(serial), []byte("\n")) {
