@@ -10,6 +10,7 @@ import (
 	"hcompress/internal/bufpool"
 	"hcompress/internal/core"
 	"hcompress/internal/manager"
+	"hcompress/internal/readcache"
 	"hcompress/internal/stats"
 	"hcompress/internal/telemetry"
 )
@@ -166,6 +167,11 @@ func (c *Shard) CompressBatchContext(ctx context.Context, tasks []Task) ([]*Repo
 		rep.PredictedSeconds = reqs[r].Schema.PredTime
 		rep.Degraded = degraded
 		reps[i] = rep
+		if c.cache != nil {
+			// Strict invalidation on overwrite: the placement above made any
+			// cached payload for this key stale.
+			c.cache.Invalidate(tasks[i].Key)
+		}
 		if c.tel != nil {
 			c.cm.observeStages(res)
 			c.compressTrace(ri, tasks[i].Key, attrs[i], reqs[r].Size, reqs[r].Schema, res, start, replanned)
@@ -217,36 +223,73 @@ func (c *Shard) DecompressBatchContext(ctx context.Context, keys []string) ([]*R
 	errs := make([]error, len(keys))
 	sizes := make([]int64, len(keys))
 	attrs := make([]analyzer.Result, len(keys))
+	var ri telemetry.ReqInfo
+	if c.tel != nil {
+		ri = c.reqInfo(ctx)
+	}
+
+	// Cache hits short-circuit before grouping: a hit never enters the
+	// manager's directory pass or the pool schedule, so a fully warm
+	// batch performs no store work at all. Only the misses go on to the
+	// batch read below (opening their fill tokens first, same ordering
+	// discipline as the single-op path).
+	var fills []*readcache.Fill
+	if c.cache != nil {
+		fills = make([]*readcache.Fill, len(keys))
+		for i, key := range keys {
+			if rep, meta, ok := c.cacheGet(key); ok {
+				reps[i] = rep
+				if c.tel != nil {
+					c.cacheHitTrace(ri, key, meta)
+				}
+			}
+		}
+		c.kickPrefetch()
+	}
+	missKeys := make([]string, 0, len(keys))
+	missIdx := make([]int, 0, len(keys))
 	for i, key := range keys {
+		if reps[i] != nil {
+			continue
+		}
 		size, attr, ok := c.mgr.TaskInfo(key)
 		if !ok {
 			errs[i] = fmt.Errorf("hcompress: unknown task %q: %w", key, ErrNotFound)
 			continue
 		}
 		sizes[i], attrs[i] = size, attr
+		if c.cache != nil {
+			fills[i] = c.cache.BeginFill(key)
+		}
+		missKeys = append(missKeys, key)
+		missIdx = append(missIdx, i)
 	}
 
 	start := c.clock.Now()
-	results, rerrs := c.mgr.ExecuteReadBatchCtx(ctx, start, keys)
+	results, rerrs := c.mgr.ExecuteReadBatchCtx(ctx, start, missKeys)
 	maxEnd := start
-	var ri telemetry.ReqInfo
-	if c.tel != nil {
-		ri = c.reqInfo(ctx)
-	}
-	for i := range keys {
-		if errs[i] != nil {
+	for j, i := range missIdx {
+		if rerrs[j] != nil {
+			errs[i] = rerrs[j]
+			if fills != nil && fills[i] != nil {
+				c.cache.Abort(fills[i], false)
+			}
 			continue
 		}
-		if rerrs[i] != nil {
-			errs[i] = rerrs[i]
-			continue
-		}
-		res := results[i]
+		res := results[j]
 		if res.End > maxEnd {
 			maxEnd = res.End
 		}
 		rep := c.report(keys[i], sizes[i], attrs[i], res, start)
 		rep.Data = res.Data
+		if fills != nil && fills[i] != nil {
+			if release, ok := c.cache.Commit(fills[i], res.Data, readcache.Meta{
+				Size: sizes[i], Stored: res.Stored,
+				DataType: rep.DataType, Distribution: rep.Distribution,
+			}); ok {
+				rep.release = release
+			}
+		}
 		reps[i] = rep
 		if c.tel != nil {
 			c.cm.observeStages(res)

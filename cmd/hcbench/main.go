@@ -50,6 +50,9 @@ func main() {
 		shards   = flag.Int("shards", 1, "with the throughput harness: drive a key-routed router with this many shards instead of a single client")
 		service  = flag.Bool("service", false, "instead of experiments: serve the router over loopback HTTP and drive the same mixed workload through the service API (honors -shards/-parallel/-tasks/-tasksize/-mix)")
 		sweep    = flag.String("shardsweep", "", "instead of experiments: run the mixed workload at shard counts 1/2/4/8 and write the ops/s trajectory as JSON to this path ('-' for stdout)")
+		zipf     = flag.Float64("zipf", 0, "with the throughput harness: pick read keys Zipf(s)-skewed over each goroutine's live window, hottest = most recent (0 = the old fixed middle key; try 0.99)")
+		cache    = flag.Float64("cache", 0, "with the throughput harness: ReadCacheFraction — enable the decompressed-block read cache sized at this fraction of tier 0 (0 = off)")
+		reads    = flag.String("readbench", "", "instead of experiments: run the zipfian hot-read benchmark (cache-on vs cache-off over an identical key sequence) and write the comparison as JSON to this path ('-' for stdout); honors -zipf and -cache")
 	)
 	flag.Parse()
 	var err error
@@ -66,6 +69,12 @@ func main() {
 		err = fmt.Errorf("-mix must be in [0, 1], got %g", *mix)
 	case *shards < 1:
 		err = fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	case *zipf < 0:
+		err = fmt.Errorf("-zipf must be >= 0, got %g", *zipf)
+	case *cache < 0 || *cache > 1:
+		err = fmt.Errorf("-cache must be in [0, 1], got %g", *cache)
+	case *reads != "":
+		err = runReadBench(*reads, *zipf, *cache)
 	case *sweep != "":
 		err = runShardSweep(*sweep, orDefault(*parallel, 8), orDefault(*tasks, 64), *taskSize, *batch, *mix)
 	case *service:
@@ -79,7 +88,7 @@ func main() {
 		if *cycles > 0 {
 			tasksPer = (*cycles + p - 1) / p
 		}
-		err = runParallel(*shards, p, tasksPer, *taskSize, *batch, *mix, *demote, *metrics, *slo)
+		err = runParallel(*shards, p, tasksPer, *taskSize, *batch, *mix, *zipf, *cache, *demote, *metrics, *slo)
 	default:
 		err = run(*exp, *scale, *profile, *seedOut)
 	}
@@ -92,15 +101,18 @@ func main() {
 // runParallel stresses the concurrent data plane: n goroutines share one
 // target — the single Client facade, or with shards > 1 a key-routed
 // Router — each performing tasksPer operations on its own key space. mix
-// selects the write fraction (reads replay previously written keys); batch
-// groups submissions through the CompressBatch/DecompressBatch APIs; demote
-// turns on the background demoter at that interval. Aggregate ops/s, MB/s
-// and client-side latency quantiles are printed; with metrics, the full
+// selects the write fraction (reads replay previously written keys, with
+// zipf > 0 skewing the replay toward recent keys); batch groups
+// submissions through the CompressBatch/DecompressBatch APIs; demote
+// turns on the background demoter at that interval; cacheFrac > 0 enables
+// the decompressed-block read cache. Aggregate ops/s, MB/s and
+// client-side latency quantiles are printed; with metrics, the full
 // (shard-merged) Prometheus exposition is dumped to stdout as well.
-func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote time.Duration, metrics, slo bool) error {
+func runParallel(shards, n, tasksPer, taskSize, batch int, mix, zipf, cacheFrac float64, demote time.Duration, metrics, slo bool) error {
 	cfg := hcompress.Config{
-		EnableTelemetry:  metrics || slo,
-		DemotionInterval: demote,
+		EnableTelemetry:   metrics || slo,
+		DemotionInterval:  demote,
+		ReadCacheFraction: cacheFrac,
 	}
 	if slo {
 		// Full observability, as a production deployment would run it:
@@ -126,16 +138,19 @@ func runParallel(shards, n, tasksPer, taskSize, batch int, mix float64, demote t
 	}
 	defer c.Close()
 
-	res, err := driveMixed(c, n, tasksPer, taskSize, batch, mix)
+	res, err := driveMixed(c, n, tasksPer, taskSize, batch, mix, zipf)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("shards=%d parallel=%d ops/goroutine=%d tasksize=%d batch=%d mix=%.2f demote=%s\n",
-		shards, n, tasksPer, taskSize, batch, mix, demote)
+	fmt.Printf("shards=%d parallel=%d ops/goroutine=%d tasksize=%d batch=%d mix=%.2f zipf=%g cache=%g demote=%s\n",
+		shards, n, tasksPer, taskSize, batch, mix, zipf, cacheFrac, demote)
 	fmt.Printf("wall %.3fs  %.1f ops/s  %.1f MB/s aggregate (%d writes, %d reads)\n",
 		res.wall, res.opsPerSec(), res.mbPerSec(taskSize), res.writeOps, res.readOps)
 	printQuantiles("write", batch, res.writeLats)
 	printQuantiles("read", batch, res.readLats)
+	if cacheFrac > 0 {
+		printCacheStats(c.CacheStats())
+	}
 	if slo {
 		printStageAttribution(c.Snapshot())
 		printTopSlowOps(c.SlowOps(), 10)

@@ -1,0 +1,181 @@
+// The zipfian hot-read benchmark behind -readbench: the read-path
+// acceleration gate's measurement harness.
+//
+//	hcbench -readbench BENCH_reads.json            # defaults: zipf 0.99, cache 0.25
+//	hcbench -readbench - -zipf 1.2 -cache 0.5      # print to stdout
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"hcompress"
+	"hcompress/internal/stats"
+	"hcompress/internal/workload"
+)
+
+const (
+	readBenchKeys  = 32        // corpus size
+	readBenchBytes = 256 << 10 // payload per key
+	readBenchReads = 1500      // reads per arm
+)
+
+// readArm is one side of the cache-on/cache-off comparison.
+type readArm struct {
+	Cache       bool    `json:"cache"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	WallSeconds float64 `json:"wall_seconds"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+}
+
+// readReport is the full BENCH_reads.json document.
+type readReport struct {
+	Comment       string  `json:"comment"`
+	Date          string  `json:"date"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	CorpusKeys    int     `json:"corpus_keys"`
+	TaskBytes     int     `json:"task_bytes"`
+	Reads         int     `json:"reads"`
+	ZipfS         float64 `json:"zipf_s"`
+	CacheFraction float64 `json:"cache_fraction"`
+	Off           readArm `json:"cache_off"`
+	On            readArm `json:"cache_on"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// runReadBench measures the hot-read path with and without the
+// decompressed-block cache: write a fixed corpus once per arm, then
+// replay the identical Zipf(s)-skewed key sequence through Decompress
+// (both arms share the sampler seed, so the streams are byte-identical)
+// and compare ops/s and latency quantiles. The skew defaults to 0.99 and
+// the cache fraction to 0.25 when the flags are left at zero.
+func runReadBench(path string, zipfS, cacheFrac float64) error {
+	if zipfS == 0 {
+		zipfS = 0.99
+	}
+	if cacheFrac == 0 {
+		cacheFrac = 0.25
+	}
+	// One shared key sequence: the comparison is cache vs no cache, not
+	// sampler noise.
+	seq := make([]int, readBenchReads)
+	z := workload.NewZipf(readBenchKeys, zipfS, 42)
+	for i := range seq {
+		seq[i] = z.Next()
+	}
+	off, err := readBenchArm(0, seq)
+	if err != nil {
+		return fmt.Errorf("cache-off arm: %w", err)
+	}
+	on, err := readBenchArm(cacheFrac, seq)
+	if err != nil {
+		return fmt.Errorf("cache-on arm: %w", err)
+	}
+	rep := readReport{
+		Comment: "hcbench -readbench: zipfian hot-read throughput, cache-on vs cache-off over the identical key sequence; " +
+			"speedup is hot-read ops/s with the decompressed-block cache over the uncached tier-walk-plus-codec read path",
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		CorpusKeys:    readBenchKeys,
+		TaskBytes:     readBenchBytes,
+		Reads:         readBenchReads,
+		ZipfS:         zipfS,
+		CacheFraction: cacheFrac,
+		Off:           off,
+		On:            on,
+		Speedup:       on.OpsPerSec / off.OpsPerSec,
+	}
+	fmt.Printf("readbench corpus=%d keys x %d KiB, %d reads, zipf=%.2f, cache=%.2f\n",
+		readBenchKeys, readBenchBytes>>10, readBenchReads, zipfS, cacheFrac)
+	fmt.Printf("cache off: %9.1f ops/s  p50=%.3fms p99=%.3fms\n", off.OpsPerSec, off.P50Millis, off.P99Millis)
+	fmt.Printf("cache on:  %9.1f ops/s  p50=%.3fms p99=%.3fms  hit ratio %.3f (%d hits / %d misses)\n",
+		on.OpsPerSec, on.P50Millis, on.P99Millis, on.HitRatio, on.Hits, on.Misses)
+	fmt.Printf("hot-read speedup: %.1fx\n", rep.Speedup)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// readBenchArm runs one arm: write the corpus, replay the read sequence,
+// report throughput and latency quantiles plus the cache counters.
+func readBenchArm(cacheFrac float64, seq []int) (readArm, error) {
+	c, err := hcompress.New(hcompress.Config{
+		ReadCacheFraction: cacheFrac,
+		// Repeated-key prefetch would re-warm invalidated entries; the gate
+		// measures the demand-path cache alone, so keep arms minimal.
+		DisablePrefetch: true,
+	})
+	if err != nil {
+		return readArm{}, err
+	}
+	defer c.Close()
+	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, readBenchBytes, 7)
+	for k := 0; k < readBenchKeys; k++ {
+		if _, err := c.Compress(hcompress.Task{Key: fmt.Sprintf("blk-%d", k), Data: data}); err != nil {
+			return readArm{}, err
+		}
+	}
+	lats := make([]time.Duration, 0, len(seq))
+	begin := time.Now()
+	for _, rank := range seq {
+		op := time.Now()
+		rep, err := c.Decompress(fmt.Sprintf("blk-%d", rank))
+		if err != nil {
+			return readArm{}, err
+		}
+		rep.Release()
+		lats = append(lats, time.Since(op))
+	}
+	wall := time.Since(begin).Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		return lats[int(p*float64(len(lats)-1))].Seconds() * 1e3
+	}
+	arm := readArm{
+		Cache:       cacheFrac > 0,
+		OpsPerSec:   float64(len(seq)) / wall,
+		P50Millis:   q(0.50),
+		P99Millis:   q(0.99),
+		WallSeconds: wall,
+	}
+	st := c.CacheStats()
+	arm.Hits, arm.Misses = st.Hits, st.Misses
+	if st.Hits+st.Misses > 0 {
+		arm.HitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	return arm, nil
+}
+
+// printCacheStats renders the read-cache counter snapshot after a
+// cache-enabled harness run.
+func printCacheStats(st hcompress.CacheStats) {
+	fmt.Println("--- read cache ---")
+	hitRatio := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	fmt.Printf("entries=%d bytes=%d/%d  hits=%d misses=%d (ratio %.3f)  admissions=%d rejects=%d evictions=%d invalidations=%d\n",
+		st.Entries, st.Bytes, st.Capacity, st.Hits, st.Misses, hitRatio,
+		st.Admissions, st.Rejects, st.Evictions, st.Invalidations)
+	fmt.Printf("prefetch issued=%d used=%d failed=%d cancelled=%d\n",
+		st.PrefetchIssued, st.PrefetchUsed, st.PrefetchFailed, st.PrefetchCancelled)
+}

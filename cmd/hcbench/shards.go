@@ -19,6 +19,7 @@ import (
 	"hcompress"
 	"hcompress/internal/service"
 	"hcompress/internal/stats"
+	"hcompress/internal/workload"
 )
 
 // benchTarget is the operation surface the mixed-workload driver needs.
@@ -34,6 +35,7 @@ type benchTarget interface {
 	WriteMetrics(w io.Writer) error
 	Snapshot() hcompress.MetricsSnapshot
 	SlowOps() []hcompress.SlowOpRecord
+	CacheStats() hcompress.CacheStats
 	Close() error
 }
 
@@ -58,7 +60,12 @@ func (r mixedResult) mbPerSec(taskSize int) float64 {
 // goroutine keeps a sliding window of live keys and deletes the oldest
 // as it advances, so occupancy stays flat without deletes dominating
 // the op stream.
-func driveMixed(c benchTarget, n, tasksPer, taskSize, batch int, mix float64) (mixedResult, error) {
+//
+// zipf selects the read-key distribution: 0 keeps the historical fixed
+// middle-of-window pick; s > 0 draws a Zipf(s) rank over the live window
+// with rank 0 = the most recently written key, so a skewed read stream
+// concentrates on a small hot set the way real reread traffic does.
+func driveMixed(c benchTarget, n, tasksPer, taskSize, batch int, mix, zipf float64) (mixedResult, error) {
 	data := stats.GenBuffer(stats.TypeFloat, stats.Gamma, taskSize, 3)
 
 	const window = 64 // live keys per goroutine before the oldest is deleted
@@ -78,6 +85,10 @@ func driveMixed(c benchTarget, n, tasksPer, taskSize, batch int, mix float64) (m
 			var live []string // keys written and not yet deleted, oldest first
 			var pendW []hcompress.Task
 			var pendR []string
+			var z *workload.Zipf
+			if zipf > 0 {
+				z = workload.NewZipf(window, zipf, int64(g)+1)
+			}
 			next := 0 // key sequence number
 			flushW := func() error {
 				if len(pendW) == 0 {
@@ -165,8 +176,17 @@ func driveMixed(c benchTarget, n, tasksPer, taskSize, batch int, mix float64) (m
 						}
 					}
 				} else {
-					// Read a recently written key (round-robin over the window).
+					// Read a recently written key: Zipf-ranked from the newest
+					// end of the window when skew is requested, the fixed
+					// middle key otherwise.
 					key := live[len(live)/2]
+					if z != nil {
+						idx := len(live) - 1 - z.Next()
+						if idx < 0 {
+							idx = 0
+						}
+						key = live[idx]
+					}
 					pendR = append(pendR, key)
 					if len(pendR) >= batch {
 						if errs[g] = flushW(); errs[g] != nil { // reads may target unflushed writes
@@ -257,7 +277,7 @@ func runShardSweep(path string, goroutines, tasksPer, taskSize, batch int, mix f
 			if err != nil {
 				return err
 			}
-			res, err := driveMixed(rt, goroutines, tasksPer, taskSize, batch, mix)
+			res, err := driveMixed(rt, goroutines, tasksPer, taskSize, batch, mix, 0)
 			cerr := rt.Close()
 			if err != nil {
 				return fmt.Errorf("shards=%d: %w", n, err)

@@ -30,6 +30,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "per-file decision audit: predicted vs actual size and time per sub-task")
 		tracePath = flag.String("trace", "", "write the JSONL span/audit trace to this file")
 		slow      = flag.Bool("slow", false, "record every operation in the slow-op log and print the stage breakdown table")
+		cache     = flag.Float64("cache", 0, "enable the decompressed-block read cache at this fraction of tier 0, verify each file twice so the second read can hit, and print the cache stats table")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -47,6 +48,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := hcompress.Config{Priorities: p, SeedPath: *seedPath, EnableTelemetry: *verbose}
+	if *cache > 0 {
+		cfg.ReadCacheFraction = *cache
+		// First-read admission: a CLI run reads each file only a couple of
+		// times, so the two-touch default would never show a hit.
+		cfg.ReadCacheMinTouches = 1
+	}
 	if *slow {
 		// SampleEvery 1 admits every completed op, so the table shows the
 		// full stage anatomy of the run, slow or not.
@@ -74,13 +81,16 @@ func main() {
 
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := process(client, path, *verify, *verbose); err != nil {
+		if err := process(client, path, *verify, *verbose, *cache > 0); err != nil {
 			fmt.Fprintf(os.Stderr, "hctool: %s: %v\n", path, err)
 			exit = 1
 		}
 	}
 	if *slow {
 		printSlowOps(client)
+	}
+	if *cache > 0 {
+		printCacheStats(client.CacheStats())
 	}
 	os.Exit(exit)
 }
@@ -118,7 +128,24 @@ func printSlowOps(client *hcompress.Client) {
 	}
 }
 
-func process(client *hcompress.Client, path string, verify, verbose bool) error {
+// printCacheStats renders the read-cache counter table: occupancy,
+// hit/miss traffic through the admission gate, and the prefetcher's
+// issue/use accounting.
+func printCacheStats(st hcompress.CacheStats) {
+	hitRatio := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	fmt.Printf("\nread cache:\n")
+	fmt.Printf("  %-22s %d entries, %d / %d bytes\n", "size", st.Entries, st.Bytes, st.Capacity)
+	fmt.Printf("  %-22s %d / %d (ratio %.3f)\n", "hits / misses", st.Hits, st.Misses, hitRatio)
+	fmt.Printf("  %-22s %d admitted, %d rejected by the touch gate\n", "admissions", st.Admissions, st.Rejects)
+	fmt.Printf("  %-22s %d evicted, %d invalidated\n", "evictions", st.Evictions, st.Invalidations)
+	fmt.Printf("  %-22s %d issued, %d used, %d failed, %d cancelled\n",
+		"prefetch", st.PrefetchIssued, st.PrefetchUsed, st.PrefetchFailed, st.PrefetchCancelled)
+}
+
+func process(client *hcompress.Client, path string, verify, verbose, cached bool) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -146,14 +173,29 @@ func process(client *hcompress.Client, path string, verify, verbose bool) error 
 		printAudits(client, rep)
 	}
 	if verify {
-		back, err := client.Decompress(path)
-		if err != nil {
-			return fmt.Errorf("verify: %w", err)
+		// With the cache on, read twice: the first read fills the cache,
+		// the second must hit and return byte-identical data.
+		passes := 1
+		if cached {
+			passes = 2
 		}
-		if string(back.Data) != string(data) {
-			return fmt.Errorf("verify: round-trip mismatch")
+		for p := 0; p < passes; p++ {
+			back, err := client.Decompress(path)
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			ok := string(back.Data) == string(data)
+			n, hit := len(back.Data), back.CacheHit
+			back.Release()
+			if !ok {
+				return fmt.Errorf("verify: round-trip mismatch (cache hit: %v)", hit)
+			}
+			if hit {
+				fmt.Printf("  verified: %d bytes round-trip OK (served from read cache)\n", n)
+			} else {
+				fmt.Printf("  verified: %d bytes round-trip OK\n", n)
+			}
 		}
-		fmt.Printf("  verified: %d bytes round-trip OK\n", len(back.Data))
 	}
 	return client.Delete(path)
 }

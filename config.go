@@ -151,6 +151,34 @@ type Config struct {
 	// may scan while holding the manager lock (default 64); smaller
 	// slices shorten the pauses demotion injects into the data path.
 	DemotionSliceSubTasks int
+	// ReadCacheFraction, when positive, enables the per-shard read
+	// accelerator: an admission-controlled cache of decompressed payloads
+	// sized at this fraction of the fastest tier's capacity (e.g. 0.25
+	// keeps up to a quarter of tier 0 in decompressed hot blocks). A hit
+	// skips the tier walk and the codec entirely and costs zero virtual
+	// seconds — the cache is client-side DRAM, off the modeled timeline.
+	// Entries are invalidated on overwrite, delete, demotion, and tier
+	// health transitions. Note the ownership nuance: with the cache on, a
+	// hit's Report.Data is shared with the cache — treat it as read-only
+	// until Release. Zero (the default) disables the cache and keeps the
+	// read path byte-identical to previous releases.
+	ReadCacheFraction float64
+	// ReadCacheMinTouches is the admission gate: a key must be read this
+	// many times before its payload may cache (default 2 — single-touch
+	// keys never cache, so one-shot scans cannot flush the hot set).
+	ReadCacheMinTouches int
+	// DisablePrefetch turns off the background access-pattern prefetcher
+	// that otherwise accompanies the read cache: a worker that mines the
+	// recent-access ring for repeated and sequential key patterns and
+	// decompresses ahead of demand at Batch priority (it never starves
+	// Interactive operations).
+	DisablePrefetch bool
+	// PrefetchDepth is how many keys ahead the prefetcher extends a
+	// detected sequential run (default 2).
+	PrefetchDepth int
+	// AccessRingSize bounds the per-shard ring of recent read keys the
+	// prefetcher mines for patterns (default 256).
+	AccessRingSize int
 	// FaultInjector, when non-nil, scripts deterministic faults against
 	// the tiered store: outages, transient error windows, latency
 	// spikes, read corruption, and capacity lies, all keyed to the

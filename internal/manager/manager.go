@@ -260,6 +260,12 @@ type Manager struct {
 
 	demoteCur []int // per-source-tier cursor into order for DemoteSlice
 
+	// demoteNotify, when set, receives the root keys of tasks the
+	// background demoter moved, after the manager lock is released —
+	// the read cache invalidates demoted keys through it. A
+	// construction-time option (SetDemoteNotify); nil costs nothing.
+	demoteNotify func(keys []string)
+
 	// Retry policy for transient store faults: up to retryMax retries per
 	// tier with capped exponential virtual-time backoff starting at
 	// retryBase seconds. Construction-time options (SetRetryPolicy).
@@ -369,6 +375,12 @@ func (m *Manager) SetRetryPolicy(max int, base, cap float64) {
 		m.retryCap = cap
 	}
 }
+
+// SetDemoteNotify installs a callback that receives the root keys of
+// tasks DemoteSlice moved. It is invoked after the manager lock is
+// released, so the callback may call back into the manager. A
+// construction-time option, like SetParallelism.
+func (m *Manager) SetDemoteNotify(fn func(keys []string)) { m.demoteNotify = fn }
 
 // SetPool routes sub-task fan-outs through a shared persistent worker
 // pool instead of leasing scratches and spawning goroutines per call.
@@ -491,6 +503,19 @@ outer:
 // whether the cursor wrapped past the end of the order list (a full pass
 // completed and the cursor reset to the oldest task).
 func (m *Manager) DemoteSlice(now float64, from, maxSub int) (moved int64, wrapped bool) {
+	moved, wrapped, movedKeys := m.demoteSlice(now, from, maxSub)
+	m.tm.demoted.Add(moved)
+	if m.demoteNotify != nil && len(movedKeys) > 0 {
+		m.demoteNotify(movedKeys)
+	}
+	return moved, wrapped
+}
+
+// demoteSlice is DemoteSlice's critical section. movedKeys carries the
+// root key of every task that had a sub-task moved — collected only when
+// a notify callback wants them, and delivered by the caller after m.mu is
+// released so the callback can re-enter the manager.
+func (m *Manager) demoteSlice(now float64, from, maxSub int) (moved int64, wrapped bool, movedKeys []string) {
 	if maxSub <= 0 {
 		maxSub = 64
 	}
@@ -498,7 +523,7 @@ func (m *Manager) DemoteSlice(now float64, from, maxSub int) (moved int64, wrapp
 	defer m.mu.Unlock()
 	nTiers := m.st.Hierarchy().Len()
 	if from < 0 || from >= nTiers-1 {
-		return 0, true // nothing below the bottom tier to demote into
+		return 0, true, nil // nothing below the bottom tier to demote into
 	}
 	if m.demoteCur == nil {
 		m.demoteCur = make([]int, nTiers)
@@ -519,6 +544,7 @@ func (m *Manager) DemoteSlice(now float64, from, maxSub int) (moved int64, wrapp
 		}
 		// A task's sub-tasks demote together so reads never straddle an
 		// in-progress demotion boundary mid-task.
+		taskMoved := false
 		for i := range meta.subs {
 			sm := &meta.subs[i]
 			scanned++
@@ -532,6 +558,10 @@ func (m *Manager) DemoteSlice(now float64, from, maxSub int) (moved int64, wrapp
 			timeline = end
 			sm.tier++
 			moved += sm.stored
+			taskMoved = true
+		}
+		if taskMoved && m.demoteNotify != nil {
+			movedKeys = append(movedKeys, key)
 		}
 	}
 	wrapped = cur >= len(m.order)
@@ -539,8 +569,7 @@ func (m *Manager) DemoteSlice(now float64, from, maxSub int) (moved int64, wrapp
 		cur = 0
 	}
 	m.demoteCur[from] = cur
-	m.tm.demoted.Add(moved)
-	return moved, wrapped
+	return moved, wrapped, movedKeys
 }
 
 // Store returns the underlying store.
@@ -1174,6 +1203,63 @@ func (m *Manager) ExecuteReadCtx(ctx context.Context, now float64, key string) (
 		return Result{}, err
 	}
 	return m.replayRead(now, attr, subs, blobs, outs, resData, nil)
+}
+
+// ReadDataCtx decompresses the task stored under key and returns the
+// reassembled payload WITHOUT replaying the timed read: no tier lane is
+// consumed, no virtual time accounted, no predictor feedback posted —
+// the operation is invisible on the modeled timeline. The read-cache
+// prefetcher uses it to warm payloads ahead of demand without perturbing
+// the DES or the feedback loop. Only meaningful in real mode (the store
+// keeps data); modeled mode returns an error. The returned buffer is an
+// arena buffer whose ownership transfers to the caller, alongside the
+// task's compressed footprint and write-time analysis. now is the current
+// virtual time, consulted only by the fault injector's peek rules.
+func (m *Manager) ReadDataCtx(ctx context.Context, now float64, key string) (data []byte, stored int64, attr analyzer.Result, err error) {
+	if !m.st.KeepsData() {
+		return nil, 0, analyzer.Result{}, errors.New("manager: ReadDataCtx requires a data-keeping store")
+	}
+	m.mu.Lock()
+	meta, ok := m.tasks[key]
+	var subs []subMeta
+	var size int64
+	if ok {
+		// Copy: demotion mutates sub-task tiers under m.mu.
+		subs = append(subs, meta.subs...)
+		attr = meta.attr
+		size = meta.size
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, 0, analyzer.Result{}, fmt.Errorf("manager: unknown task %q: %w", key, hcerr.ErrNotFound)
+	}
+	n := len(subs)
+	blobs := make([]store.Blob, n)
+	if err := m.peekSubs(now, subs, blobs); err != nil {
+		return nil, 0, analyzer.Result{}, err
+	}
+	resData := bufpool.Get(int(size))
+	outs := make([]readOut, n)
+	err = m.runFan(ctx, n, func(s *bufpool.Scratch, k int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		o, err := m.decompressSub(s, attr, &subs[k], blobs[k], resData, k, true)
+		if err != nil {
+			return err
+		}
+		outs[k] = o
+		return nil
+	})
+	for k := range blobs {
+		stored += blobs[k].Size
+		m.st.Release(blobs[k])
+	}
+	if err != nil {
+		bufpool.Put(resData)
+		return nil, 0, analyzer.Result{}, err
+	}
+	return resData, stored, attr, nil
 }
 
 // ExecuteReadBatch reads many tasks as a single fan-out: one directory

@@ -1,0 +1,549 @@
+// Package readcache is the read-path accelerator's hot-block cache: an
+// admission-controlled, refcounted LRU of decompressed payloads keyed by
+// task. It is the symmetric complement of the background demoter — the
+// demoter cools overfull tiers by moving compressed blobs down the
+// hierarchy; the cache warms hot keys by keeping their *decompressed*
+// bytes in DRAM so a repeat read skips the tier walk and the codec
+// entirely.
+//
+// Ownership model: every cached payload is a bufpool arena buffer carrying
+// an atomic reference count. The cache holds one reference while the entry
+// is resident; every Get hands the caller a pin (a release func) that
+// holds another. The buffer returns to the arena exactly once, when the
+// last reference drops — so a Report handed to a caller survives a
+// concurrent invalidation (overwrite, delete, demotion, health flip) and
+// Release never double-frees.
+//
+// Admission is frequency-gated with a two-generation touch filter (a tiny
+// doorkeeper in the TinyLFU sense): a key's first read never caches; only
+// a key seen MinTouches times opens a fill. Fills are registered as
+// pending tokens so an invalidation that races a fill in flight aborts it
+// — stale bytes can never re-enter the cache after an overwrite.
+//
+// The cache is a client-side DRAM structure living off the modeled
+// timeline: hits cost zero virtual seconds and never touch the store, the
+// DES lanes, or the predictor feedback loop.
+package readcache
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"hcompress/internal/bufpool"
+	"hcompress/internal/telemetry"
+)
+
+// Meta is the write-time attribution stored next to a cached payload so a
+// cache-hit Report can be assembled without consulting the manager.
+type Meta struct {
+	// Size is the decompressed payload length.
+	Size int64
+	// Stored is the on-tier compressed footprint at fill time.
+	Stored       int64
+	DataType     string
+	Distribution string
+}
+
+// entry is one resident payload. refs counts the cache's own reference
+// (1 while resident) plus one per outstanding caller pin; the buffer goes
+// back to the arena when refs hits zero.
+type entry struct {
+	key  string
+	data []byte
+	meta Meta
+	refs atomic.Int32
+	// prefetched marks an entry filled ahead of demand; cleared (and
+	// counted as a used prefetch) on its first hit.
+	prefetched bool
+	prev, next *entry // LRU list: head is most recent
+}
+
+// unref drops one reference and returns the buffer to the arena when it
+// was the last. Lock-free: called both under the cache mutex (eviction,
+// invalidation) and without it (caller release).
+func (e *entry) unref() {
+	if e.refs.Add(-1) == 0 {
+		bufpool.Put(e.data)
+	}
+}
+
+// Fill is a pending-fill token: the right to insert one payload for one
+// key, revocable by invalidation. Obtain one with BeginFill (demand path,
+// admission-gated) or BeginPrefetch, then Commit or Abort it exactly once.
+type Fill struct {
+	key      string
+	prefetch bool
+	aborted  bool
+}
+
+// Stats is a point-in-time counter snapshot (Shard.CacheStats surface).
+type Stats struct {
+	Entries  int
+	Bytes    int64
+	Capacity int64
+
+	Hits          int64
+	Misses        int64
+	Admissions    int64
+	Rejects       int64 // admission-gate rejections (single-touch keys)
+	Evictions     int64
+	Invalidations int64
+
+	PrefetchIssued    int64
+	PrefetchUsed      int64
+	PrefetchFailed    int64
+	PrefetchCancelled int64
+}
+
+// metrics is the optional telemetry surface; all fields are nil-safe.
+type metrics struct {
+	hits, misses, admissions, rejects    *telemetry.Counter
+	evictions, invalidations             *telemetry.Counter
+	pfIssued, pfUsed, pfFailed, pfCancel *telemetry.Counter
+	bytes, entries                       *telemetry.Gauge
+}
+
+// access is one slot of the ring of recent key accesses the prefetcher
+// mines for patterns.
+type access struct {
+	key    string
+	prefix string // non-empty when the key ends in a decimal run index
+	num    int64
+}
+
+// Cache is the per-shard decompressed-block cache. Safe for concurrent
+// use; one short mutex guards the map, LRU list, touch filter, pending
+// fills, and access ring. Payload lifetime is refcounted outside the
+// mutex, so holding a pinned buffer never blocks the cache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*entry
+	head     *entry // LRU: most recently used
+	tail     *entry // least recently used
+
+	minTouches int
+	// Two-generation touch filter: a key's touch count is cur[k]+prev[k].
+	// When cur outgrows touchCap the generations rotate, so the filter's
+	// memory is bounded but a hot key's count survives the rotation.
+	cur, prev map[string]uint32
+	touchCap  int
+
+	pending map[string][]*Fill
+
+	ring     []access
+	ringNext int
+	ringLen  int
+
+	st Stats
+	tm metrics
+}
+
+// New builds a cache bounded by capacity bytes. minTouches is the
+// admission threshold (reads of a key before it may cache; minimum 1
+// caches on the first re-read — i.e. the second touch). ringSize bounds
+// the access ring the prefetcher mines.
+func New(capacity int64, minTouches, ringSize int) *Cache {
+	if minTouches < 1 {
+		minTouches = 1
+	}
+	if ringSize < 8 {
+		ringSize = 8
+	}
+	return &Cache{
+		capacity:   capacity,
+		entries:    make(map[string]*entry),
+		minTouches: minTouches,
+		cur:        make(map[string]uint32),
+		prev:       make(map[string]uint32),
+		touchCap:   4096,
+		pending:    make(map[string][]*Fill),
+		ring:       make([]access, ringSize),
+		st:         Stats{Capacity: capacity},
+	}
+}
+
+// SetTelemetry registers the hc_cache_* / hc_prefetch_* instruments on
+// reg. Nil reg (telemetry off) leaves every instrument nil — the no-op
+// fast path.
+func (c *Cache) SetTelemetry(reg *telemetry.Registry) {
+	c.tm = metrics{
+		hits:          reg.Counter("hc_cache_hits_total", "Read-cache hits."),
+		misses:        reg.Counter("hc_cache_misses_total", "Read-cache misses."),
+		admissions:    reg.Counter("hc_cache_admissions_total", "Payloads admitted into the read cache."),
+		rejects:       reg.Counter("hc_cache_rejects_total", "Fills rejected by the frequency admission gate."),
+		evictions:     reg.Counter("hc_cache_evictions_total", "Entries evicted to make room."),
+		invalidations: reg.Counter("hc_cache_invalidations_total", "Entries invalidated by overwrite/delete/demotion/health flip."),
+		pfIssued:      reg.Counter("hc_prefetch_issued_total", "Prefetch fills started."),
+		pfUsed:        reg.Counter("hc_prefetch_used_total", "Prefetched entries that served a demand hit."),
+		pfFailed:      reg.Counter("hc_prefetch_failed_total", "Prefetch fills that failed."),
+		pfCancel:      reg.Counter("hc_prefetch_cancelled_total", "Prefetch fills cancelled by shutdown."),
+		bytes:         reg.Gauge("hc_cache_bytes", "Bytes of decompressed payload resident in the read cache."),
+		entries:       reg.Gauge("hc_cache_entries", "Entries resident in the read cache."),
+	}
+}
+
+// touch records one access for the admission filter and returns the key's
+// accumulated touch count.
+func (c *Cache) touch(key string) int {
+	if len(c.cur) >= c.touchCap {
+		c.prev = c.cur
+		c.cur = make(map[string]uint32)
+	}
+	c.cur[key]++
+	return int(c.cur[key] + c.prev[key])
+}
+
+// record pushes one access onto the ring.
+func (c *Cache) record(key string) {
+	a := access{key: key}
+	if p, n, ok := splitRunKey(key); ok {
+		a.prefix, a.num = p, n
+	}
+	c.ring[c.ringNext] = a
+	c.ringNext = (c.ringNext + 1) % len(c.ring)
+	if c.ringLen < len(c.ring) {
+		c.ringLen++
+	}
+}
+
+// Get looks key up. On a hit it returns the payload, its write-time meta,
+// and a release func pinning the buffer — the caller must invoke release
+// exactly once when done (Report.Release does). The returned bytes are
+// shared with the cache: treat them as read-only until released. Both
+// hits and misses count a touch and land in the access ring.
+func (c *Cache) Get(key string) (data []byte, meta Meta, release func(), ok bool) {
+	c.mu.Lock()
+	c.record(key)
+	e := c.entries[key]
+	if e == nil {
+		c.touch(key)
+		c.st.Misses++
+		c.mu.Unlock()
+		c.tm.misses.Inc()
+		return nil, Meta{}, nil, false
+	}
+	c.touch(key)
+	c.st.Hits++
+	if e.prefetched {
+		e.prefetched = false
+		c.st.PrefetchUsed++
+		c.tm.pfUsed.Inc()
+	}
+	c.lruFront(e)
+	e.refs.Add(1) // caller pin, under the lock so eviction can't race it to zero
+	c.mu.Unlock()
+	c.tm.hits.Inc()
+	var once sync.Once
+	return e.data, e.meta, func() { once.Do(e.unref) }, true
+}
+
+// BeginFill opens a demand fill for key if the admission gate passes: the
+// key must have accumulated minTouches touches (the Get miss that
+// preceded this call counts). Returns nil when admission rejects, the key
+// is already resident, or a fill is already pending — the caller then
+// just skips caching.
+func (c *Cache) BeginFill(key string) *Fill {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] != nil || len(c.pending[key]) > 0 {
+		return nil
+	}
+	if int(c.cur[key]+c.prev[key]) < c.minTouches {
+		c.st.Rejects++
+		c.tm.rejects.Inc()
+		return nil
+	}
+	f := &Fill{key: key}
+	c.pending[key] = append(c.pending[key], f)
+	return f
+}
+
+// BeginPrefetch opens an ahead-of-demand fill. Pattern detection is its
+// own admission signal, so the touch gate does not apply; resident and
+// already-pending keys return nil.
+func (c *Cache) BeginPrefetch(key string) *Fill {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] != nil || len(c.pending[key]) > 0 {
+		return nil
+	}
+	f := &Fill{key: key, prefetch: true}
+	c.pending[key] = append(c.pending[key], f)
+	c.st.PrefetchIssued++
+	c.tm.pfIssued.Inc()
+	return f
+}
+
+// Commit completes a fill with the payload read for it. On success the
+// cache takes a reference on data (a bufpool arena buffer) and, for
+// demand fills, returns a caller pin exactly like a Get hit. ok=false —
+// the fill was aborted by an invalidation, the key is already resident,
+// or the payload cannot fit — leaves ownership of data with the caller
+// (release is nil).
+func (c *Cache) Commit(f *Fill, data []byte, meta Meta) (release func(), ok bool) {
+	c.mu.Lock()
+	c.unpend(f)
+	need := int64(cap(data))
+	if f.aborted || c.entries[f.key] != nil || need > c.capacity {
+		c.mu.Unlock()
+		return nil, false
+	}
+	for c.used+need > c.capacity && c.tail != nil {
+		c.evictLocked(c.tail)
+	}
+	if c.used+need > c.capacity {
+		c.mu.Unlock()
+		return nil, false
+	}
+	e := &entry{key: f.key, data: data, meta: meta, prefetched: f.prefetch}
+	e.refs.Store(1) // the cache's reference
+	if !f.prefetch {
+		e.refs.Add(1) // the demand caller's pin
+	}
+	c.entries[f.key] = e
+	c.lruPush(e)
+	c.used += need
+	c.st.Admissions++
+	c.setGauges()
+	c.mu.Unlock()
+	c.tm.admissions.Inc()
+	if f.prefetch {
+		return nil, true
+	}
+	var once sync.Once
+	return func() { once.Do(e.unref) }, true
+}
+
+// Abort cancels a pending fill (read error, shutdown). cancelled
+// distinguishes a prefetch stopped by teardown from one that failed.
+func (c *Cache) Abort(f *Fill, cancelled bool) {
+	c.mu.Lock()
+	c.unpend(f)
+	if f.prefetch {
+		if cancelled {
+			c.st.PrefetchCancelled++
+		} else {
+			c.st.PrefetchFailed++
+		}
+	}
+	c.mu.Unlock()
+	if f.prefetch {
+		if cancelled {
+			c.tm.pfCancel.Inc()
+		} else {
+			c.tm.pfFailed.Inc()
+		}
+	}
+}
+
+// unpend removes f from the pending set. Caller holds c.mu.
+func (c *Cache) unpend(f *Fill) {
+	fills := c.pending[f.key]
+	for i, p := range fills {
+		if p == f {
+			fills = append(fills[:i], fills[i+1:]...)
+			break
+		}
+	}
+	if len(fills) == 0 {
+		delete(c.pending, f.key)
+	} else {
+		c.pending[f.key] = fills
+	}
+}
+
+// Invalidate drops key's resident entry (outstanding pins keep the buffer
+// alive; the cache's own reference is released) and revokes any pending
+// fills so an in-flight read of the old bytes cannot re-insert them.
+// Called on overwrite, delete, and demotion.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e != nil {
+		c.removeLocked(e)
+		c.st.Invalidations++
+		c.setGauges()
+	}
+	for _, f := range c.pending[key] {
+		f.aborted = true
+	}
+	c.mu.Unlock()
+	if e != nil {
+		c.tm.invalidations.Inc()
+	}
+}
+
+// InvalidateAll purges every entry and revokes every pending fill — the
+// health-flip and shutdown hammer: after a tier transition the store's
+// shape changed under us, so the only safe cache is an empty one.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	n := len(c.entries)
+	for _, e := range c.entries {
+		c.removeLocked(e)
+	}
+	for _, fills := range c.pending {
+		for _, f := range fills {
+			f.aborted = true
+		}
+	}
+	c.st.Invalidations += int64(n)
+	c.setGauges()
+	c.mu.Unlock()
+	c.tm.invalidations.Add(int64(n))
+}
+
+// evictLocked removes the LRU victim to make room. Caller holds c.mu.
+func (c *Cache) evictLocked(e *entry) {
+	c.removeLocked(e)
+	c.st.Evictions++
+	c.tm.evictions.Inc()
+}
+
+// removeLocked unlinks e from the map and LRU list and drops the cache's
+// reference. Caller holds c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lruUnlink(e)
+	c.used -= int64(cap(e.data))
+	e.unref()
+}
+
+func (c *Cache) setGauges() {
+	c.tm.bytes.Set(float64(c.used))
+	c.tm.entries.Set(float64(len(c.entries)))
+}
+
+func (c *Cache) lruPush(e *entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) lruUnlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) lruFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.lruUnlink(e)
+	c.lruPush(e)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.st
+	s.Entries = len(c.entries)
+	s.Bytes = c.used
+	s.Capacity = c.capacity
+	return s
+}
+
+// Candidates mines the access ring for prefetch targets: keys touched at
+// least twice that are not resident (a re-warming signal for hot keys
+// that were evicted or invalidated), and — for keys ending in a decimal
+// run index, like "p3-17" — the next depth keys of any ascending run
+// (sequential readahead). At most max keys are returned; resident and
+// pending keys are excluded.
+func (c *Cache) Candidates(max, depth int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if max <= 0 || c.ringLen == 0 {
+		return nil
+	}
+	seen := make(map[string]int, c.ringLen)
+	type run struct {
+		last int64
+		len  int
+	}
+	runs := make(map[string]*run)
+	order := make([]string, 0, c.ringLen) // repeated keys in first-touch order
+	// Walk oldest → newest so sequential runs accumulate in access order.
+	start := c.ringNext - c.ringLen
+	if start < 0 {
+		start += len(c.ring)
+	}
+	for i := 0; i < c.ringLen; i++ {
+		a := c.ring[(start+i)%len(c.ring)]
+		seen[a.key]++
+		if seen[a.key] == 2 {
+			order = append(order, a.key)
+		}
+		if a.prefix != "" {
+			if r := runs[a.prefix]; r != nil && a.num == r.last+1 {
+				r.last, r.len = a.num, r.len+1
+			} else {
+				runs[a.prefix] = &run{last: a.num, len: 1}
+			}
+		}
+	}
+	var out []string
+	picked := make(map[string]bool)
+	add := func(key string) {
+		if len(out) >= max || picked[key] ||
+			c.entries[key] != nil || len(c.pending[key]) > 0 {
+			return
+		}
+		picked[key] = true
+		out = append(out, key)
+	}
+	for _, key := range order {
+		add(key)
+	}
+	for _, a := range c.ring {
+		// Deterministic run iteration: revisit ring slots in order and
+		// expand each prefix's run once.
+		if a.prefix == "" {
+			continue
+		}
+		r := runs[a.prefix]
+		if r == nil || r.len < 2 {
+			continue
+		}
+		runs[a.prefix] = nil
+		for d := int64(1); d <= int64(depth); d++ {
+			add(a.prefix + strconv.FormatInt(r.last+d, 10))
+		}
+	}
+	return out
+}
+
+// splitRunKey splits a key at its longest trailing decimal suffix
+// ("p3-17" → "p3-", 17) so sequential runs can be detected and extended.
+func splitRunKey(key string) (prefix string, num int64, ok bool) {
+	i := len(key)
+	for i > 0 && key[i-1] >= '0' && key[i-1] <= '9' {
+		i--
+	}
+	digits := key[i:]
+	if i == 0 || len(digits) == 0 || len(digits) > 18 {
+		return "", 0, false
+	}
+	n, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return key[:i], n, true
+}

@@ -1,0 +1,48 @@
+package workload
+
+import "testing"
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(64, 0.99, 7)
+	b := NewZipf(64, 0.99, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	const n, draws = 64, 20000
+	z := NewZipf(n, 1.2, 1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	top4 := counts[0] + counts[1] + counts[2] + counts[3]
+	if top4 < draws/2 {
+		t.Errorf("top-4 ranks got %d/%d draws; s=1.2 should concentrate >half", top4, draws)
+	}
+	if counts[0] <= counts[n-1] {
+		t.Errorf("rank 0 (%d draws) should dominate rank %d (%d draws)", counts[0], n-1, counts[n-1])
+	}
+}
+
+func TestZipfUniformAtZeroSkew(t *testing.T) {
+	const n, draws = 16, 32000
+	z := NewZipf(n, 0, 3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := draws / n
+	for r, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Errorf("rank %d drawn %d times, want ~%d (uniform)", r, got, want)
+		}
+	}
+}

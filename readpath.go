@@ -1,0 +1,185 @@
+package hcompress
+
+// This file is the shard's face of the read accelerator
+// (internal/readcache): the cache-hit fast path shared by Decompress and
+// DecompressBatch, the background access-pattern prefetcher, and the
+// CacheStats surface. The cache itself — admission, refcounting, LRU,
+// invalidation tokens — lives in internal/readcache; everything here is
+// wiring it into the pipeline's lifecycle, telemetry, and fanout pool.
+
+import (
+	"context"
+	"time"
+
+	"hcompress/internal/bufpool"
+	"hcompress/internal/fanout"
+	"hcompress/internal/manager"
+	"hcompress/internal/readcache"
+	"hcompress/internal/telemetry"
+)
+
+// cacheGet is the telemetry-free core of the hit path: look key up,
+// record the access (feeding admission counts and the prefetcher's
+// ring), and on a hit assemble a report sharing the cached buffer under
+// a refcount pin. A hit costs zero virtual seconds and never touches the
+// manager, the store, or the predictor. Called with c.mu read-held and
+// c.cache non-nil.
+func (c *Shard) cacheGet(key string) (*Report, readcache.Meta, bool) {
+	data, meta, release, ok := c.cache.Get(key)
+	if !ok {
+		return nil, meta, false
+	}
+	rep := &Report{
+		Key:           key,
+		OriginalBytes: meta.Size,
+		StoredBytes:   meta.Stored,
+		DataType:      meta.DataType,
+		Distribution:  meta.Distribution,
+		Data:          data,
+		CacheHit:      true,
+		release:       release,
+	}
+	if meta.Stored > 0 {
+		rep.Ratio = float64(meta.Size) / float64(meta.Stored)
+	}
+	return rep, meta, true
+}
+
+// cacheHit is cacheGet plus the single-op telemetry contract: op
+// counters, the cache-hit span tree, and slow-op sampling — what
+// DecompressContext needs to serve a hit as a complete operation.
+func (c *Shard) cacheHit(ctx context.Context, key string, wall time.Time) (*Report, bool) {
+	rep, meta, ok := c.cacheGet(key)
+	c.kickPrefetch()
+	if !ok {
+		return nil, false
+	}
+	if c.tel != nil {
+		wallSecs := time.Since(wall).Seconds()
+		c.cm.ops["decompress"].Inc()
+		c.cm.opSeconds["decompress"].Observe(wallSecs)
+		ri := c.reqInfo(ctx)
+		c.cacheHitTrace(ri, key, meta)
+		if c.slow.shouldRecord(wallSecs) {
+			// Zero virtual anatomy: a hit is off the modeled timeline.
+			c.slowOp(ri, "decompress", key, manager.Result{Stored: meta.Stored}, wallSecs, 0, 0, false, false, nil)
+		}
+	}
+	return rep, true
+}
+
+// cacheHitTrace emits the hit's span tree: a zero-width root at the
+// current virtual time with a single zero-width "cache" leaf — the op
+// consumed no modeled time, walked no tiers, and ran no codec, and the
+// trace says exactly that.
+func (c *Shard) cacheHitTrace(ri telemetry.ReqInfo, key string, meta readcache.Meta) {
+	if c.sink == nil {
+		return
+	}
+	now := c.clock.Now()
+	spans := [2]TraceSpan{
+		{Record: "span", Trace: ri.ID, Span: 1, Tenant: ri.Tenant, Class: ri.Class,
+			Op: "decompress", Key: key, Stage: "op",
+			VStart: now, VEnd: now, StoredBytes: meta.Stored},
+		{Record: "span", Trace: ri.ID, Span: 2, Parent: 1, Tenant: ri.Tenant, Class: ri.Class,
+			Op: "decompress", Key: key, Stage: "cache",
+			VStart: now, VEnd: now, Bytes: meta.Size},
+	}
+	c.sink.EmitBatch(func(buf []byte) []byte {
+		for i := range spans {
+			buf = append(spans[i].AppendJSON(buf), '\n')
+		}
+		return buf
+	})
+}
+
+// kickPrefetch nudges the prefetch worker after an access; non-blocking
+// (the capacity-1 channel coalesces bursts) and a no-op when prefetch is
+// off.
+func (c *Shard) kickPrefetch() {
+	if c.prefetchKick == nil {
+		return
+	}
+	select {
+	case c.prefetchKick <- struct{}{}:
+	default:
+	}
+}
+
+// prefetchLoop is the background prefetch/promotion worker: woken by read
+// traffic, it mines the cache's access ring for repeated-key and
+// sequential-run patterns and decompresses the predicted keys into the
+// cache ahead of demand. Its decompression fans out at Batch class, so
+// Interactive operations always claim pool workers first — prefetch can
+// never starve the demand path. Like the demoter it never takes c.mu:
+// Close stops it (and cancels any in-flight fill) before tearing down the
+// pool and store.
+func (c *Shard) prefetchLoop(depth int) {
+	defer close(c.prefetchDone)
+	ctx, cancel := context.WithCancel(fanout.WithClass(context.Background(), fanout.Batch))
+	defer cancel()
+	go func() {
+		<-c.prefetchStop
+		cancel()
+	}()
+	const maxPerPass = 8
+	for {
+		select {
+		case <-c.prefetchStop:
+			return
+		case <-c.prefetchKick:
+		}
+		for _, key := range c.cache.Candidates(maxPerPass, depth) {
+			select {
+			case <-c.prefetchStop:
+				return
+			default:
+			}
+			c.prefetchOne(ctx, key)
+		}
+	}
+}
+
+// prefetchOne warms one predicted key: an untimed read through the
+// manager (no tier lane, no virtual time, no predictor feedback — the
+// modeled timeline cannot see speculation) committed into the cache.
+// Sequential predictions routinely run past the last written key, so a
+// nonexistent key is simply not a candidate rather than a failure.
+func (c *Shard) prefetchOne(ctx context.Context, key string) {
+	if _, _, ok := c.mgr.TaskInfo(key); !ok {
+		return
+	}
+	f := c.cache.BeginPrefetch(key)
+	if f == nil {
+		return
+	}
+	data, stored, attr, err := c.mgr.ReadDataCtx(ctx, c.clock.Now(), key)
+	if err != nil {
+		c.cache.Abort(f, ctx.Err() != nil)
+		return
+	}
+	if _, ok := c.cache.Commit(f, data, readcache.Meta{
+		Size: int64(len(data)), Stored: stored,
+		DataType: attr.Type.String(), Distribution: attr.Dist.String(),
+	}); !ok {
+		bufpool.Put(data) // aborted mid-read or no room: the bytes never cache
+	}
+}
+
+// CacheStats is the read accelerator's counter snapshot: occupancy,
+// hit/miss/admission traffic, and the prefetcher's issue/use accounting.
+// The same numbers are exported as hc_cache_* / hc_prefetch_* metrics
+// when telemetry is on; this typed surface (Client.CacheStats,
+// Router.CacheStats, hctool -cache) works either way.
+type CacheStats = readcache.Stats
+
+// CacheStats snapshots the shard's read-cache counters. All-zero when
+// the cache is disabled (ReadCacheFraction 0).
+func (c *Shard) CacheStats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.cache == nil {
+		return CacheStats{}
+	}
+	return c.cache.Stats()
+}

@@ -416,6 +416,31 @@ func (r *Router) SlowOps() []SlowOpRecord {
 	return out
 }
 
+// CacheStats sums every shard's read-cache counters into one aggregate
+// view. Capacity and occupancy add (each shard owns an independent
+// cache); all-zero when ReadCacheFraction is 0. Like every aggregate it
+// snapshots one shard at a time.
+func (r *Router) CacheStats() CacheStats {
+	var agg CacheStats
+	for _, s := range r.shards {
+		st := s.CacheStats()
+		agg.Entries += st.Entries
+		agg.Bytes += st.Bytes
+		agg.Capacity += st.Capacity
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Admissions += st.Admissions
+		agg.Rejects += st.Rejects
+		agg.Evictions += st.Evictions
+		agg.Invalidations += st.Invalidations
+		agg.PrefetchIssued += st.PrefetchIssued
+		agg.PrefetchUsed += st.PrefetchUsed
+		agg.PrefetchFailed += st.PrefetchFailed
+		agg.PrefetchCancelled += st.PrefetchCancelled
+	}
+	return agg
+}
+
 // FaultEvents drains every shard's health-transition ring, shard 0 first.
 func (r *Router) FaultEvents() []FaultEvent {
 	var out []FaultEvent

@@ -18,6 +18,7 @@ import (
 	"hcompress/internal/manager"
 	"hcompress/internal/monitor"
 	"hcompress/internal/predictor"
+	"hcompress/internal/readcache"
 	"hcompress/internal/seed"
 	"hcompress/internal/stats"
 	"hcompress/internal/store"
@@ -81,16 +82,32 @@ type Report struct {
 	Distribution     string
 	SubTasks         []SubTaskReport
 	// Data carries the reassembled payload on Decompress. The caller
-	// owns it: it is safe to read, mutate, and retain indefinitely.
-	// Callers that are done with it can hand the buffer back to the
-	// library's internal arena with Release — entirely optional; an
-	// unreleased buffer is ordinary garbage-collected memory.
+	// owns it: it is safe to read and retain indefinitely. Callers that
+	// are done with it can hand the buffer back to the library's
+	// internal arena with Release — entirely optional; an unreleased
+	// buffer is ordinary garbage-collected memory. One nuance when the
+	// read cache is enabled (Config.ReadCacheFraction > 0): a cache-hit
+	// report shares its buffer with the cache, so treat Data as
+	// read-only until Release; with the cache off it is exclusively
+	// owned and safe to mutate, as before.
 	Data []byte
+	// CacheHit is true when Data was served from the read cache: the
+	// operation skipped the tier walk and the codec, and the virtual-
+	// time fields above are zero (a client-side DRAM hit is off the
+	// modeled timeline).
+	CacheHit bool
 	// Degraded is non-nil when the write abandoned every compressing
 	// schema and stored the task uncompressed on a fallback tier. The
 	// write still succeeded; errors.Is(Degraded, ErrDegraded) is true
 	// and Degraded.Cause explains why the planned path failed.
 	Degraded *DegradedError
+
+	// release, when set, returns Data through the read cache's
+	// refcounting instead of a raw arena put: the buffer goes back to
+	// the arena only when both the cache and every outstanding report
+	// have dropped it, so Release can never double-free a buffer the
+	// cache still serves (or that an invalidation already freed).
+	release func()
 }
 
 // Release returns the report's Data buffer to the internal buffer arena
@@ -100,7 +117,12 @@ func (r *Report) Release() {
 	if r == nil || r.Data == nil {
 		return
 	}
-	bufpool.Put(r.Data)
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	} else {
+		bufpool.Put(r.Data)
+	}
 	r.Data = nil
 }
 
@@ -139,6 +161,15 @@ type Shard struct {
 	demoteStop chan struct{}
 	demoteDone chan struct{}
 
+	// Read accelerator (nil when ReadCacheFraction is zero): the
+	// decompressed-block cache and its background prefetcher. Like the
+	// demoter, the prefetch loop never takes c.mu; Close stops it before
+	// tearing the pool and store down.
+	cache        *readcache.Cache
+	prefetchStop chan struct{}
+	prefetchDone chan struct{}
+	prefetchKick chan struct{}
+
 	// Telemetry (all nil/zero when off — the nil-registry fast path).
 	tel        *telemetry.Registry
 	sink       *telemetry.Sink
@@ -171,6 +202,9 @@ func newShard(cfg Config) (*Shard, error) {
 	h, err := cfg.hierarchy()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ReadCacheFraction < 0 || cfg.ReadCacheFraction > 1 {
+		return nil, fmt.Errorf("hcompress: ReadCacheFraction %v: need 0 <= fraction <= 1", cfg.ReadCacheFraction)
 	}
 	var sd *seed.Seed
 	if cfg.SeedPath != "" {
@@ -260,6 +294,29 @@ func newShard(cfg Config) (*Shard, error) {
 	if c.sink == nil {
 		c.sink = telemetry.NewSink(cfg.TraceWriter)
 	}
+	if cfg.ReadCacheFraction > 0 && !cfg.modeled {
+		// The cache holds decompressed payloads, so it only exists when
+		// the store keeps data; modeled pipelines (test-only) run without
+		// it, which also keeps the trace-determinism contract untouched.
+		minTouches := cfg.ReadCacheMinTouches
+		if minTouches == 0 {
+			minTouches = 2
+		}
+		ringSize := cfg.AccessRingSize
+		if ringSize == 0 {
+			ringSize = 256
+		}
+		capBytes := int64(cfg.ReadCacheFraction * float64(h.Tiers[0].Capacity))
+		c.cache = readcache.New(capBytes, minTouches, ringSize)
+		c.cache.SetTelemetry(reg)
+		// Demoted keys leave the cache: their cached meta (and the hot-set
+		// premise that put them there) is stale once the demoter cools them.
+		mgr.SetDemoteNotify(func(keys []string) {
+			for _, k := range keys {
+				c.cache.Invalidate(k)
+			}
+		})
+	}
 	c.faults.cap = 256
 	mon.SetEventSink(c.onHealthEvent)
 	if reg != nil {
@@ -308,6 +365,16 @@ func newShard(cfg Config) (*Shard, error) {
 		c.demoteStop = make(chan struct{})
 		c.demoteDone = make(chan struct{})
 		go c.demoteLoop(cfg.DemotionInterval, high, low, cfg.DemotionSliceSubTasks)
+	}
+	if c.cache != nil && !cfg.DisablePrefetch {
+		depth := cfg.PrefetchDepth
+		if depth == 0 {
+			depth = 2
+		}
+		c.prefetchStop = make(chan struct{})
+		c.prefetchDone = make(chan struct{})
+		c.prefetchKick = make(chan struct{}, 1)
+		go c.prefetchLoop(depth)
 	}
 	return c, nil
 }
@@ -520,6 +587,11 @@ func (c *Shard) CompressContext(ctx context.Context, t Task) (*Report, error) {
 		c.cm.degradedWrites.Inc()
 	}
 	c.clock.AdvanceTo(res.End)
+	if c.cache != nil {
+		// Strict invalidation on overwrite: drop any cached payload for
+		// this key and revoke in-flight fills that may carry the old bytes.
+		c.cache.Invalidate(t.Key)
+	}
 	rep := c.report(t.Key, size, attr, res, start)
 	rep.PredictedSeconds = schema.PredTime
 	rep.Degraded = degraded
@@ -573,20 +645,45 @@ func (c *Shard) DecompressContext(ctx context.Context, key string) (*Report, err
 	if c.closed {
 		return nil, ErrClosed
 	}
+	if c.cache != nil {
+		if rep, ok := c.cacheHit(ctx, key, wall); ok {
+			return rep, nil
+		}
+	}
 	size, attr, ok := c.mgr.TaskInfo(key)
 	if !ok {
 		c.cm.opErrs["decompress"].Inc()
 		return nil, fmt.Errorf("hcompress: unknown task %q: %w", key, ErrNotFound)
 	}
+	// Open the fill before touching the store: a concurrent overwrite or
+	// delete then lands after the token exists and aborts it, so bytes
+	// read from the pre-overwrite world can never enter the cache.
+	var fill *readcache.Fill
+	if c.cache != nil {
+		fill = c.cache.BeginFill(key)
+	}
 	start := c.clock.Now()
 	res, err := c.mgr.ExecuteReadCtx(ctx, start, key)
 	if err != nil {
+		if fill != nil {
+			c.cache.Abort(fill, false)
+		}
 		c.cm.opErrs["decompress"].Inc()
 		return nil, err
 	}
 	c.clock.AdvanceTo(res.End)
 	rep := c.report(key, size, attr, res, start)
 	rep.Data = res.Data
+	if fill != nil {
+		// Zero-copy admission: the cache and the report share the buffer
+		// under one refcount; the report's pin comes back as release.
+		if release, ok := c.cache.Commit(fill, res.Data, readcache.Meta{
+			Size: size, Stored: res.Stored,
+			DataType: rep.DataType, Distribution: rep.Distribution,
+		}); ok {
+			rep.release = release
+		}
+	}
 	if c.tel != nil {
 		wallSecs := time.Since(wall).Seconds()
 		c.cm.ops["decompress"].Inc()
@@ -646,6 +743,11 @@ func (c *Shard) Delete(key string) error {
 		return ErrClosed
 	}
 	err := c.mgr.Delete(key)
+	if c.cache != nil {
+		// Invalidate even when the delete failed: the token revocation is
+		// cheap and a half-deleted task must never serve from cache.
+		c.cache.Invalidate(key)
+	}
 	if c.tel != nil {
 		if err != nil {
 			c.cm.opErrs["delete"].Inc()
@@ -814,6 +916,12 @@ func (c *Shard) Close() error {
 		close(c.demoteStop)
 		<-c.demoteDone
 	}
+	// The prefetcher goes next, for the same reason, and before the pool:
+	// an in-flight prefetch fans decompression through the shared pool.
+	if c.prefetchStop != nil {
+		close(c.prefetchStop)
+		<-c.prefetchDone
+	}
 	c.pool.Close()
 	if c.metricsSrv != nil {
 		_ = c.metricsSrv.Close()
@@ -828,6 +936,9 @@ func (c *Shard) Close() error {
 		if err := c.sd.Save(c.seedPath); err != nil {
 			return err
 		}
+	}
+	if c.cache != nil {
+		c.cache.InvalidateAll() // hand cached payloads back to the arena
 	}
 	c.st.Reset()
 	return nil

@@ -50,7 +50,9 @@ type TraceSpan struct {
 	Op     string `json:"op"`               // "compress" | "decompress"
 	Key    string `json:"key"`
 	// Stage is "op" (root) | "analyze" | "plan" | "replan" | "execute"
-	// | "queue" | "codec" | "retry" | "io".
+	// | "queue" | "codec" | "retry" | "io" | "cache" (a read served from
+	// the decompressed-block cache: one zero-width leaf, no execute span
+	// — the op never reached the store or the codec).
 	Stage  string  `json:"stage"`
 	Sub    int     `json:"sub,omitempty"` // 1-based sub-task index on queue/codec/retry/io leaves
 	VStart float64 `json:"vstart"`
@@ -307,6 +309,12 @@ func (c *Shard) onHealthEvent(ev monitor.Event) {
 		Streak: ev.Streak,
 	}
 	c.faults.append(fe)
+	if c.cache != nil {
+		// A health flip changes the store's shape under the cache —
+		// reads now replan around the transitioned tier — so the only
+		// safe cache is an empty one. Pending fills are revoked too.
+		c.cache.InvalidateAll()
+	}
 	c.sink.Emit(fe)
 }
 
