@@ -1,0 +1,162 @@
+package main
+
+// hcbench -codecbench: the per-codec raw-speed harness behind
+// BENCH_codecs.json. It measures compress and decompress MB/s plus ratio
+// for every registered codec over the standard four-class corpus (text,
+// floats, incompressible, runs) and appends the result as one trajectory
+// point, so successive PRs accumulate a per-codec MB/s history in the
+// same file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"hcompress/internal/codec"
+	"hcompress/internal/stats"
+)
+
+const (
+	codecBenchBufSize = 256 << 10
+	codecBenchRepeats = 3
+)
+
+// codecBenchCorpus builds the standard corpus. Text, floats and
+// incompressible come from the profiler's generator; runs is the
+// RLE/MTF-friendly class the generator lacks.
+func codecBenchCorpus() map[string][]byte {
+	runs := make([]byte, 0, codecBenchBufSize)
+	v, n := byte(0), 0
+	for len(runs) < codecBenchBufSize {
+		// Deterministic run lengths 1..512 without an RNG dependency.
+		n = (n*131 + 17) % 512
+		for k := 0; k <= n%512; k++ {
+			runs = append(runs, v)
+		}
+		v = (v*7 + 13) % 17
+	}
+	return map[string][]byte{
+		"text":           stats.GenBuffer(stats.TypeText, stats.Gamma, codecBenchBufSize, 1),
+		"floats":         stats.GenBuffer(stats.TypeFloat, stats.Normal, codecBenchBufSize, 2),
+		"incompressible": stats.GenBuffer(stats.TypeBinary, stats.Uniform, codecBenchBufSize, 3),
+		"runs":           runs[:codecBenchBufSize],
+	}
+}
+
+type codecBenchResult struct {
+	CompressMBps   float64 `json:"compress_mbps"`
+	DecompressMBps float64 `json:"decompress_mbps"`
+	Ratio          float64 `json:"ratio"`
+}
+
+type codecBenchRun struct {
+	Label      string                      `json:"label"`
+	Date       string                      `json:"date"`
+	GoMaxProcs int                         `json:"gomaxprocs"`
+	BufBytes   int                         `json:"buf_bytes_per_class"`
+	Repeats    int                         `json:"repeats"`
+	Results    map[string]codecBenchResult `json:"results"`
+}
+
+type codecBenchFile struct {
+	Comment string          `json:"comment"`
+	Runs    []codecBenchRun `json:"runs"`
+}
+
+// runCodecBench measures every codec and writes (or appends to) the
+// trajectory file at path; "-" prints the single run to stdout.
+func runCodecBench(path, label string) error {
+	corpus := codecBenchCorpus()
+	var names []string
+	for name := range corpus {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	run := codecBenchRun{
+		Label:      label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		BufBytes:   codecBenchBufSize,
+		Repeats:    codecBenchRepeats,
+		Results:    map[string]codecBenchResult{},
+	}
+
+	fmt.Printf("%-8s %14s %16s %7s\n", "codec", "compress MB/s", "decompress MB/s", "ratio")
+	for _, c := range codec.All() {
+		if c.ID() == codec.None {
+			continue
+		}
+		var compTotal, decTotal float64 // seconds, best-of per class, summed
+		var inBytes, compBytes int
+		var comp, dec []byte
+		for _, name := range names {
+			in := corpus[name]
+			inBytes += len(in)
+			best := 0.0
+			for r := 0; r < codecBenchRepeats; r++ {
+				start := time.Now()
+				var err error
+				comp, err = c.Compress(comp[:0], in)
+				if err != nil {
+					return fmt.Errorf("codecbench: %s/%s compress: %w", c.Name(), name, err)
+				}
+				if el := time.Since(start).Seconds(); r == 0 || el < best {
+					best = el
+				}
+			}
+			compTotal += best
+			compBytes += len(comp)
+
+			best = 0.0
+			for r := 0; r < codecBenchRepeats; r++ {
+				start := time.Now()
+				var err error
+				dec, err = c.Decompress(dec[:0], comp, len(in))
+				if err != nil {
+					return fmt.Errorf("codecbench: %s/%s decompress: %w", c.Name(), name, err)
+				}
+				if el := time.Since(start).Seconds(); r == 0 || el < best {
+					best = el
+				}
+			}
+			decTotal += best
+		}
+		mb := float64(inBytes) / (1 << 20)
+		res := codecBenchResult{
+			CompressMBps:   mb / max(compTotal, 1e-9),
+			DecompressMBps: mb / max(decTotal, 1e-9),
+			Ratio:          float64(inBytes) / float64(compBytes),
+		}
+		run.Results[c.Name()] = res
+		fmt.Printf("%-8s %14.1f %16.1f %7.2f\n", c.Name(), res.CompressMBps, res.DecompressMBps, res.Ratio)
+	}
+
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(run)
+	}
+	file := codecBenchFile{
+		Comment: "hcbench -codecbench: per-codec compress/decompress MB/s and ratio over the standard corpus (text, floats, incompressible, runs; best-of-" +
+			fmt.Sprint(codecBenchRepeats) + " per class); each run is one trajectory point",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("codecbench: existing %s is not a trajectory file: %w", path, err)
+		}
+	}
+	file.Runs = append(file.Runs, run)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended trajectory point %q to %s (%d runs)\n", label, path, len(file.Runs))
+	return nil
+}

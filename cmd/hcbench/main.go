@@ -53,6 +53,8 @@ func main() {
 		zipf     = flag.Float64("zipf", 0, "with the throughput harness: pick read keys Zipf(s)-skewed over each goroutine's live window, hottest = most recent (0 = the old fixed middle key; try 0.99)")
 		cache    = flag.Float64("cache", 0, "with the throughput harness: ReadCacheFraction — enable the decompressed-block read cache sized at this fraction of tier 0 (0 = off)")
 		reads    = flag.String("readbench", "", "instead of experiments: run the zipfian hot-read benchmark (cache-on vs cache-off over an identical key sequence) and write the comparison as JSON to this path ('-' for stdout); honors -zipf and -cache")
+		codecb   = flag.String("codecbench", "", "instead of experiments: measure per-codec compress/decompress MB/s and ratio over the standard corpus and append one trajectory point to this JSON path ('-' prints the run to stdout)")
+		codecLbl = flag.String("codeclabel", "run", "with -codecbench: label recorded on the appended trajectory point")
 	)
 	flag.Parse()
 	var err error
@@ -73,6 +75,8 @@ func main() {
 		err = fmt.Errorf("-zipf must be >= 0, got %g", *zipf)
 	case *cache < 0 || *cache > 1:
 		err = fmt.Errorf("-cache must be in [0, 1], got %g", *cache)
+	case *codecb != "":
+		err = runCodecBench(*codecb, *codecLbl)
 	case *reads != "":
 		err = runReadBench(*reads, *zipf, *cache)
 	case *sweep != "":

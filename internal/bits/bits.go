@@ -7,6 +7,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -41,6 +42,13 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	}
 	w.acc |= (v & (1<<n - 1)) << w.nacc
 	w.nacc += n
+	// Flush words, not bytes: the byte sequence is identical (low byte
+	// first either way), but one 4-byte append replaces four loop trips.
+	for w.nacc >= 32 {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(w.acc))
+		w.acc >>= 32
+		w.nacc -= 32
+	}
 	for w.nacc >= 8 {
 		w.buf = append(w.buf, byte(w.acc))
 		w.acc >>= 8
@@ -100,6 +108,19 @@ func (r *Reader) Reset(src []byte) {
 }
 
 func (r *Reader) fill() {
+	// Bits above nacc may hold junk from a previous bulk refill; clear
+	// them so the ORs below land on zeroes.
+	r.acc &= 1<<r.nacc - 1
+	if r.pos+8 <= len(r.src) {
+		// Bulk refill: one unaligned 64-bit load tops the accumulator up
+		// to >= 57 valid bits — (64-nacc)/8 whole bytes fit, and fill is
+		// only entered with nacc <= 56, so at least one byte always lands.
+		r.acc |= binary.LittleEndian.Uint64(r.src[r.pos:]) << r.nacc
+		adv := (64 - r.nacc) >> 3
+		r.pos += int(adv)
+		r.nacc += adv * 8
+		return
+	}
 	for r.nacc <= 56 && r.pos < len(r.src) {
 		r.acc |= uint64(r.src[r.pos]) << r.nacc
 		r.pos++

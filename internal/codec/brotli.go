@@ -173,10 +173,7 @@ func brFind(src []byte, head, prev []int32, i int) (length, dist int) {
 		if binary.LittleEndian.Uint32(src[c:]) != v {
 			continue
 		}
-		mlen := 4
-		for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
-			mlen++
-		}
+		mlen := lzExtendMatch(src, c, i, 4, maxMatch)
 		if mlen > length {
 			length, dist = mlen, i-c
 		}
@@ -283,49 +280,88 @@ func brDecompressBlock(dst, payload []byte, rawLen, base int) ([]byte, error) {
 		dstLens[2*i+1] = payload[off+i] >> 4
 	}
 	var litTable [1 << brMaxCodeLen]uint32
-	if err := buildDecodeTable(litTable[:], litLens[:], brMaxCodeLen); err != nil {
+	if err := buildPairDecodeTable(litTable[:], litLens[:], brMaxCodeLen); err != nil {
 		return nil, err
 	}
 	var dstTable [1 << brMaxCodeLen]uint32
 	if err := buildDecodeTable(dstTable[:], dstLens[:], brMaxCodeLen); err != nil {
 		return nil, err
 	}
-	var r bits.Reader
-	r.Reset(payload[hdrLen:])
+	// Inline bitstream (same LSB-first layout as bits.Reader): a match
+	// consumes at most 12+12+12+17 = 53 bits, so one bulk refill at the
+	// top of the loop covers every path through an iteration.
+	bs := payload[hdrLen:]
+	var acc uint64
+	var nacc uint
+	pos := 0
 	produced := 0
 	for produced < rawLen {
-		e := litTable[r.Peek(brMaxCodeLen)]
-		l := uint(e & 0x0F)
-		if l == 0 || r.Have() < int(l) {
+		if nacc < 53 {
+			acc &= 1<<nacc - 1
+			if pos+8 <= len(bs) {
+				acc |= binary.LittleEndian.Uint64(bs[pos:]) << nacc
+				pos += int((63 - nacc) >> 3)
+				nacc |= 56
+			} else {
+				for nacc <= 56 && pos < len(bs) {
+					acc |= uint64(bs[pos]) << nacc
+					pos++
+					nacc += 8
+				}
+			}
+		}
+		e := litTable[acc&(1<<brMaxCodeLen-1)]
+		if e&huffPairFlag != 0 && produced+2 <= rawLen {
+			// Two literals resolved by a single table probe.
+			l := uint(e & 31)
+			if nacc >= l {
+				acc >>= l
+				nacc -= l
+				dst = append(dst, byte(e>>6), byte(e>>16))
+				produced += 2
+				continue
+			}
+		}
+		l := uint(e >> 26)
+		if l == 0 || nacc < l {
 			return nil, fmt.Errorf("%w: brotli invalid literal code", ErrCorrupt)
 		}
-		r.Skip(l)
-		sym := int(e >> 4)
+		acc >>= l
+		nacc -= l
+		sym := int(e>>6) & 0x3FF
 		if sym < 256 {
 			dst = append(dst, byte(sym))
 			produced++
 			continue
 		}
 		slot := sym - 256
-		extra, err := r.ReadBits(uint(slot >> 1))
-		if err != nil {
+		eb := uint(slot >> 1)
+		if nacc < eb {
 			return nil, fmt.Errorf("%w: brotli truncated length extra", ErrCorrupt)
 		}
+		extra := acc & (1<<eb - 1)
+		acc >>= eb
+		nacc -= eb
 		length := slotBase(slot, brMinMatch) + int(extra)
 
-		de := dstTable[r.Peek(brMaxCodeLen)]
+		de := dstTable[acc&(1<<brMaxCodeLen-1)]
 		dl := uint(de & 0x0F)
-		if dl == 0 || r.Have() < int(dl) {
+		if dl == 0 || nacc < dl {
 			return nil, fmt.Errorf("%w: brotli invalid distance code", ErrCorrupt)
 		}
-		r.Skip(dl)
+		acc >>= dl
+		nacc -= dl
 		dslot := int(de >> 4)
-		dextra, err := r.ReadBits(uint(dslot >> 1))
-		if err != nil {
+		deb := uint(dslot >> 1)
+		if nacc < deb {
 			return nil, fmt.Errorf("%w: brotli truncated distance extra", ErrCorrupt)
 		}
+		dextra := acc & (1<<deb - 1)
+		acc >>= deb
+		nacc -= deb
 		dist := slotBase(dslot, 1) + int(dextra)
 
+		var err error
 		dst, err = lzCopyMatch(dst, base, dist, length, "brotli")
 		if err != nil {
 			return nil, err

@@ -55,6 +55,14 @@ func byteClass(b byte) int {
 	}
 }
 
+// byteClassTab is byteClass as a lookup table for the per-byte decode loop.
+var byteClassTab = func() (t [256]uint8) {
+	for i := range t {
+		t[i] = uint8(byteClass(byte(i)))
+	}
+	return
+}()
+
 func (rcEntropy) encode(s *bufpool.Scratch, dst, src []byte) []byte {
 	var e rcEncoder
 	e.init(dst)
@@ -74,10 +82,13 @@ func (rcEntropy) decode(s *bufpool.Scratch, dst, src []byte, rawLen int) ([]byte
 	probs := bufpool.GrowU16(&s.Probs, 4*256)
 	initProbs(probs)
 	ctx := 0
+	base := len(dst)
+	dst = extendSlice(dst, rawLen)
+	out := dst[base:]
 	for i := 0; i < rawLen; i++ {
 		b := byte(d.decodeTree(probs[ctx*256:(ctx+1)*256], 8))
-		dst = append(dst, b)
-		ctx = byteClass(b)
+		out[i] = b
+		ctx = int(byteClassTab[b])
 	}
 	if d.overran() {
 		return nil, ErrCorrupt

@@ -189,6 +189,110 @@ func bwtInverse(s *bufpool.Scratch, dst, bwt []byte, ptr int) ([]byte, error) {
 	return dst, nil
 }
 
+// bwtForwardMTF is bwtForward with move-to-front coding folded into the
+// output write: one pass over the suffix array emits the already-MTF-coded
+// transform, saving the separate full-block rewrite that
+// bwtForward+mtfEncode would cost. Output bytes are identical to that pair.
+func bwtForwardMTF(s *bufpool.Scratch, src []byte) (mtf []byte, ptr int) {
+	n := len(src)
+	if n == 0 {
+		return nil, 0
+	}
+	sa := suffixArray(s, src)
+	mtf = bufpool.GrowBytes(&s.BWT, n)
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	b := src[n-1] // row 0: the empty (sentinel) suffix; L-char is the last byte
+	idx := int(b)
+	mtf[0] = byte(idx)
+	copy(order[1:idx+1], order[:idx])
+	order[0] = b
+	w := 1
+	for j, pos := range sa {
+		if pos == 0 {
+			ptr = j + 1 // +1 for the implicit row 0
+			continue
+		}
+		b = src[pos-1]
+		idx = 0
+		for order[idx] != b {
+			idx++
+		}
+		mtf[w] = byte(idx)
+		copy(order[1:idx+1], order[:idx])
+		order[0] = b
+		w++
+	}
+	return mtf, ptr
+}
+
+// bwtInverseMTF undoes mtfEncode (in place over mtf) and inverts the BWT in
+// one pipeline: the MTF decode loop doubles as bwtInverse's counting pass,
+// and the LF chase runs over entries packed as nextRow<<8 | L-byte, so the
+// per-step sentinel compare and index adjustment disappear (the sentinel
+// row is a negative entry). Bytes appended to dst are identical to
+// mtfDecode followed by bwtInverse.
+func bwtInverseMTF(s *bufpool.Scratch, dst, mtf []byte, ptr int) ([]byte, error) {
+	n := len(mtf)
+	if n == 0 {
+		return dst, nil
+	}
+	if ptr <= 0 || ptr > n {
+		return nil, ErrCorrupt
+	}
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	var count [256]int
+	for k, idx := range mtf {
+		b := order[idx]
+		mtf[k] = b
+		copy(order[1:int(idx)+1], order[:idx])
+		order[0] = b
+		count[b]++
+	}
+	bwt := mtf // now holds the raw transform
+	// C[c]: number of characters strictly smaller than c in the L column,
+	// counting the sentinel (smallest) once.
+	var c [256]int
+	sum := 1
+	for v := 0; v < 256; v++ {
+		c[v] = sum
+		sum += count[v]
+	}
+	// Packed LF entries: next row in the high bits, the row's L-byte in the
+	// low 8. Rows fit: n <= 1<<20, so nextRow<<8 < 1<<28.
+	lf := bufpool.GrowI32(&s.LF, n+1)
+	var occ [256]int
+	for i := 0; i < ptr; i++ {
+		b := bwt[i]
+		lf[i] = int32(c[b]+occ[b])<<8 | int32(b)
+		occ[b]++
+	}
+	lf[ptr] = -1 // reaching the sentinel mid-chase means corruption
+	for i := ptr + 1; i <= n; i++ {
+		b := bwt[i-1]
+		lf[i] = int32(c[b]+occ[b])<<8 | int32(b)
+		occ[b]++
+	}
+	base := len(dst)
+	dst = extendSlice(dst, n)
+	out := dst[base:]
+	row := int32(0) // row 0 = empty suffix; L[0] is the last text byte
+	for k := n - 1; k >= 0; k-- {
+		e := lf[row]
+		if e < 0 {
+			return nil, ErrCorrupt // sentinel reached early
+		}
+		out[k] = byte(e)
+		row = e >> 8
+	}
+	return dst, nil
+}
+
 // extendSlice lengthens dst by n bytes (unspecified contents), reallocating
 // only when capacity is short.
 func extendSlice(dst []byte, n int) []byte {

@@ -80,9 +80,8 @@ func bwtPipelineCompress(s *bufpool.Scratch, dst, src []byte, blockSize int, ent
 }
 
 func bwtCompressBlock(s *bufpool.Scratch, dst, block []byte, ent entropyStage) []byte {
-	bwt, ptr := bwtForward(s, block)
-	mtfEncode(bwt) // in place: s.BWT now holds the MTF stream
-	rle := rle0Encode(s, bwt)
+	mtf, ptr := bwtForwardMTF(s, block) // fused BWT+MTF into s.BWT
+	rle := rle0Encode(s, mtf)
 
 	hdr := len(dst)
 	dst = extendSlice(dst, 16)
@@ -137,8 +136,7 @@ func bwtPipelineDecompress(s *bufpool.Scratch, dst, src []byte, srcLen, blockSiz
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s rle0", ErrCorrupt, name)
 		}
-		mtfDecode(mtf) // in place: s.MTF now holds the BWT transform
-		dst, err = bwtInverse(s, dst, mtf, int(ptr))
+		dst, err = bwtInverseMTF(s, dst, mtf, int(ptr))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s inverse bwt", ErrCorrupt, name)
 		}

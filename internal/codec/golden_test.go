@@ -1,0 +1,241 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// The golden corpus pins the compressed byte format of every codec: the
+// speed pass rewrites hot loops under the invariant that compressed
+// outputs stay byte-identical, and these checksums are the enforcement.
+// Regenerate with
+//
+//	go test ./internal/codec -run TestGoldenCompressedOutputs -update-golden
+//
+// only for a deliberate, documented format change (codec IDs are on-disk
+// stable; so are their streams).
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from this build's codecs")
+
+// splitmix64 is the corpus RNG: unlike math/rand it is specified here, so
+// golden inputs can never drift with the Go runtime.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (s *splitmix64) fill(buf []byte) {
+	for i := 0; i+8 <= len(buf); i += 8 {
+		v := s.next()
+		for k := 0; k < 8; k++ {
+			buf[i+k] = byte(v >> (8 * k))
+		}
+	}
+	for i := len(buf) &^ 7; i < len(buf); i++ {
+		buf[i] = byte(s.next())
+	}
+}
+
+// goldenCorpus is the fixed multi-type corpus: the four data classes the
+// bench harness measures (text, floats, incompressible, runs) plus shapes
+// that cross block boundaries and stress the entropy coders.
+func goldenCorpus() []struct {
+	name string
+	data []byte
+} {
+	var rng splitmix64 = 0x5EED
+
+	// Text: natural-language-like with mild variation so matches exist at
+	// many offsets but the stream is not one giant run.
+	words := []string{
+		"hierarchical", "data", "compression", "for", "multi", "tiered",
+		"storage", "environments", "the", "profiler", "measures", "every",
+		"codec", "on", "every", "class", "and", "hcdp", "selects", "by",
+		"speed", "ratio", "tuples", "under", "capacity", "constraints",
+	}
+	var text bytes.Buffer
+	for text.Len() < 1<<18 {
+		w := words[rng.next()%uint64(len(words))]
+		text.WriteString(w)
+		if rng.next()%11 == 0 {
+			text.WriteString(".\n")
+		} else {
+			text.WriteByte(' ')
+		}
+	}
+
+	// Floats: little-endian float32 columns with a bounded exponent range
+	// and noisy low mantissa bits, like simulation output. Bit patterns are
+	// assembled arithmetically so no platform FP is involved.
+	floats := make([]byte, 1<<18)
+	for i := 0; i+4 <= len(floats); i += 4 {
+		exp := uint32(120 + rng.next()%8) // tight exponent band
+		mant := uint32(rng.next()) & 0x7FFFFF
+		mant &^= 0x7FF // quantized: low bits often zero
+		if rng.next()%4 == 0 {
+			mant |= uint32(rng.next()) & 0x3FF // sometimes full noise
+		}
+		v := exp<<23 | mant
+		if rng.next()%2 == 0 {
+			v |= 1 << 31
+		}
+		floats[i] = byte(v)
+		floats[i+1] = byte(v >> 8)
+		floats[i+2] = byte(v >> 16)
+		floats[i+3] = byte(v >> 24)
+	}
+
+	// Incompressible: raw RNG output.
+	incompressible := make([]byte, 1<<17)
+	rng.fill(incompressible)
+
+	// Runs: byte runs with RNG-chosen lengths, RLE/MTF-friendly.
+	runs := make([]byte, 0, 1<<17)
+	for len(runs) < 1<<17 {
+		b := byte(rng.next() % 17)
+		n := int(rng.next()%512) + 1
+		for k := 0; k < n; k++ {
+			runs = append(runs, b)
+		}
+	}
+
+	// Records: fixed-stride structured rows (the quicklz niche).
+	records := make([]byte, 0, 1<<16)
+	for i := 0; len(records) < 1<<16; i++ {
+		records = append(records,
+			0xDE, 0xAD, byte(i), byte(i>>8), 0, 0, 0, 0,
+			byte(rng.next()), 1, 2, 3, byte(i), 0, 0, 0)
+	}
+
+	// Big: patterned data crossing every codec's block boundary (huffman
+	// 128 KiB, brotli/bzip2 256 KiB, bsc 1 MiB).
+	big := make([]byte, 1<<20+4096)
+	for i := range big {
+		big[i] = byte((i / 7) % 251)
+	}
+
+	zeros := make([]byte, 1<<16)
+	cycle := make([]byte, 4096)
+	for i := range cycle {
+		cycle[i] = byte(i)
+	}
+
+	return []struct {
+		name string
+		data []byte
+	}{
+		{"text", text.Bytes()},
+		{"floats", floats},
+		{"incompressible", incompressible},
+		{"runs", runs},
+		{"records", records},
+		{"big", big},
+		{"zeros", zeros},
+		{"cycle", cycle},
+		{"empty", nil},
+		{"one", []byte{0x42}},
+	}
+}
+
+// fnv1a64 is the golden checksum (spelled out here so the pinned values
+// are self-contained).
+func fnv1a64(data []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+type goldenEntry struct {
+	CompLen int    `json:"comp_len"`
+	Sum     string `json:"fnv1a64"`
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden.json") }
+
+func loadGolden(t *testing.T) map[string]goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden to create): %v", err)
+	}
+	var m map[string]goldenEntry
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	return m
+}
+
+// TestGoldenCompressedOutputs enforces that every codec's compressed
+// output over the fixed corpus is byte-identical to the pinned pre-pass
+// format, and that decompressing the pinned stream reproduces the input
+// exactly.
+func TestGoldenCompressedOutputs(t *testing.T) {
+	corpus := goldenCorpus()
+	got := map[string]goldenEntry{}
+	for _, c := range All() {
+		for _, in := range corpus {
+			comp, err := c.Compress(nil, in.data)
+			if err != nil {
+				t.Fatalf("%s/%s: compress: %v", c.Name(), in.name, err)
+			}
+			key := c.Name() + "/" + in.name
+			got[key] = goldenEntry{CompLen: len(comp), Sum: fmt.Sprintf("%016x", fnv1a64(comp))}
+
+			dec, err := c.Decompress(nil, comp, len(in.data))
+			if err != nil {
+				t.Fatalf("%s/%s: decompress: %v", c.Name(), in.name, err)
+			}
+			if !bytes.Equal(dec, in.data) {
+				t.Fatalf("%s/%s: round-trip mismatch (%d bytes, want %d)", c.Name(), in.name, len(dec), len(in.data))
+			}
+		}
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath())
+		return
+	}
+	want := loadGolden(t)
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing from this build (codec removed?)", k)
+			continue
+		}
+		if g != want[k] {
+			t.Errorf("%s: compressed output changed: got len=%d sum=%s, want len=%d sum=%s",
+				k, g.CompLen, g.Sum, want[k].CompLen, want[k].Sum)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("golden entry count %d != %d (new codec or corpus drift; regenerate deliberately)", len(got), len(want))
+	}
+}

@@ -122,19 +122,51 @@ func huffDecompressBlock(dst, payload []byte, rawLen int) ([]byte, error) {
 		lengths[2*i+1] = payload[i] >> 4
 	}
 	var table [1 << huffMaxLen]uint32
-	if err := buildDecodeTable(table[:], lengths[:], huffMaxLen); err != nil {
+	if err := buildPairDecodeTable(table[:], lengths[:], huffMaxLen); err != nil {
 		return nil, err
 	}
-	var r bits.Reader
-	r.Reset(payload[128:])
-	for i := 0; i < rawLen; i++ {
-		e := table[r.Peek(huffMaxLen)]
-		l := uint(e & 0x0F)
-		if l == 0 || r.Have() < int(l) {
+	// The bitstream is managed inline (same LSB-first layout as
+	// bits.Reader) so the per-symbol loop runs without function calls:
+	// one bulk refill plus one table probe yields up to two symbols.
+	bs := payload[128:]
+	var acc uint64
+	var nacc uint
+	pos := 0
+	for i := 0; i < rawLen; {
+		if nacc < 2*huffMaxLen {
+			acc &= 1<<nacc - 1
+			if pos+8 <= len(bs) {
+				acc |= binary.LittleEndian.Uint64(bs[pos:]) << nacc
+				pos += int((63 - nacc) >> 3)
+				nacc |= 56
+			} else {
+				for nacc <= 56 && pos < len(bs) {
+					acc |= uint64(bs[pos]) << nacc
+					pos++
+					nacc += 8
+				}
+			}
+		}
+		e := table[acc&(1<<huffMaxLen-1)]
+		if e&huffPairFlag != 0 && i+2 <= rawLen {
+			// Fast path: two symbols resolved by one probe.
+			l := uint(e & 31)
+			if nacc >= l {
+				acc >>= l
+				nacc -= l
+				dst = append(dst, byte(e>>6), byte(e>>16))
+				i += 2
+				continue
+			}
+		}
+		l := uint(e >> 26)
+		if l == 0 || nacc < l {
 			return nil, fmt.Errorf("%w: huffman invalid code", ErrCorrupt)
 		}
-		r.Skip(l)
-		dst = append(dst, byte(e>>4))
+		acc >>= l
+		nacc -= l
+		dst = append(dst, byte(e>>6))
+		i++
 	}
 	return dst, nil
 }
@@ -315,6 +347,49 @@ func buildDecodeTable(table []uint32, lengths []uint8, maxLen int) error {
 		for i := int(codes[s]); i < len(table); i += step {
 			table[i] = entry
 		}
+	}
+	return nil
+}
+
+// huffPairFlag marks a pair-table entry that resolves two symbols.
+const huffPairFlag = 1 << 5
+
+// buildPairDecodeTable fills a decode table of 1<<maxLen entries where each
+// probe resolves up to TWO symbols: whenever the first code in the window
+// leaves enough bits for the following code to complete, both are baked into
+// the entry. Layout (32 bits):
+//
+//	bits 0..4   total consumed length (l1, or l1+l2 when paired)
+//	bit  5      pair flag (huffPairFlag)
+//	bits 6..15  first symbol
+//	bits 16..25 second symbol (pair entries only)
+//	bits 26..30 l1 alone — the fallback length when the pair cannot be
+//	            taken (output or bitstream about to end)
+//
+// Zero entries mark invalid codes. table must arrive zeroed.
+func buildPairDecodeTable(table []uint32, lengths []uint8, maxLen int) error {
+	if err := buildDecodeTable(table, lengths, maxLen); err != nil {
+		return err
+	}
+	// Rewrite in place, high index to low: i>>l1 < i for l1 >= 1, so the
+	// second-symbol probe below always reads a not-yet-rewritten
+	// single-symbol entry.
+	for i := len(table) - 1; i >= 0; i-- {
+		e1 := table[i]
+		l1 := e1 & 0x0F
+		if l1 == 0 {
+			table[i] = 0
+			continue
+		}
+		ne := l1 | (e1>>4)<<6 | l1<<26
+		e2 := table[i>>l1]
+		// Pairs are restricted to byte-valued symbols so decoders can emit
+		// both with plain byte() truncation (brotli's alphabet runs past
+		// 255; its length slots must take the single-symbol path anyway).
+		if l2 := e2 & 0x0F; l2 != 0 && l1+l2 <= uint32(maxLen) && e1>>4 < 256 && e2>>4 < 256 {
+			ne = (l1 + l2) | huffPairFlag | (e1>>4)<<6 | (e2>>4)<<16 | l1<<26
+		}
+		table[i] = ne
 	}
 	return nil
 }

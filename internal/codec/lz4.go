@@ -51,11 +51,8 @@ func (lz4Codec) Compress(dst, src []byte) ([]byte, error) {
 			continue
 		}
 		// Extend the match forward.
-		mlen := lz4MinMatch
 		maxMatch := len(src) - 5 - i // keep last 5 bytes literal
-		for mlen < maxMatch && src[int(cand)+mlen] == src[i+mlen] {
-			mlen++
-		}
+		mlen := lzExtendMatch(src, int(cand), i, lz4MinMatch, maxMatch)
 		if mlen < lz4MinMatch {
 			i++
 			continue
@@ -111,8 +108,22 @@ func lz4ExtLen(dst []byte, n int) []byte {
 	return append(dst, byte(n))
 }
 
+// lz4DecPad is the slack appended past the decoded length so the hot loop
+// can copy fixed-size chunks that overshoot a sequence's true length; the
+// junk lands in the pad and is trimmed off the returned slice.
+const lz4DecPad = 16
+
+// Decompress is index-based: dst is pre-extended by srcLen (plus pad) once
+// and both cursors are plain ints, so the sequence loop runs without append
+// bookkeeping or per-match function calls. Short literal runs and matches
+// move as fixed 16- or 8-byte chunks. A stream that would overrun srcLen
+// is rejected at the offending sequence — the same streams the old
+// append-then-check-total loop rejected at the end.
 func (lz4Codec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
 	base := len(dst)
+	dst = extendSlice(dst, srcLen+lz4DecPad)
+	limit := base + srcLen
+	w := base
 	i := 0
 	for i < len(src) {
 		tok := src[i]
@@ -128,7 +139,15 @@ func (lz4Codec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
 		if i+litLen > len(src) {
 			return nil, fmt.Errorf("%w: lz4 literals overrun input", ErrCorrupt)
 		}
-		dst = append(dst, src[i:i+litLen]...)
+		if w+litLen > limit {
+			return nil, fmt.Errorf("%w: lz4 literals overrun output", ErrCorrupt)
+		}
+		if litLen <= 16 && i+16 <= len(src) {
+			copy(dst[w:w+16], src[i:i+16]) // overshoot lands in pad
+		} else {
+			copy(dst[w:], src[i:i+litLen])
+		}
+		w += litLen
 		i += litLen
 		if i == len(src) {
 			break // final literal-only sequence
@@ -147,16 +166,36 @@ func (lz4Codec) Decompress(dst, src []byte, srcLen int) ([]byte, error) {
 			}
 		}
 		mlen += lz4MinMatch
-		var err error
-		dst, err = lzCopyMatch(dst, base, offset, mlen, "lz4")
-		if err != nil {
-			return nil, err
+		if offset <= 0 || offset > w-base {
+			return nil, fmt.Errorf("%w: lz4 match offset %d out of window", ErrCorrupt, offset)
+		}
+		if w+mlen > limit {
+			return nil, fmt.Errorf("%w: lz4 match overruns output", ErrCorrupt)
+		}
+		s := w - offset
+		end := w + mlen
+		switch {
+		case offset >= 8:
+			// 8-byte strides, overshooting into the pad.
+			for d := w; d < end; d += 8 {
+				copy(dst[d:d+8], dst[s:s+8])
+				s += 8
+			}
+			w = end
+		case offset >= mlen:
+			copy(dst[w:end], dst[s:s+mlen])
+			w = end
+		default:
+			// Overlapping short-offset run: double the materialized span.
+			for w < end {
+				w += copy(dst[w:end], dst[s:w])
+			}
 		}
 	}
-	if len(dst)-base != srcLen {
-		return nil, fmt.Errorf("%w: lz4 produced %d bytes, want %d", ErrCorrupt, len(dst)-base, srcLen)
+	if w != limit {
+		return nil, fmt.Errorf("%w: lz4 produced %d bytes, want %d", ErrCorrupt, w-base, srcLen)
 	}
-	return dst, nil
+	return dst[:limit], nil
 }
 
 func lz4ReadExtLen(src []byte, i, n int) (int, int, error) {
@@ -171,22 +210,4 @@ func lz4ReadExtLen(src []byte, i, n int) (int, int, error) {
 			return n, i, nil
 		}
 	}
-}
-
-// lzCopyMatch appends mlen bytes starting offset bytes back from the end of
-// dst, handling the overlapping-copy case shared by every LZ codec here.
-// base is the index in dst where this payload began (matches may not reach
-// before it).
-func lzCopyMatch(dst []byte, base, offset, mlen int, name string) ([]byte, error) {
-	if offset <= 0 || offset > len(dst)-base {
-		return nil, fmt.Errorf("%w: %s match offset %d out of window", ErrCorrupt, name, offset)
-	}
-	pos := len(dst) - offset
-	if offset >= mlen {
-		return append(dst, dst[pos:pos+mlen]...), nil
-	}
-	for k := 0; k < mlen; k++ {
-		dst = append(dst, dst[pos+k])
-	}
-	return dst, nil
 }

@@ -91,10 +91,7 @@ func lzmaFind(src []byte, head, prev []int32, i int) (length, dist int) {
 		if binary.LittleEndian.Uint32(src[c:]) != v {
 			continue
 		}
-		mlen := 4
-		for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
-			mlen++
-		}
+		mlen := lzExtendMatch(src, c, i, 4, maxMatch)
 		if mlen > length {
 			length, dist = mlen, i-c
 		}

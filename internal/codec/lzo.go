@@ -62,11 +62,7 @@ func (lzoCodec) CompressScratch(s *bufpool.Scratch, dst, src []byte) ([]byte, er
 		for depth := 0; depth < lzoChainDepth && cand >= 0 && i-int(cand) <= lzoWindow; depth++ {
 			c := int(cand)
 			if binary.LittleEndian.Uint32(src[c:]) == v {
-				mlen := 4
-				maxMatch := len(src) - 4 - i
-				for mlen < maxMatch && src[c+mlen] == src[i+mlen] {
-					mlen++
-				}
+				mlen := lzExtendMatch(src, c, i, 4, len(src)-4-i)
 				if mlen > bestLen {
 					bestLen, bestOff = mlen, i-c
 				}

@@ -62,14 +62,11 @@ func (quicklzCodec) Compress(dst, src []byte) ([]byte, error) {
 		cand := table[h]
 		table[h] = int32(i)
 		if cand >= 0 && i-int(cand) <= qlzWindow && binary.LittleEndian.Uint32(src[cand:]) == v {
-			mlen := 4
 			maxMatch := len(src) - 4 - i
 			if maxMatch > qlzMaxMatch {
 				maxMatch = qlzMaxMatch
 			}
-			for mlen < maxMatch && src[int(cand)+mlen] == src[i+mlen] {
-				mlen++
-			}
+			mlen := lzExtendMatch(src, int(cand), i, 4, maxMatch)
 			dst = qlzEmitLiterals(dst, src[anchor:i])
 			off := i - int(cand)
 			dst = append(dst, 0x80|byte(mlen-qlzMinMatch), byte(off), byte(off>>8))

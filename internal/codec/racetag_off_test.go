@@ -1,0 +1,6 @@
+//go:build !race
+
+package codec
+
+// raceDetectorEnabled is false without -race; see racetag_on_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceDetectorEnabled gates timing-based assertions: the race detector
+// slows instrumented code by a large, uneven factor, so relative-speed
+// floors are meaningless under it.
+const raceDetectorEnabled = true

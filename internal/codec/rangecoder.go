@@ -129,46 +129,87 @@ func (d *rcDecoder) next() byte {
 }
 
 func (d *rcDecoder) decodeBit(p *uint16) int {
-	bound := (d.rng >> rcProbBits) * uint32(*p)
+	rng, code := d.rng, d.code
+	bound := (rng >> rcProbBits) * uint32(*p)
 	var bit int
-	if d.code < bound {
-		d.rng = bound
+	if code < bound {
+		rng = bound
 		*p += (rcProbMax - *p) >> rcMoveShift
 	} else {
-		d.code -= bound
-		d.rng -= bound
+		code -= bound
+		rng -= bound
 		*p -= *p >> rcMoveShift
 		bit = 1
 	}
-	for d.rng < rcTop {
-		d.code = d.code<<8 | uint32(d.next())
-		d.rng <<= 8
+	for rng < rcTop {
+		var b byte
+		if d.pos < len(d.src) {
+			b = d.src[d.pos]
+		}
+		d.pos++ // past-the-end reads yield zeros; see next()
+		code = code<<8 | uint32(b)
+		rng <<= 8
 	}
+	d.rng, d.code = rng, code
 	return bit
 }
 
 func (d *rcDecoder) decodeDirect(n uint) uint32 {
+	rng, code := d.rng, d.code
+	src, pos := d.src, d.pos
 	var res uint32
 	for ; n > 0; n-- {
-		d.rng >>= 1
+		rng >>= 1
 		res <<= 1
-		if d.code >= d.rng {
-			d.code -= d.rng
+		if code >= rng {
+			code -= rng
 			res |= 1
 		}
-		for d.rng < rcTop {
-			d.code = d.code<<8 | uint32(d.next())
-			d.rng <<= 8
+		for rng < rcTop {
+			var b byte
+			if pos < len(src) {
+				b = src[pos]
+			}
+			pos++
+			code = code<<8 | uint32(b)
+			rng <<= 8
 		}
 	}
+	d.rng, d.code, d.pos = rng, code, pos
 	return res
 }
 
+// decodeTree is the decoder's hottest loop (bsc and lzma burn one call per
+// literal byte), so the whole coder state lives in locals for the duration
+// of the walk instead of round-tripping through the struct on every bit.
 func (d *rcDecoder) decodeTree(probs []uint16, nbits uint) uint32 {
+	rng, code := d.rng, d.code
+	src, pos := d.src, d.pos
 	m := uint32(1)
 	for i := uint(0); i < nbits; i++ {
-		m = m<<1 | uint32(d.decodeBit(&probs[m]))
+		p := probs[m]
+		bound := (rng >> rcProbBits) * uint32(p)
+		if code < bound {
+			rng = bound
+			probs[m] = p + (rcProbMax-p)>>rcMoveShift
+			m = m << 1
+		} else {
+			code -= bound
+			rng -= bound
+			probs[m] = p - p>>rcMoveShift
+			m = m<<1 | 1
+		}
+		for rng < rcTop {
+			var b byte
+			if pos < len(src) {
+				b = src[pos]
+			}
+			pos++
+			code = code<<8 | uint32(b)
+			rng <<= 8
+		}
 	}
+	d.rng, d.code, d.pos = rng, code, pos
 	return m - 1<<nbits
 }
 

@@ -102,11 +102,7 @@ func snapCompressFragment(dst, src []byte, p snapParams, table []int32) []byte {
 			continue
 		}
 		// Extend.
-		mlen := 4
-		maxMatch := len(src) - i
-		for mlen < maxMatch && src[int(cand)+mlen] == src[i+mlen] {
-			mlen++
-		}
+		mlen := lzExtendMatch(src, int(cand), i, 4, len(src)-i)
 		if mlen < p.minMatch {
 			i += skip >> p.skipShift
 			skip++
