@@ -1,0 +1,242 @@
+package main
+
+// hcbench -backend / -costsweep: the storage-backend harness behind
+// BENCH_backends.json. -backend measures raw Put/Peek throughput of the
+// in-memory and file-backed TierBackends (and for the file backend the
+// cold recovered-open time), so the durable-write overhead has a
+// recorded trajectory; -costsweep drives the public API across a
+// fast-expensive → cloud-cheap hierarchy at increasing Priorities.Cost
+// weights and records where the bytes land.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hcompress"
+	"hcompress/internal/stats"
+	"hcompress/internal/store/backend"
+	"hcompress/internal/store/durable"
+)
+
+const (
+	backendBenchPayload = 256 << 10
+	backendBenchOps     = 128
+)
+
+type backendBenchResult struct {
+	PutMBps  float64 `json:"put_mbps"`
+	PeekMBps float64 `json:"peek_mbps"`
+	// DurableWriteOverheadX is mem put MB/s over this backend's put MB/s
+	// (1.0 for mem itself).
+	DurableWriteOverheadX float64 `json:"durable_write_overhead_x,omitempty"`
+	// RecoveredOpenMs is the cold Open time over the journals the bench
+	// wrote; RecoveredEntries what came back. File backend only.
+	RecoveredOpenMs  float64 `json:"recovered_open_ms,omitempty"`
+	RecoveredEntries int     `json:"recovered_entries,omitempty"`
+}
+
+type costSweepPoint struct {
+	CostWeight float64          `json:"cost_weight"`
+	TierBytes  map[string]int64 `json:"tier_bytes"`
+}
+
+type backendBenchRun struct {
+	Label     string                        `json:"label"`
+	Date      string                        `json:"date"`
+	PayloadB  int                           `json:"payload_bytes,omitempty"`
+	Ops       int                           `json:"ops,omitempty"`
+	Backends  map[string]backendBenchResult `json:"backends,omitempty"`
+	CostSweep []costSweepPoint              `json:"costsweep,omitempty"`
+}
+
+type backendBenchFile struct {
+	Comment string            `json:"comment"`
+	Runs    []backendBenchRun `json:"runs"`
+}
+
+// benchOneBackend measures sequential Put then Peek throughput over ops
+// payloads of payload bytes each.
+func benchOneBackend(b backend.TierBackend) (putMBps, peekMBps float64, err error) {
+	if err = b.Open(); err != nil {
+		return 0, 0, err
+	}
+	payload := stats.GenBuffer(stats.TypeBinary, stats.Uniform, backendBenchPayload, 7)
+	handles := make([]backend.Handle, backendBenchOps)
+	start := time.Now()
+	for i := range handles {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		h, perr := b.Put(float64(i), fmt.Sprintf("bench-%04d", i), backend.NewRef(cp, nil))
+		if perr != nil {
+			return 0, 0, perr
+		}
+		handles[i] = h
+	}
+	putSecs := time.Since(start).Seconds()
+	start = time.Now()
+	for i, h := range handles {
+		r, perr := b.Peek(float64(i), h)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		r.Release()
+	}
+	peekSecs := time.Since(start).Seconds()
+	mb := float64(backendBenchOps*backendBenchPayload) / (1 << 20)
+	return mb / max(putSecs, 1e-9), mb / max(peekSecs, 1e-9), nil
+}
+
+// runBackendBench measures the selected backends (sel: "mem", "file" or
+// "all") and/or the cost sweep, appending one trajectory point to path
+// ("-" prints it to stdout).
+func runBackendBench(sel string, costsweep bool, path, label string) error {
+	run := backendBenchRun{
+		Label: label,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+	}
+
+	if sel != "" {
+		run.PayloadB = backendBenchPayload
+		run.Ops = backendBenchOps
+		run.Backends = map[string]backendBenchResult{}
+		var memPut float64
+		if sel == "mem" || sel == "all" {
+			m := backend.NewMem()
+			put, peek, err := benchOneBackend(m)
+			if err != nil {
+				return fmt.Errorf("backend bench mem: %w", err)
+			}
+			m.Close()
+			memPut = put
+			run.Backends["mem"] = backendBenchResult{PutMBps: put, PeekMBps: peek, DurableWriteOverheadX: 1}
+		}
+		if sel == "file" || sel == "all" {
+			dir, err := os.MkdirTemp("", "hcbench-backend-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			d := durable.New(dir, durable.Options{})
+			put, peek, err := benchOneBackend(d)
+			if err != nil {
+				return fmt.Errorf("backend bench file: %w", err)
+			}
+			if err := d.Close(); err != nil {
+				return err
+			}
+			res := backendBenchResult{PutMBps: put, PeekMBps: peek}
+			if memPut > 0 {
+				res.DurableWriteOverheadX = memPut / max(put, 1e-9)
+			}
+			// Cold reopen over everything the bench journaled.
+			start := time.Now()
+			d2 := durable.New(dir, durable.Options{})
+			if err := d2.Open(); err != nil {
+				return fmt.Errorf("backend bench recovered open: %w", err)
+			}
+			res.RecoveredOpenMs = time.Since(start).Seconds() * 1e3
+			res.RecoveredEntries = len(d2.Recovered())
+			d2.Close()
+			run.Backends["file"] = res
+		}
+		names := make([]string, 0, len(run.Backends))
+		for n := range run.Backends {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("%-6s %12s %12s %10s %16s\n", "kind", "put MB/s", "peek MB/s", "write ovh", "recovered open")
+		for _, n := range names {
+			r := run.Backends[n]
+			extra := "-"
+			if r.RecoveredEntries > 0 {
+				extra = fmt.Sprintf("%.1fms/%d keys", r.RecoveredOpenMs, r.RecoveredEntries)
+			}
+			fmt.Printf("%-6s %12.1f %12.1f %9.2fx %16s\n", n, r.PutMBps, r.PeekMBps, r.DurableWriteOverheadX, extra)
+		}
+	}
+
+	if costsweep {
+		points, err := runCostSweep()
+		if err != nil {
+			return err
+		}
+		run.CostSweep = points
+	}
+
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(run)
+	}
+	file := backendBenchFile{
+		Comment: "hcbench -backend/-costsweep: TierBackend put/peek MB/s (mem vs durable file journal, cold recovered-open time) and the Priorities.Cost sweep's per-tier byte placement; each run is one trajectory point",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("backend bench: existing %s is not a trajectory file: %w", path, err)
+		}
+	}
+	file.Runs = append(file.Runs, run)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended trajectory point %q to %s (%d runs)\n", label, path, len(file.Runs))
+	return nil
+}
+
+// runCostSweep compresses an identical workload at increasing cost
+// weights and reports the per-tier byte distribution at each weight.
+// The objective always keeps the raw I/O time of a placement, so a
+// dollar gap only decides between tiers whose service times are close:
+// the hierarchy models two NVMe service classes — provisioned-IOPS at
+// $1.00/GB-month over general-purpose at $0.08 with a ~10% service-time
+// penalty — above a cloud object floor, and the workload is
+// incompressible so codec choice cannot absorb the price difference.
+func runCostSweep() ([]costSweepPoint, error) {
+	weights := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	var points []costSweepPoint
+	fmt.Printf("%-12s %s\n", "cost weight", "bytes per tier")
+	for _, w := range weights {
+		tiers := []hcompress.TierSpec{
+			{Name: "io-ssd", CapacityBytes: 8 << 30, LatencySec: 1e-4, BandwidthBps: 2e9, Lanes: 8,
+				CostPerGBMonth: 1.00},
+			{Name: "gp-ssd", CapacityBytes: 32 << 30, LatencySec: 1.5e-4, BandwidthBps: 1.8e9, Lanes: 8,
+				CostPerGBMonth: 0.08},
+			hcompress.CloudTierSpec(1 << 40),
+		}
+		rest := (1 - w) / 3
+		c, err := hcompress.New(hcompress.Config{
+			Tiers:      tiers,
+			Priorities: hcompress.Priorities{CompressionSpeed: rest, DecompressionSpeed: rest, Ratio: rest, Cost: w},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 16; i++ {
+			data := stats.GenBuffer(stats.TypeBinary, stats.Uniform, 4<<20, int64(i+1))
+			if _, err := c.Compress(hcompress.Task{Key: fmt.Sprintf("sweep-%03d", i), Data: data}); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		point := costSweepPoint{CostWeight: w, TierBytes: map[string]int64{}}
+		var line string
+		for _, st := range c.Status() {
+			point.TierBytes[st.Name] = st.UsedBytes
+			line += fmt.Sprintf("  %s=%d", st.Name, st.UsedBytes)
+		}
+		points = append(points, point)
+		fmt.Printf("%-12.2f%s\n", w, line)
+		if err := c.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}

@@ -55,6 +55,10 @@ func main() {
 		reads    = flag.String("readbench", "", "instead of experiments: run the zipfian hot-read benchmark (cache-on vs cache-off over an identical key sequence) and write the comparison as JSON to this path ('-' for stdout); honors -zipf and -cache")
 		codecb   = flag.String("codecbench", "", "instead of experiments: measure per-codec compress/decompress MB/s and ratio over the standard corpus and append one trajectory point to this JSON path ('-' prints the run to stdout)")
 		codecLbl = flag.String("codeclabel", "run", "with -codecbench: label recorded on the appended trajectory point")
+		backends = flag.String("backend", "", "instead of experiments: measure TierBackend put/peek throughput for 'mem', 'file', or 'all' (file also times the cold recovered open) and append a point to -backendout")
+		costswp  = flag.Bool("costsweep", false, "instead of experiments: sweep Priorities.Cost over a fast-expensive vs cloud-cheap hierarchy and record the per-tier byte placement in -backendout (combines with -backend)")
+		bkOut    = flag.String("backendout", "BENCH_backends.json", "with -backend/-costsweep: trajectory JSON path ('-' prints the run to stdout)")
+		bkLbl    = flag.String("backendlabel", "run", "with -backend/-costsweep: label recorded on the appended trajectory point")
 	)
 	flag.Parse()
 	var err error
@@ -75,6 +79,10 @@ func main() {
 		err = fmt.Errorf("-zipf must be >= 0, got %g", *zipf)
 	case *cache < 0 || *cache > 1:
 		err = fmt.Errorf("-cache must be in [0, 1], got %g", *cache)
+	case *backends != "" && *backends != "mem" && *backends != "file" && *backends != "all":
+		err = fmt.Errorf("-backend must be mem, file or all, got %q", *backends)
+	case *backends != "" || *costswp:
+		err = runBackendBench(*backends, *costswp, *bkOut, *bkLbl)
 	case *codecb != "":
 		err = runCodecBench(*codecb, *codecLbl)
 	case *reads != "":

@@ -12,7 +12,8 @@ import (
 
 // TierSpec describes one storage tier, fastest-first. It mirrors the
 // information the paper says "is provided by the user" (bandwidth, device
-// location, interface).
+// location, interface), extended with the tier's payload backend and its
+// dollar pricing.
 type TierSpec struct {
 	// Name identifies the tier (e.g. "ram", "nvme", "burstbuffer", "pfs").
 	Name string
@@ -24,6 +25,33 @@ type TierSpec struct {
 	BandwidthBps float64
 	// Lanes is the tier's hardware concurrency (devices x channels).
 	Lanes int
+	// Backend selects the tier's payload plane: "" or "mem" keeps
+	// payloads in process memory (the default, byte-identical to
+	// previous releases), "file" journals them into append-only segment
+	// files under Config.DataDir and survives a crash, "cloud" models an
+	// object store with $-cost metering.
+	Backend string
+	// CostPerGBMonth prices keeping one GB resident on this tier for a
+	// month; EgressCostPerGB prices reading one GB out. Both feed the
+	// cloud backend's cost meter and, weighted by Priorities.Cost, the
+	// placement objective. Zero keeps the tier free.
+	CostPerGBMonth  float64
+	EgressCostPerGB float64
+}
+
+// spec is the single conversion point between the public TierSpec and
+// the internal tier.Spec — every field crosses here and nowhere else.
+func (s TierSpec) spec() tier.Spec {
+	return tier.Spec{
+		Name:            s.Name,
+		Capacity:        s.CapacityBytes,
+		Latency:         s.LatencySec,
+		Bandwidth:       s.BandwidthBps,
+		Lanes:           s.Lanes,
+		Backend:         s.Backend,
+		CostPerGBMonth:  s.CostPerGBMonth,
+		EgressCostPerGB: s.EgressCostPerGB,
+	}
 }
 
 // Priorities are the application's compression priorities (Table II of the
@@ -34,6 +62,12 @@ type Priorities struct {
 	CompressionSpeed   float64
 	DecompressionSpeed float64
 	Ratio              float64
+	// Cost weighs the dollar price of placement (per-tier $/GB-month +
+	// egress) against the three time-based terms. Zero — the default —
+	// keeps the planner's arithmetic bit-identical to a purely
+	// time-based objective; a positive weight steers placement toward
+	// cheap tiers.
+	Cost float64
 }
 
 // Priority presets from Table II.
@@ -55,6 +89,7 @@ func (p Priorities) toWeights() seed.Weights {
 		Compression:   p.CompressionSpeed,
 		Decompression: p.DecompressionSpeed,
 		Ratio:         p.Ratio,
+		Cost:          p.Cost,
 	}.Normalize()
 }
 
@@ -65,6 +100,11 @@ type Config struct {
 	// Ares-like hierarchy (256 MiB RAM / 1 GiB NVMe / 4 GiB BB / 64 GiB
 	// PFS) suitable for in-process use.
 	Tiers []TierSpec
+	// DataDir roots the on-disk state of file-backed tiers: a tier whose
+	// spec names Backend "file" journals its payloads under
+	// DataDir/<shard>/<tier-name>. Required when any tier is
+	// file-backed; ignored otherwise.
+	DataDir string
 	// Priorities select the compression cost weighting. Zero value means
 	// equal weights.
 	Priorities Priorities
@@ -226,13 +266,34 @@ func (c Config) telemetryEnabled() bool {
 		c.SlowOpThreshold > 0 || c.SlowOpSampleEvery > 0
 }
 
-// DefaultTiers returns the default laptop-scale hierarchy.
+// DefaultTiers returns the default laptop-scale hierarchy. The dollar
+// prices ballpark 2020s cloud/on-prem rates (DRAM ≫ NVMe ≫ HDD-backed
+// PFS); they only matter when Priorities.Cost is nonzero.
 func DefaultTiers() []TierSpec {
 	return []TierSpec{
-		{Name: "ram", CapacityBytes: 256 << 20, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4},
-		{Name: "nvme", CapacityBytes: 1 << 30, LatencySec: 30e-6, BandwidthBps: 2e9, Lanes: 2},
-		{Name: "burstbuffer", CapacityBytes: 4 << 30, LatencySec: 400e-6, BandwidthBps: 1e9, Lanes: 2},
-		{Name: "pfs", CapacityBytes: 64 << 30, LatencySec: 5e-3, BandwidthBps: 500e6, Lanes: 4},
+		{Name: "ram", CapacityBytes: 256 << 20, LatencySec: 1e-6, BandwidthBps: 6e9, Lanes: 4, CostPerGBMonth: 3.0},
+		{Name: "nvme", CapacityBytes: 1 << 30, LatencySec: 30e-6, BandwidthBps: 2e9, Lanes: 2, CostPerGBMonth: 0.30},
+		{Name: "burstbuffer", CapacityBytes: 4 << 30, LatencySec: 400e-6, BandwidthBps: 1e9, Lanes: 2, CostPerGBMonth: 0.10},
+		{Name: "pfs", CapacityBytes: 64 << 30, LatencySec: 5e-3, BandwidthBps: 500e6, Lanes: 4, CostPerGBMonth: 0.04},
+	}
+}
+
+// CloudTierSpec returns a modeled object-store tier (S3-class pricing:
+// $0.023/GB-month storage, $0.09/GB egress; 50 ms latency) to append
+// below DefaultTiers as the hierarchy's cold floor. Capacity is the
+// caller's choice — pick something effectively unbounded relative to
+// the workload.
+func CloudTierSpec(capacityBytes int64) TierSpec {
+	s := tier.CloudSpec(capacityBytes)
+	return TierSpec{
+		Name:            s.Name,
+		CapacityBytes:   s.Capacity,
+		LatencySec:      s.Latency,
+		BandwidthBps:    s.Bandwidth,
+		Lanes:           s.Lanes,
+		Backend:         s.Backend,
+		CostPerGBMonth:  s.CostPerGBMonth,
+		EgressCostPerGB: s.EgressCostPerGB,
 	}
 }
 
@@ -243,13 +304,7 @@ func (c Config) hierarchy() (tier.Hierarchy, error) {
 	}
 	var h tier.Hierarchy
 	for _, s := range specs {
-		h.Tiers = append(h.Tiers, tier.Spec{
-			Name:      s.Name,
-			Capacity:  s.CapacityBytes,
-			Latency:   s.LatencySec,
-			Bandwidth: s.BandwidthBps,
-			Lanes:     s.Lanes,
-		})
+		h.Tiers = append(h.Tiers, s.spec())
 	}
 	if err := h.Validate(); err != nil {
 		return tier.Hierarchy{}, fmt.Errorf("hcompress: %w", err)

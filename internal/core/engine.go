@@ -149,6 +149,7 @@ type Engine struct {
 	cfg   Config        // immutable after New
 	pool  []codec.Codec // candidate codecs, None excluded; immutable
 	price []float64     // per-tier displacement price (sec/byte); immutable
+	dollar []float64    // per-tier $ price ($/byte, storage+egress); immutable
 
 	mu        sync.RWMutex // guards w, memo, memoStamp, memoGen, memoEpoch
 	w         seed.Weights
@@ -326,6 +327,15 @@ func New(pred *predictor.CCP, mon *monitor.SystemMonitor, cfg Config) (*Engine, 
 			p = 0
 		}
 		e.price[i] = p
+	}
+	// Dollar prices are likewise static per hierarchy: what one byte
+	// placed on tier l costs in storage (one month resident) plus one
+	// eventual egress read. They enter the objective only through the
+	// Cost weight, so the default zero weight keeps plans bit-identical
+	// to the purely time-based DP.
+	e.dollar = make([]float64, hier.Len())
+	for i, spec := range hier.Tiers {
+		e.dollar[i] = (spec.CostPerGBMonth + spec.EgressCostPerGB) / float64(int64(1)<<30)
 	}
 	return e, nil
 }
@@ -594,6 +604,13 @@ func (e *Engine) consider(best *planVal, size int64, l int, id codec.ID, rc, ful
 	// that much future data down to the slowest tier (weighted by the
 	// ratio priority, which expresses how much the caller values space).
 	fullTime += e.w.Ratio * float64(compSize) * e.price[l]
+	// Dollar cost: storage + egress pricing for the bytes placed here,
+	// blended into the time objective by the Cost weight. Guarded so a
+	// zero weight adds nothing to the float pipeline and existing plans
+	// stay bit-identical.
+	if e.w.Cost != 0 {
+		fullTime += e.w.Cost * float64(compSize) * e.dollar[l]
+	}
 	if compSize <= remaining {
 		// Whole task fits here (constraint 5 satisfied).
 		if fullTime < best.time {

@@ -30,6 +30,12 @@ var (
 	// control: the tenant is over its request rate. Retryable after
 	// backoff, unlike ErrQuotaExceeded.
 	ErrThrottled = errors.New("tenant throttled")
+	// ErrBackendIO marks a tier backend I/O failure: a durable backend's
+	// journal append, read, or sync hit a real device error (as opposed
+	// to an injected fault or a capacity miss). It feeds the health
+	// machine like any other tier failure and is spillable — the write
+	// ladder retries the payload on another tier.
+	ErrBackendIO = errors.New("backend I/O failure")
 )
 
 // transientErr wraps a retryable failure: a blip the caller may clear by

@@ -24,7 +24,9 @@ import (
 	"hash/crc32"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -583,6 +585,118 @@ func subKey(key string, k int) string {
 	return string(b)
 }
 
+// splitSubKey inverts subKey: "key#3" → ("key", 3, true).
+func splitSubKey(sk string) (string, int, bool) {
+	i := strings.LastIndexByte(sk, '#')
+	if i <= 0 || i == len(sk)-1 {
+		return "", 0, false
+	}
+	k, err := strconv.Atoi(sk[i+1:])
+	if err != nil || k < 0 {
+		return "", 0, false
+	}
+	return sk[:i], k, true
+}
+
+// AdoptRecovered rebuilds task metadata for the payloads durable
+// backends recovered when the store opened, and returns how many tasks
+// became readable again. Sub-task store keys encode the task key and
+// piece index (subKey), and every stored piece opens with its on-media
+// header {offset, length, codec, stored size, CRC} — the paper's
+// self-identifying-data property — so a task whose pieces all survived
+// needs no separate manifest: the schema is reassembled from the media.
+// Pieces whose siblings are gone (a sub-task that had been placed on a
+// memory tier, say) are deleted so their capacity is reclaimed rather
+// than stranded. Write-time analyzer attributes are not persisted:
+// recovered tasks carry a zero attr, read reports show empty data
+// attributes, and reads post no predictor feedback for them.
+//
+// Called once during client assembly, after the store is opened and
+// before it is shared between goroutines.
+func (m *Manager) AdoptRecovered() (int, error) {
+	keys := m.st.Recovered()
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	type piece struct {
+		sub subMeta
+		idx int
+	}
+	groups := make(map[string][]piece)
+	var orphans []string
+	for _, sk := range keys {
+		base, idx, ok := splitSubKey(sk)
+		if !ok {
+			orphans = append(orphans, sk)
+			continue
+		}
+		blob, err := m.st.Peek(0, sk)
+		if err != nil {
+			orphans = append(orphans, sk)
+			continue
+		}
+		hdr, _, derr := DecodeHeader(blob.Data)
+		m.st.Release(blob)
+		if derr != nil {
+			orphans = append(orphans, sk)
+			continue
+		}
+		groups[base] = append(groups[base], piece{
+			sub: subMeta{key: sk, hdr: hdr, tier: blob.Tier, stored: blob.Size},
+			idx: idx,
+		})
+	}
+	adopted := 0
+	bases := make([]string, 0, len(groups))
+	for base := range groups {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		ps := groups[base]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].idx < ps[j].idx })
+		// A task is whole iff its piece indices are 0..n-1 and the header
+		// ranges tile the original task without gap or overlap.
+		whole := true
+		var off int64
+		for i, p := range ps {
+			if p.idx != i || p.sub.hdr.Offset != off {
+				whole = false
+				break
+			}
+			off += p.sub.hdr.Length
+		}
+		if !whole {
+			for _, p := range ps {
+				orphans = append(orphans, p.sub.key)
+			}
+			continue
+		}
+		meta := &taskMeta{size: off}
+		for _, p := range ps {
+			meta.subs = append(meta.subs, p.sub)
+		}
+		m.mu.Lock()
+		if _, taken := m.tasks[base]; taken {
+			m.mu.Unlock()
+			continue
+		}
+		m.tasks[base] = meta
+		if _, lingering := m.inOrder[base]; !lingering {
+			m.order = append(m.order, base)
+			m.inOrder[base] = struct{}{}
+		}
+		m.mu.Unlock()
+		adopted++
+	}
+	for _, sk := range orphans {
+		if err := m.st.Delete(sk); err != nil {
+			return adopted, fmt.Errorf("manager: reclaiming orphaned recovered piece %q: %w", sk, err)
+		}
+	}
+	return adopted, nil
+}
+
 // compOut carries one sub-task's stage-1 codec output into the serial
 // stage-2 replay. err is only populated on the batch path, where one
 // failing task must not abort its siblings' fan-out.
@@ -699,7 +813,8 @@ func (m *Manager) putSub(t float64, tier int, sk string, payload []byte, stored 
 			return end, tier, retrySecs, retries, nil
 		}
 		spillable := errors.Is(err, store.ErrNoCapacity) ||
-			errors.Is(err, hcerr.ErrTierOffline) || hcerr.IsTransient(err)
+			errors.Is(err, hcerr.ErrTierOffline) || errors.Is(err, hcerr.ErrBackendIO) ||
+			hcerr.IsTransient(err)
 		if spillable && tier+1 < nTiers {
 			tier++
 			continue
@@ -1107,7 +1222,10 @@ func (m *Manager) replayRead(now float64, attr analyzer.Result, subs []subMeta, 
 		if m.tm.readBytes != nil {
 			m.tm.readBytes[o.hdr.Codec].Add(o.hdr.Length)
 		}
-		if o.hdr.Codec != codec.None && o.secs > 0 {
+		// attr.Size == 0 marks a recovered task whose write-time analyzer
+		// attributes were not persisted: feedback keyed on a zero attr
+		// would train the wrong predictor cell, so those reads post none.
+		if o.hdr.Codec != codec.None && o.secs > 0 && attr.Size > 0 {
 			cost := seed.CodecCost{
 				DecompressMBps: float64(o.hdr.Length) / (1 << 20) / o.secs,
 			}

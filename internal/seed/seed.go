@@ -53,20 +53,26 @@ type Seed struct {
 
 // Weights are the application's compression priorities (Table II): the
 // relative importance of compression speed, decompression speed, and
-// compression ratio in the HCDP cost function.
+// compression ratio in the HCDP cost function — plus an optional Cost
+// weight pricing placement in dollars (per-tier $/GB-month + egress,
+// beyond the paper). Cost defaults to zero, which keeps the objective
+// purely time-based and the planner's arithmetic bit-identical.
 type Weights struct {
 	Compression   float64 `json:"compression"`
 	Decompression float64 `json:"decompression"`
 	Ratio         float64 `json:"ratio"`
+	Cost          float64 `json:"cost,omitempty"`
 }
 
-// Normalize scales the weights to sum to 1 (all-equal if all zero).
+// Normalize scales the weights to sum to 1 (all-equal across the
+// paper's three terms if all zero). A zero Cost leaves the other three
+// exactly as they normalized before the cost term existed.
 func (w Weights) Normalize() Weights {
-	s := w.Compression + w.Decompression + w.Ratio
+	s := w.Compression + w.Decompression + w.Ratio + w.Cost
 	if s <= 0 {
-		return Weights{1.0 / 3, 1.0 / 3, 1.0 / 3}
+		return Weights{Compression: 1.0 / 3, Decompression: 1.0 / 3, Ratio: 1.0 / 3}
 	}
-	return Weights{w.Compression / s, w.Decompression / s, w.Ratio / s}
+	return Weights{Compression: w.Compression / s, Decompression: w.Decompression / s, Ratio: w.Ratio / s, Cost: w.Cost / s}
 }
 
 // Canonical priority presets from Table II of the paper.

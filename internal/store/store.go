@@ -3,10 +3,20 @@
 // substrate both baselines (Hermes-style buffering) and HCompress write
 // through.
 //
+// The store is split into a backend-agnostic control plane — the blob
+// directory, per-tier capacity ledgers and virtual timelines, fault
+// injection, and health observation — and one payload plane per tier
+// behind the backend.TierBackend interface. The default backend keeps
+// payloads in process memory (byte-identical to the pre-backend store);
+// a tier.Spec with Backend "file" stores payloads in append-only segment
+// files with a write-ahead journal (internal/store/durable) and survives
+// a crash, and Backend "cloud" models an object store with per-GB-month
+// and egress pricing on the virtual clock (internal/store/cloudtier).
+//
 // The store can run in two modes. With data retention on, blob payloads
-// are held in memory and reads return the exact bytes written — the mode
-// used by the public API, the examples, and correctness tests. With
-// retention off, only sizes and placement are tracked, letting the
+// are held by the tier backends and reads return the exact bytes written —
+// the mode used by the public API, the examples, and correctness tests.
+// With retention off, only sizes and placement are tracked, letting the
 // experiment harness replay the paper's multi-hundred-gigabyte workloads
 // on a laptop while keeping the timing model identical.
 //
@@ -15,18 +25,25 @@
 // with its own mutex, so traffic against different tiers never serializes.
 // Lock order is always directory before tier, and tiers in ascending
 // index, so composite operations (Put with overwrite, Move) cannot
-// deadlock.
+// deadlock. Backend locks are leaf locks: a backend is only ever called
+// with at most the directory lock held, and never calls back into the
+// store.
 package store
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"hcompress/internal/bufpool"
 	"hcompress/internal/des"
 	"hcompress/internal/fault"
 	"hcompress/internal/hcerr"
+	"hcompress/internal/store/backend"
+	"hcompress/internal/store/cloudtier"
+	"hcompress/internal/store/durable"
 	"hcompress/internal/telemetry"
 	"hcompress/internal/tier"
 )
@@ -45,38 +62,20 @@ type Blob struct {
 	Size int64  // bytes occupied on the tier (compressed size)
 	Data []byte // nil when data retention is off
 
-	// ref tracks the payload's lifetime when it came from the buffer
-	// arena via PutOwned; nil for copied (Put) payloads. Blob copies
-	// share the same ref.
-	ref *payloadRef
+	// ref pins the payload returned by Peek; nil for Get/Stat results.
+	// handle addresses the payload inside its tier's backend while the
+	// blob is resident (has is true).
+	ref    *backend.Ref
+	handle backend.Handle
+	has    bool
 }
 
-// payloadRef is the reference count of one arena-owned payload. The
-// store holds one reference while the blob is resident; every Peek of
-// an owned blob adds one, balanced by Release. When the count reaches
-// zero the backing buffer returns to the arena.
-type payloadRef struct {
-	refs atomic.Int32
-	data []byte
-}
-
-func (r *payloadRef) retain() {
-	if r != nil {
-		r.refs.Add(1)
-	}
-}
-
-func (r *payloadRef) release() {
-	if r != nil && r.refs.Add(-1) == 0 {
-		bufpool.Put(r.data)
-	}
-}
-
-// Release returns a Peek'd blob's pin on its arena-owned payload. It is
-// a no-op for copied payloads and for the zero Blob, so callers can
-// Release unconditionally. After Release the blob's Data must not be
-// touched again.
-func (s *Store) Release(b Blob) { b.ref.release() }
+// Release returns a Peek'd blob's pin on its payload. For arena-owned
+// payloads this is what lets the buffer return to the arena; for copied
+// payloads it is effectively free. It is a no-op for the zero Blob, so
+// callers can Release unconditionally. After Release the blob's Data
+// must not be touched again.
+func (s *Store) Release(b Blob) { b.ref.Release() }
 
 // tierState is one tier's capacity ledger and virtual timeline, guarded by
 // its own lock so tiers never contend with each other.
@@ -109,31 +108,157 @@ type tierMetrics struct {
 // atomic, mirroring how a real System Monitor samples devices one by one.
 type Store struct {
 	mu       sync.RWMutex // guards blobs and the fields of stored *Blob values
-	tiers    []*tierState // slice immutable after New; elements self-locked
+	tiers    []*tierState // slice immutable after Open; elements self-locked
+	be       []backend.TierBackend
 	blobs    map[string]*Blob
 	keepData bool
 	hier     tier.Hierarchy
 
 	// flt, when non-nil, rules on every tier operation (fault injection).
 	// healthSink, when non-nil, observes per-tier outcomes — injected
-	// failures and ordinary successes — so the System Monitor can track
-	// tier health. Both are construction-time options; neither is ever
-	// called while a tier lock is held (the monitor's refresh path takes
-	// its own lock before sampling tiers, so the opposite order would
-	// deadlock).
+	// failures, real backend I/O errors, and ordinary successes — so the
+	// System Monitor can track tier health. Both are construction-time
+	// options; neither is ever called while a tier lock is held (the
+	// monitor's refresh path takes its own lock before sampling tiers, so
+	// the opposite order would deadlock).
 	flt        fault.Injector
 	healthSink func(now float64, tier int, err error)
+
+	// recovered lists the keys re-admitted from durable backends at Open,
+	// sorted. Snapshot for the assembly phase; never mutated afterwards.
+	recovered []string
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
+// Options are the store's construction-time settings, accepted by Open.
+// The zero value is a retention-off store with in-memory backends and no
+// fault injection, health observation, or telemetry.
+type Options struct {
+	// KeepData selects whether blob payloads are retained (true) or only
+	// modeled (false).
+	KeepData bool
+	// DataDir roots file-backed tiers: a tier whose spec names Backend
+	// "file" journals its payloads under DataDir/<tier-name>. Required
+	// when any tier is file-backed.
+	DataDir string
+	// Durable tunes the file-backed tiers (segment size, sync cadence,
+	// compaction threshold). The zero value uses durable's defaults.
+	Durable durable.Options
+	// FaultInjector, when non-nil, rules on every tier operation.
+	FaultInjector fault.Injector
+	// HealthSink, when non-nil, observes per-tier outcomes: a nil error
+	// on success, the failure otherwise. Never invoked under a store
+	// lock on the put/read paths.
+	HealthSink func(now float64, tier int, err error)
+	// Telemetry, when non-nil, registers per-tier instruments.
+	Telemetry *telemetry.Registry
+	// Backends, when non-nil, supplies one pre-built backend per tier and
+	// overrides selection from the tier specs (used by tests and custom
+	// assemblies). Must match the hierarchy's tier count; the store
+	// Opens and Closes them.
+	Backends []backend.TierBackend
+}
+
+// New creates a store over the hierarchy with in-memory backends.
+// keepData selects whether blob payloads are retained (true) or only
+// modeled (false). It is the pre-Options constructor, kept for existing
+// call sites; new code should call Open.
+func New(h tier.Hierarchy, keepData bool) (*Store, error) {
+	return Open(h, Options{KeepData: keepData})
+}
+
+// Open creates a store over the hierarchy, building one payload backend
+// per tier from its spec (Backend "" or "mem" → in-memory, "file" →
+// durable journal under DataDir, "cloud" → modeled object store) unless
+// opts.Backends overrides them. File-backed tiers replay their journals
+// here: whatever payloads survive recovery re-enter the blob directory
+// and re-charge their tier's capacity ledger before the first operation.
+func Open(h tier.Hierarchy, opts Options) (*Store, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		blobs:      make(map[string]*Blob),
+		keepData:   opts.KeepData,
+		hier:       h,
+		flt:        opts.FaultInjector,
+		healthSink: opts.HealthSink,
+	}
+	if opts.Backends != nil && len(opts.Backends) != len(h.Tiers) {
+		return nil, fmt.Errorf("store: %d backends for %d tiers", len(opts.Backends), len(h.Tiers))
+	}
+	for i, spec := range h.Tiers {
+		s.tiers = append(s.tiers, &tierState{
+			spec: spec,
+			res:  des.NewResource(spec.Name, spec.Lanes, spec.Latency, spec.Bandwidth),
+		})
+		if opts.Backends != nil {
+			s.be = append(s.be, opts.Backends[i])
+			continue
+		}
+		switch spec.Backend {
+		case "", tier.BackendMem:
+			s.be = append(s.be, backend.NewMem())
+		case tier.BackendFile:
+			if opts.DataDir == "" {
+				return nil, fmt.Errorf("store: tier %s has a file backend but no DataDir was configured", spec.Name)
+			}
+			s.be = append(s.be, durable.New(filepath.Join(opts.DataDir, spec.Name), opts.Durable))
+		case tier.BackendCloud:
+			s.be = append(s.be, cloudtier.New(spec.CostPerGBMonth, spec.EgressCostPerGB))
+		default:
+			return nil, fmt.Errorf("store: tier %s: unknown backend %q", spec.Name, spec.Backend)
+		}
+	}
+	for i, be := range s.be {
+		if err := be.Open(); err != nil {
+			for _, prev := range s.be[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("store: open %s backend for tier %s: %w",
+				be.Kind(), h.Tiers[i].Name, err)
+		}
+	}
+	// Re-admit everything a durable backend recovered. If the same key
+	// survived on two tiers (a crash between a Move's journal records),
+	// the faster tier wins and the stale copy is dropped.
+	for t, be := range s.be {
+		for _, re := range be.Recovered() {
+			if _, dup := s.blobs[re.Key]; dup {
+				be.Delete(re.Handle)
+				continue
+			}
+			s.blobs[re.Key] = &Blob{Key: re.Key, Tier: t, Size: re.Size, handle: re.Handle, has: true}
+			s.tiers[t].used += re.Size
+			s.recovered = append(s.recovered, re.Key)
+		}
+	}
+	sort.Strings(s.recovered)
+	s.SetTelemetry(opts.Telemetry)
+	return s, nil
+}
+
+// Recovered returns the keys of every payload re-admitted from durable
+// backends when the store was opened, sorted. It is a snapshot taken at
+// Open; callers consume it during assembly, before the store is shared
+// between goroutines.
+func (s *Store) Recovered() []string { return s.recovered }
+
 // SetFaultInjector installs the fault injector ruling on every tier
-// operation. Like SetTelemetry it must be called before the store is
-// shared between goroutines; nil leaves injection off.
+// operation.
+//
+// Deprecated: pass Options.FaultInjector to Open. Kept as a shim for
+// pre-Options call sites; like the other construction-time setters it
+// must be called before the store is shared between goroutines.
 func (s *Store) SetFaultInjector(f fault.Injector) { s.flt = f }
 
 // SetHealthSink installs the per-tier outcome observer (the System
-// Monitor's health feed). It is invoked with a nil error on successful
-// operations and with the failure otherwise, never under a store lock.
-// Construction-time only; nil leaves health observation off.
+// Monitor's health feed).
+//
+// Deprecated: pass Options.HealthSink to Open. Kept as a shim for
+// pre-Options call sites; construction-time only.
 func (s *Store) SetHealthSink(fn func(now float64, tier int, err error)) { s.healthSink = fn }
 
 // observe reports one tier outcome to the health sink. Capacity misses
@@ -153,26 +278,13 @@ func (s *Store) decide(now float64, tier int, op fault.Op, key string, size int6
 	return s.flt.Decide(now, tier, op, key, size)
 }
 
-// New creates a store over the hierarchy. keepData selects whether blob
-// payloads are retained (true) or only modeled (false).
-func New(h tier.Hierarchy, keepData bool) (*Store, error) {
-	if err := h.Validate(); err != nil {
-		return nil, err
-	}
-	s := &Store{blobs: make(map[string]*Blob), keepData: keepData, hier: h}
-	for _, spec := range h.Tiers {
-		s.tiers = append(s.tiers, &tierState{
-			spec: spec,
-			res:  des.NewResource(spec.Name, spec.Lanes, spec.Latency, spec.Bandwidth),
-		})
-	}
-	return s, nil
-}
-
 // SetTelemetry registers per-tier instruments (put/get ops and bytes,
-// deletes, evictions, used/capacity gauges) on reg. It must be called
-// before the store is shared between goroutines — a construction-time
-// option like SetParallelism. A nil registry leaves telemetry off.
+// deletes, evictions, used/capacity gauges) on reg. A nil registry
+// leaves telemetry off.
+//
+// Deprecated: pass Options.Telemetry to Open. Kept as a shim for
+// pre-Options call sites; it must be called before the store is shared
+// between goroutines.
 func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -204,6 +316,15 @@ func (s *Store) Hierarchy() tier.Hierarchy { return s.hier }
 // KeepsData reports whether payloads are retained.
 func (s *Store) KeepsData() bool { return s.keepData }
 
+// Backend exposes tier t's payload backend (benchmarks and tests; cost
+// reports come from type-asserting the cloud backend).
+func (s *Store) Backend(t int) backend.TierBackend {
+	if t < 0 || t >= len(s.be) {
+		return nil
+	}
+	return s.be[t]
+}
+
 // release returns size bytes of capacity to tier t.
 func (s *Store) release(t int, size int64) {
 	ts := s.tiers[t]
@@ -211,6 +332,38 @@ func (s *Store) release(t int, size int64) {
 	ts.used -= size
 	ts.tm.usedGauge.Set(float64(ts.used))
 	ts.mu.Unlock()
+}
+
+// dropPayload removes b's payload from its tier backend. Directory
+// bookkeeping is the caller's job; b must already be unreachable (popped
+// from the directory or owned by a rolled-back path).
+func (s *Store) dropPayload(b *Blob) {
+	if b.has {
+		s.be[b.Tier].Delete(b.handle)
+		b.has = false
+	}
+}
+
+// restoreOld re-admits a displaced blob after a failed overwrite: its
+// capacity is re-charged and it re-enters the directory — unless a
+// concurrent same-key Put won the slot in the meantime, in which case
+// the old blob is gone for good.
+func (s *Store) restoreOld(old *Blob) {
+	ot := s.tiers[old.Tier]
+	ot.mu.Lock()
+	ot.used += old.Size
+	ot.tm.usedGauge.Set(float64(ot.used))
+	ot.mu.Unlock()
+	s.mu.Lock()
+	_, raced := s.blobs[old.Key] // a concurrent same-key Put won; keep its blob
+	if !raced {
+		s.blobs[old.Key] = old
+	}
+	s.mu.Unlock()
+	if raced {
+		s.release(old.Tier, old.Size)
+		s.dropPayload(old)
+	}
 }
 
 // Put stores size bytes under key on tier t, beginning at virtual time
@@ -224,10 +377,11 @@ func (s *Store) Put(now float64, t int, key string, data []byte, size int64) (en
 // PutOwned is Put for arena-owned payloads: on success the store takes
 // ownership of data — storing it without Put's defensive copy and
 // recycling it into the buffer arena once the blob is deleted,
-// overwritten, or the store is reset (and no Peek pin remains). On
-// error, ownership stays with the caller so spill/retry paths can reuse
-// the same buffer. data must come from the bufpool arena and must not
-// be touched by the caller after a successful PutOwned.
+// overwritten, or the store is reset (and no Peek pin remains; a durable
+// backend recycles it as soon as the bytes are journaled). On error,
+// ownership stays with the caller so spill/retry paths can reuse the
+// same buffer. data must come from the bufpool arena and must not be
+// touched by the caller after a successful PutOwned.
 func (s *Store) PutOwned(now float64, t int, key string, data []byte, size int64) (end float64, err error) {
 	return s.put(now, t, key, data, size, true)
 }
@@ -267,20 +421,7 @@ func (s *Store) put(now float64, t int, key string, data []byte, size int64, own
 		used, cap := ts.used, ts.spec.Capacity
 		ts.mu.Unlock()
 		if hadOld { // roll back: restore the old blob and its allocation
-			s.tiers[old.Tier].mu.Lock()
-			s.tiers[old.Tier].used += old.Size
-			s.tiers[old.Tier].tm.usedGauge.Set(float64(s.tiers[old.Tier].used))
-			s.tiers[old.Tier].mu.Unlock()
-			s.mu.Lock()
-			_, raced := s.blobs[key] // a concurrent same-key Put won; keep its blob
-			if !raced {
-				s.blobs[key] = old
-			}
-			s.mu.Unlock()
-			if raced {
-				s.release(old.Tier, old.Size)
-				old.ref.release()
-			}
+			s.restoreOld(old)
 		}
 		return now, fmt.Errorf("%w: %s (%d used, %d cap, %d requested)",
 			ErrNoCapacity, ts.spec.Name, used, cap, size)
@@ -295,13 +436,35 @@ func (s *Store) put(now float64, t int, key string, data []byte, size int64, own
 
 	b := &Blob{Key: key, Tier: t, Size: size}
 	if s.keepData && data != nil {
-		if owned {
-			b.Data = data
-			b.ref = &payloadRef{data: data}
-			b.ref.refs.Store(1)
-		} else {
-			b.Data = append([]byte(nil), data...)
+		var r *backend.Ref
+		switch {
+		case owned:
+			r = backend.NewRef(data, bufpool.Put)
+		case s.be[t].Resident():
+			// A resident backend retains the reference, so the caller's
+			// buffer is copied out defensively (Put's contract).
+			r = backend.NewRef(append([]byte(nil), data...), nil)
+		default:
+			// A durable backend persists the bytes before Put returns
+			// and retains nothing, so the caller's buffer is safe to
+			// hand over uncopied.
+			r = backend.NewRef(data, nil)
 		}
+		h, perr := s.be[t].Put(end, key, r)
+		if perr != nil {
+			// The backend stored nothing and the reference (hence an
+			// owned payload's ownership) stays with the caller. Roll
+			// back as the capacity-miss path does, and feed the I/O
+			// error to the health machine like any other tier failure.
+			s.release(t, size)
+			if hadOld {
+				s.restoreOld(old)
+			}
+			perr = errors.Join(hcerr.ErrBackendIO, perr)
+			s.observe(end, t, perr)
+			return now, fmt.Errorf("store: put %q on %s: %w", key, ts.spec.Name, perr)
+		}
+		b.handle, b.has = h, true
 	} else if owned && data != nil {
 		// Retention off: the payload is consumed here, so the arena
 		// buffer can go straight back.
@@ -313,36 +476,51 @@ func (s *Store) put(now float64, t int, key string, data []byte, size int64, own
 	s.mu.Unlock()
 	if raced {
 		s.release(prev.Tier, prev.Size)
-		prev.ref.release()
+		s.dropPayload(prev)
 	}
 	// The displaced blob (overwrite path) is gone for good once the new
 	// payload is in place.
 	if hadOld {
-		old.ref.release()
+		s.dropPayload(old)
 	}
 	s.observe(end, t, nil)
 	return end, nil
 }
 
 // Get reads the blob under key starting at virtual time now. The returned
-// data is nil when retention is off.
+// data is nil when retention is off. Get callers do not participate in
+// refcounting: arena-owned payloads are copied out defensively (the
+// original may be recycled by a Delete at any moment), GC-managed
+// payloads share the stored bytes.
 func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 	s.mu.RLock()
 	blob, ok := s.blobs[key]
+	var ref *backend.Ref
+	var perr error
 	if ok {
 		b = *blob
-		if b.ref != nil {
-			// Get callers do not participate in refcounting, so owned
-			// payloads are copied out defensively: the original may be
-			// recycled by a Delete the moment the lock drops.
-			b.Data = append([]byte(nil), b.Data...)
-			b.ref = nil
+		if b.has {
+			ref, perr = s.be[b.Tier].Peek(now, b.handle)
 		}
 	}
 	s.mu.RUnlock()
 	if !ok {
 		return Blob{}, now, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
+	if perr != nil {
+		perr = errors.Join(hcerr.ErrBackendIO, perr)
+		s.observe(now, b.Tier, perr)
+		return Blob{}, now, fmt.Errorf("store: get %q on %s: %w", key, s.tiers[b.Tier].spec.Name, perr)
+	}
+	if ref != nil {
+		if ref.Recyclable() {
+			b.Data = append([]byte(nil), ref.Data()...)
+		} else {
+			b.Data = ref.Data()
+		}
+		ref.Release()
+	}
+	b.ref = nil
 	d := s.decide(now, b.Tier, fault.OpGet, key, b.Size)
 	if d.Err != nil {
 		s.observe(now, b.Tier, d.Err)
@@ -365,8 +543,8 @@ func (s *Store) Get(now float64, key string) (b Blob, end float64, err error) {
 
 // corrupt replaces the blob's payload with a bit-flipped private copy —
 // the stored bytes stay intact (the fault is what the reader observed,
-// not permanent media loss) and any arena pin is dropped since the copy
-// is ordinary garbage-collected memory.
+// not permanent media loss) and any payload pin is dropped since the
+// copy is ordinary garbage-collected memory.
 func (b *Blob) corrupt() {
 	if len(b.Data) == 0 {
 		return
@@ -374,37 +552,49 @@ func (b *Blob) corrupt() {
 	data := append([]byte(nil), b.Data...)
 	data[len(data)-1] ^= 0xA5
 	if b.ref != nil {
-		b.ref.release()
+		b.ref.Release()
 		b.ref = nil
 	}
 	b.Data = data
 }
 
 // Peek returns the blob under key without modeling an I/O or advancing any
-// tier timeline. The returned Data (if any) shares the stored buffer and
-// must not be mutated. For arena-owned payloads the blob is pinned: the
-// caller must pass the returned Blob to Release when done with Data, or
-// the buffer can never return to the arena. It exists so the Compression
-// Manager can fetch payloads for parallel decompression and replay the
-// timed reads afterwards, keeping virtual-time accounting deterministic.
-// now does not advance anything; it only positions the fetch on the
-// virtual timeline for the fault injector (the paired timed read replays
-// at the same reading, so both see the same fault window).
+// tier timeline. The returned Data (if any) is pinned for the caller and
+// must not be mutated; the caller must pass the returned Blob to Release
+// when done with Data, or an arena-backed buffer can never return to the
+// arena. It exists so the Compression Manager can fetch payloads for
+// parallel decompression and replay the timed reads afterwards, keeping
+// virtual-time accounting deterministic. now does not advance anything;
+// it only positions the fetch on the virtual timeline for the fault
+// injector (the paired timed read replays at the same reading, so both
+// see the same fault window) and for cost-metering backends.
 func (s *Store) Peek(now float64, key string) (Blob, error) {
 	s.mu.RLock()
 	blob, ok := s.blobs[key]
 	var b Blob
+	var perr error
 	if ok {
 		b = *blob
-		b.ref.retain()
+		b.ref = nil
+		if b.has {
+			b.ref, perr = s.be[b.Tier].Peek(now, b.handle)
+			if perr == nil {
+				b.Data = b.ref.Data()
+			}
+		}
 	}
 	s.mu.RUnlock()
 	if !ok {
 		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
+	if perr != nil {
+		perr = errors.Join(hcerr.ErrBackendIO, perr)
+		s.observe(now, b.Tier, perr)
+		return Blob{}, fmt.Errorf("store: read %q on %s: %w", key, s.tiers[b.Tier].spec.Name, perr)
+	}
 	d := s.decide(now, b.Tier, fault.OpGet, key, b.Size)
 	if d.Err != nil {
-		b.ref.release()
+		b.ref.Release()
 		s.observe(now, b.Tier, d.Err)
 		return Blob{}, fmt.Errorf("store: read %q on %s: %w", key, s.tiers[b.Tier].spec.Name, d.Err)
 	}
@@ -472,15 +662,17 @@ func (s *Store) Delete(key string) error {
 	}
 	s.tiers[blob.Tier].tm.deletes.Inc()
 	s.release(blob.Tier, blob.Size)
-	blob.ref.release()
+	s.dropPayload(blob)
 	return nil
 }
 
 // Move relocates a blob to another tier at virtual time now (used by
 // eviction/spill paths), modeling a read on the source and a write on the
-// destination. It fails without side effects if the destination is full.
-// The directory lock is held throughout so readers never observe a blob
-// mid-move.
+// destination. It fails without capacity side effects if the destination
+// is full. The directory lock is held throughout so readers never observe
+// a blob mid-move; when source and destination use different backends the
+// payload reference is handed from one to the other (MoveOut → Put)
+// under that lock.
 func (s *Store) Move(now float64, key string, dst int) (end float64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -503,16 +695,17 @@ func (s *Store) Move(now float64, key string, dst int) (end float64, err error) 
 	} else if d.Latency > 0 {
 		now += d.Latency
 	}
-	src, dstT := s.tiers[blob.Tier], s.tiers[dst]
+	srcIdx := blob.Tier
+	src, dstT := s.tiers[srcIdx], s.tiers[dst]
 	lo, hi := src, dstT
-	if dst < blob.Tier {
+	if dst < srcIdx {
 		lo, hi = dstT, src
 	}
 	lo.mu.Lock()
 	hi.mu.Lock()
-	defer lo.mu.Unlock()
-	defer hi.mu.Unlock()
 	if dstT.used+blob.Size > dstT.spec.Capacity {
+		hi.mu.Unlock()
+		lo.mu.Unlock()
 		return now, fmt.Errorf("%w: %s", ErrNoCapacity, dstT.spec.Name)
 	}
 	readEnd := src.res.Acquire(now, blob.Size)
@@ -524,6 +717,49 @@ func (s *Store) Move(now float64, key string, dst int) (end float64, err error) 
 	dstT.tm.puts.Inc()
 	dstT.tm.putBytes.Add(blob.Size)
 	dstT.tm.usedGauge.Set(float64(dstT.used))
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+	// Payload handoff outside the tier locks but still under the
+	// directory lock, so no reader sees the blob between backends.
+	if blob.has && s.be[srcIdx] != s.be[dst] {
+		ref, merr := s.be[srcIdx].MoveOut(readEnd, blob.handle)
+		var perr error
+		var h backend.Handle
+		if merr == nil {
+			h, perr = s.be[dst].Put(end, key, ref)
+			if perr != nil {
+				// Re-admit the payload where it was; an in-memory or
+				// cloud re-Put cannot fail, and a durable source that
+				// also fails loses the payload (surfaced to the caller).
+				if h2, rerr := s.be[srcIdx].Put(readEnd, key, ref); rerr == nil {
+					blob.handle = h2
+				} else {
+					ref.Release()
+					blob.has = false
+				}
+			}
+		} else if errors.Is(merr, backend.ErrUnknownHandle) {
+			blob.has = false
+		} else {
+			perr = merr
+		}
+		if perr != nil {
+			// Undo the capacity transfer; the modeled device time stays
+			// spent, like any failed I/O.
+			s.release(dst, blob.Size)
+			srcAdj := s.tiers[srcIdx]
+			srcAdj.mu.Lock()
+			srcAdj.used += blob.Size
+			srcAdj.tm.usedGauge.Set(float64(srcAdj.used))
+			srcAdj.mu.Unlock()
+			perr = errors.Join(hcerr.ErrBackendIO, perr)
+			s.observe(end, dst, perr)
+			return now, fmt.Errorf("store: move %q to %s: %w", key, dstT.spec.Name, perr)
+		}
+		if merr == nil {
+			blob.handle = h
+		}
+	}
 	blob.Tier = dst
 	return end, nil
 }
@@ -531,6 +767,7 @@ func (s *Store) Move(now float64, key string, dst int) (end float64, err error) 
 // TierStatus is the System Monitor's view of one tier.
 type TierStatus struct {
 	Name      string
+	Backend   string // payload backend kind: "mem", "file", "cloud"
 	Available bool
 	Capacity  int64
 	Used      int64
@@ -561,6 +798,7 @@ func (s *Store) Status(now float64) []TierStatus {
 		}
 		out[i] = TierStatus{
 			Name:      ts.spec.Name,
+			Backend:   s.be[i].Kind(),
 			Available: true,
 			Capacity:  ts.spec.Capacity,
 			Used:      ts.used,
@@ -595,15 +833,16 @@ func (s *Store) Remaining(t int) int64 {
 	return ts.spec.Capacity - ts.used
 }
 
-// Reset clears all blobs and virtual-time state, keeping the hierarchy.
-// Arena-owned payloads are recycled (modulo outstanding Peek pins).
+// Reset clears all blobs and virtual-time state, keeping the hierarchy
+// and the backends open. Arena-owned payloads are recycled (modulo
+// outstanding Peek pins); durable backends journal the deletions.
 func (s *Store) Reset() {
 	s.mu.Lock()
 	old := s.blobs
 	s.blobs = make(map[string]*Blob)
 	s.mu.Unlock()
 	for _, b := range old {
-		b.ref.release()
+		s.dropPayload(b)
 	}
 	for _, ts := range s.tiers {
 		ts.mu.Lock()
@@ -612,6 +851,24 @@ func (s *Store) Reset() {
 		ts.tm.usedGauge.Set(0)
 		ts.mu.Unlock()
 	}
+}
+
+// Close shuts down every tier backend: in-memory backends release their
+// payload references back to the arena, durable backends sync and close
+// their files (the payloads stay on media and are recovered by the next
+// Open). The store must not be used afterwards. Idempotent.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.blobs = make(map[string]*Blob)
+		s.mu.Unlock()
+		for _, be := range s.be {
+			if err := be.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
 }
 
 // Len reports the number of stored blobs.

@@ -14,21 +14,42 @@ import (
 
 // Well-known tier names used by the presets.
 const (
-	RAM = "ram"
-	NVM = "nvme"
-	BB  = "burstbuffer"
-	PFS = "pfs"
+	RAM   = "ram"
+	NVM   = "nvme"
+	BB    = "burstbuffer"
+	PFS   = "pfs"
+	Cloud = "cloud"
+)
+
+// Payload-backend kinds a Spec may name. The empty string means
+// BackendMem.
+const (
+	BackendMem   = "mem"  // payloads held in process memory (default)
+	BackendFile  = "file" // append-only segments + WAL under the store's DataDir
+	BackendCloud = "cloud" // modeled object store with $-cost metering
 )
 
 // Spec describes one storage tier as the System Monitor and the HCDP
 // engine see it: capacity, access latency, aggregate bandwidth, and the
-// number of hardware lanes (the paper's Concurrency(L) term).
+// number of hardware lanes (the paper's Concurrency(L) term). Backend
+// selects the payload plane behind the tier, and the two cost fields
+// price its use — both feed the Place DP's optional $-cost objective
+// term and the cloud backend's cost meter; zero costs keep the tier free
+// and the placement objective purely time-based.
 type Spec struct {
 	Name      string  `json:"name"`
 	Capacity  int64   `json:"capacity_bytes"`
 	Latency   float64 `json:"latency_sec"`
 	Bandwidth float64 `json:"bandwidth_bytes_per_sec"`
 	Lanes     int     `json:"lanes"`
+
+	// Backend names the payload plane: "" or "mem", "file", "cloud".
+	Backend string `json:"backend,omitempty"`
+	// CostPerGBMonth is the storage price of keeping one GB resident for
+	// a month (e.g. 0.023 for S3-standard-class object storage).
+	CostPerGBMonth float64 `json:"cost_per_gb_month,omitempty"`
+	// EgressCostPerGB is the price of reading one GB out of the tier.
+	EgressCostPerGB float64 `json:"egress_cost_per_gb,omitempty"`
 }
 
 // ServiceTime returns the uncontended time to move n bytes through one
@@ -107,6 +128,17 @@ func (h Hierarchy) Validate() error {
 		if t.Latency < 0 {
 			return fmt.Errorf("tier: %s has negative latency", t.Name)
 		}
+		switch t.Backend {
+		case "", BackendMem, BackendFile, BackendCloud:
+		default:
+			return fmt.Errorf("tier: %s has unknown backend %q", t.Name, t.Backend)
+		}
+		if t.CostPerGBMonth < 0 {
+			return fmt.Errorf("tier: %s has negative storage cost", t.Name)
+		}
+		if t.EgressCostPerGB < 0 {
+			return fmt.Errorf("tier: %s has negative egress cost", t.Name)
+		}
 	}
 	return nil
 }
@@ -151,6 +183,25 @@ func Ares(ramCap, nvmeCap, bbCap, pfsCap int64) Hierarchy {
 func PFSOnly(pfsCap int64) Hierarchy {
 	h := Ares(1, 1, 1, pfsCap)
 	return Hierarchy{Tiers: []Spec{h.Tiers[3]}}
+}
+
+// CloudSpec returns a modeled object-store tier: S3-class pricing
+// ($0.023/GB-month storage, $0.09/GB egress), a WAN round-trip of
+// latency, and enough aggregate bandwidth and lanes that the tier is
+// throughput-cheap but latency-expensive — the cold floor demotion
+// drains into. Capacity is passed per call (use something effectively
+// unbounded relative to the workload).
+func CloudSpec(capacity int64) Spec {
+	return Spec{
+		Name:            Cloud,
+		Capacity:        capacity,
+		Latency:         50e-3,
+		Bandwidth:       10e9,
+		Lanes:           64,
+		Backend:         BackendCloud,
+		CostPerGBMonth:  0.023,
+		EgressCostPerGB: 0.09,
+	}
 }
 
 // Bytes helpers for readable experiment configs.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"hcompress/internal/codec"
 	"hcompress/internal/core"
 	"hcompress/internal/fanout"
+	"hcompress/internal/fault"
 	"hcompress/internal/manager"
 	"hcompress/internal/monitor"
 	"hcompress/internal/predictor"
@@ -218,16 +220,11 @@ func newShard(cfg Config) (*Shard, error) {
 	if cfg.FeedbackInterval > 0 {
 		sd.FeedbackInterval = cfg.FeedbackInterval
 	}
-	st, err := store.New(h, !cfg.modeled)
-	if err != nil {
-		return nil, err
-	}
+	var sched fault.Injector
 	if cfg.FaultInjector != nil {
-		sched, err := cfg.FaultInjector.schedule(h)
-		if err != nil {
+		if sched, err = cfg.FaultInjector.schedule(h); err != nil {
 			return nil, err
 		}
-		st.SetFaultInjector(sched)
 	}
 	var reg *telemetry.Registry
 	if cfg.telemetryEnabled() {
@@ -237,17 +234,35 @@ func newShard(cfg Config) (*Shard, error) {
 			reg = telemetry.New()
 		}
 	}
-	st.SetTelemetry(reg)
+	// File-backed tiers of different shards must not share a journal
+	// directory, so each shard roots its backends one level down.
+	dataDir := cfg.DataDir
+	if dataDir != "" && cfg.shardLabel != "" {
+		dataDir = filepath.Join(dataDir, cfg.shardLabel)
+	}
+	// The health sink closes over the monitor built right after the
+	// store — backends never operate during construction, so the slot is
+	// always filled by the time the sink can fire.
+	var mon *monitor.SystemMonitor
+	st, err := store.Open(h, store.Options{
+		KeepData:      !cfg.modeled,
+		DataDir:       dataDir,
+		FaultInjector: sched,
+		// Every store outcome feeds the health machine; health
+		// transitions come back to the client (audit ring + trace sink)
+		// via the event sink installed below, once c exists.
+		HealthSink: func(now float64, tier int, err error) { mon.Observe(now, tier, err) },
+		Telemetry:  reg,
+	})
+	if err != nil {
+		return nil, err
+	}
 	bufpool.SetTelemetry(reg)
 	pred := predictor.New(sd)
 	pred.SetTelemetry(reg)
-	mon := monitor.New(st, cfg.MonitorIntervalSec)
+	mon = monitor.New(st, cfg.MonitorIntervalSec)
 	mon.SetHealthPolicy(cfg.OfflineThreshold, cfg.ProbeIntervalSec)
 	mon.SetTelemetry(reg)
-	// Every store outcome feeds the health machine; health transitions
-	// come back to the client (audit ring + trace sink) via the event
-	// sink installed below, once c exists.
-	st.SetHealthSink(mon.Observe)
 	eng, err := core.New(pred, mon, core.Config{
 		Weights:            cfg.Priorities.toWeights(),
 		DisableCompression: cfg.DisableCompression,
@@ -273,6 +288,12 @@ func newShard(cfg Config) (*Shard, error) {
 	}
 	mgr.SetRetryPolicy(retryMax, cfg.RetryBackoffSec, 0)
 	mgr.SetTelemetry(reg)
+	// Tasks whose pieces all survived on durable tiers become readable
+	// again here; their schemas are rebuilt from the on-media headers.
+	if _, err := mgr.AdoptRecovered(); err != nil {
+		st.Close()
+		return nil, err
+	}
 	pool := fanout.NewPool(mgr.Parallelism())
 	pool.SetTelemetry(reg)
 	mgr.SetPool(pool)
@@ -771,7 +792,9 @@ func (c *Shard) SetPriorities(p Priorities) {
 
 // TierStatusReport is the System Monitor's public view of one tier.
 type TierStatusReport struct {
-	Name           string
+	Name string
+	// Backend names the tier's payload plane: "mem", "file", or "cloud".
+	Backend        string
 	CapacityBytes  int64
 	UsedBytes      int64
 	RemainingBytes int64
@@ -799,6 +822,7 @@ func (c *Shard) Status() []TierStatusReport {
 	for i, s := range c.st.Status(c.clock.Now()) {
 		r := TierStatusReport{
 			Name:           s.Name,
+			Backend:        s.Backend,
 			CapacityBytes:  s.Capacity,
 			UsedBytes:      s.Used,
 			RemainingBytes: s.Remaining,
@@ -940,6 +964,5 @@ func (c *Shard) Close() error {
 	if c.cache != nil {
 		c.cache.InvalidateAll() // hand cached payloads back to the arena
 	}
-	c.st.Reset()
-	return nil
+	return c.st.Close()
 }
